@@ -1,0 +1,90 @@
+// Top-level benchmarks: one per experiment in DESIGN.md's index. Each
+// bench regenerates the corresponding table/figure of the reproduction
+// (cmd/benchrunner prints the same rows for EXPERIMENTS.md); b.N drives
+// repetition so `go test -bench=.` also measures the harness cost itself.
+package maritime
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func BenchmarkE1_GlobalFeed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E1(42, 200, 15*time.Minute)
+	}
+}
+
+func BenchmarkE2_Synopses(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E2(42)
+	}
+}
+
+func BenchmarkE3_Veracity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E3(42)
+	}
+}
+
+func BenchmarkE4_OpenWorld(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E4(42)
+	}
+}
+
+func BenchmarkE5_Pipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E5(42, []int{1, 4})
+	}
+}
+
+func BenchmarkE6_Fusion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E6(42)
+	}
+}
+
+func BenchmarkE7_Enrichment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E7(42)
+	}
+}
+
+func BenchmarkE8_Events(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E8(42)
+	}
+}
+
+func BenchmarkE9_Forecast(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E9(42)
+	}
+}
+
+func BenchmarkE10_Uncertainty(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E10(42)
+	}
+}
+
+func BenchmarkE11_Queries(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E11(42, 50000)
+	}
+}
+
+func BenchmarkE12_Linking(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E12(42, 500)
+	}
+}
+
+func BenchmarkE13_VA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E13(42)
+	}
+}

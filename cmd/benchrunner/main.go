@@ -1,0 +1,52 @@
+// Command benchrunner regenerates every experiment in DESIGN.md's index
+// (E1–E13) and prints the paper-style tables EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	benchrunner             # run everything
+//	benchrunner -only E2,E9 # run a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated experiment ids (default all)")
+	seed := flag.Int64("seed", 42, "master seed")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	run := func(id string, fn func() experiments.Table) {
+		if len(want) > 0 && !want[id] {
+			return
+		}
+		start := time.Now()
+		t := fn()
+		fmt.Println(t.Format())
+		fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	run("E1", func() experiments.Table { return experiments.E1(*seed, 400, 40*time.Minute) })
+	run("E2", func() experiments.Table { return experiments.E2(*seed) })
+	run("E3", func() experiments.Table { return experiments.E3(*seed) })
+	run("E4", func() experiments.Table { return experiments.E4(*seed) })
+	run("E5", func() experiments.Table { return experiments.E5(*seed, []int{1, 2, 4, 8}) })
+	run("E6", func() experiments.Table { return experiments.E6(*seed) })
+	run("E7", func() experiments.Table { return experiments.E7(*seed) })
+	run("E8", func() experiments.Table { return experiments.E8(*seed) })
+	run("E9", func() experiments.Table { return experiments.E9(*seed) })
+	run("E10", func() experiments.Table { return experiments.E10(*seed) })
+	run("E11", func() experiments.Table { return experiments.E11(*seed, 200000) })
+	run("E12", func() experiments.Table { return experiments.E12(*seed, 1000) })
+	run("E13", func() experiments.Table { return experiments.E13(*seed) })
+}

@@ -1,0 +1,126 @@
+// Command msaquery demonstrates archive queries against a stored
+// trajectory snapshot: build one with -write, then query it with -box,
+// -vessel or -knn. This is the §2.3 moving-object query surface as a CLI.
+//
+// Usage:
+//
+//	msaquery -write archive.bin -vessels 100 -minutes 120
+//	msaquery -read archive.bin -vessel 201000091
+//	msaquery -read archive.bin -box "42,4,44,9"
+//	msaquery -read archive.bin -knn "43.2,5.3" -k 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/tstore"
+)
+
+func main() {
+	write := flag.String("write", "", "simulate traffic and write an archive to this path")
+	read := flag.String("read", "", "load an archive from this path")
+	vessels := flag.Int("vessels", 100, "fleet size for -write")
+	minutes := flag.Int("minutes", 120, "duration for -write")
+	vessel := flag.Uint("vessel", 0, "print this vessel's trajectory summary")
+	box := flag.String("box", "", "space-time query: minLat,minLon,maxLat,maxLon")
+	knn := flag.String("knn", "", "nearest-vessel query: lat,lon")
+	k := flag.Int("k", 5, "number of neighbours for -knn")
+	flag.Parse()
+
+	switch {
+	case *write != "":
+		run, err := sim.Simulate(sim.Config{
+			Seed: 1, NumVessels: *vessels,
+			Duration: time.Duration(*minutes) * time.Minute, TickSec: 2,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := tstore.New()
+		for mmsi, pts := range run.Truth {
+			for _, p := range pts {
+				st.Append(model.VesselState{
+					MMSI: mmsi, At: p.At, Pos: p.Pos,
+					SpeedKn: p.SpeedKn, CourseDeg: p.CourseDeg,
+				})
+			}
+		}
+		f, err := os.Create(*write)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		n, err := st.WriteTo(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d points (%d vessels, %d bytes) to %s\n",
+			st.Len(), st.VesselCount(), n, *write)
+
+	case *read != "":
+		f, err := os.Open(*read)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		st := tstore.New()
+		if _, err := st.Load(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("archive: %d points, %d vessels\n", st.Len(), st.VesselCount())
+		switch {
+		case *vessel != 0:
+			tr := st.Trajectory(uint32(*vessel))
+			if tr.Len() == 0 {
+				log.Fatalf("vessel %d not in archive", *vessel)
+			}
+			fmt.Printf("vessel %d: %d points, %s → %s, %.1f km travelled\n",
+				*vessel, tr.Len(),
+				tr.Start().Format(time.RFC3339), tr.End().Format(time.RFC3339),
+				tr.Length()/1000)
+		case *box != "":
+			var r geo.Rect
+			if _, err := fmt.Sscanf(strings.ReplaceAll(*box, " ", ""), "%f,%f,%f,%f",
+				&r.MinLat, &r.MinLon, &r.MaxLat, &r.MaxLon); err != nil {
+				log.Fatalf("bad -box: %v", err)
+			}
+			sn := st.SpatialSnapshot()
+			hits := sn.Search(r, time.Time{}, time.Now().AddDate(10, 0, 0))
+			seen := map[uint32]bool{}
+			for _, h := range hits {
+				seen[h.MMSI] = true
+			}
+			fmt.Printf("box query: %d points from %d vessels\n", len(hits), len(seen))
+		case *knn != "":
+			var p geo.Point
+			if _, err := fmt.Sscanf(strings.ReplaceAll(*knn, " ", ""), "%f,%f", &p.Lat, &p.Lon); err != nil {
+				log.Fatalf("bad -knn: %v", err)
+			}
+			sn := st.SpatialSnapshot()
+			// Query at the archive's temporal midpoint.
+			var mid time.Time
+			if ms := st.MMSIs(); len(ms) > 0 {
+				tr := st.Trajectory(ms[0])
+				mid = tr.Start().Add(tr.Duration() / 2)
+			}
+			for i, s := range sn.NearestVessels(p, mid, 30*time.Minute, *k) {
+				fmt.Printf("%d. vessel %d at %s (%.1f km away, %s)\n",
+					i+1, s.MMSI, s.Pos, geo.Distance(p, s.Pos)/1000,
+					s.At.Format("15:04:05"))
+			}
+		default:
+			log.Fatal("with -read, pass one of -vessel, -box, -knn")
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

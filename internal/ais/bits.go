@@ -1,0 +1,192 @@
+// Package ais implements the subset of ITU-R M.1371 (the AIS transponder
+// standard) that maritime surveillance pipelines consume: Class A position
+// reports (types 1–3), static and voyage data (type 5), Class B position
+// reports (type 18) and Class B static data (type 24), together with the
+// NMEA 0183 !AIVDM sentence layer (6-bit payload armoring, multi-fragment
+// assembly and checksums).
+//
+// The codec is binary-faithful: encoding a message and decoding the
+// resulting sentences yields the original field values up to the standard's
+// own quantisation (positions in 1/10000 minute, speeds in 1/10 knot).
+package ais
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// bitWriter packs big-endian bit fields into a byte-per-bit buffer. AIS
+// payloads are short (≤ 424 bits), so the simple representation wins on
+// clarity with no measurable cost.
+type bitWriter struct {
+	bits []byte
+}
+
+func (w *bitWriter) writeUint(v uint64, n int) {
+	for i := n - 1; i >= 0; i-- {
+		w.bits = append(w.bits, byte(v>>uint(i)&1))
+	}
+}
+
+// writeInt writes a two's-complement signed value in n bits.
+func (w *bitWriter) writeInt(v int64, n int) {
+	w.writeUint(uint64(v)&(1<<uint(n)-1), n)
+}
+
+// writeString writes a 6-bit ASCII text field of n characters, padding with
+// '@' (the AIS "no character" symbol).
+func (w *bitWriter) writeString(s string, n int) {
+	s = strings.ToUpper(s)
+	for i := 0; i < n; i++ {
+		var c byte = '@'
+		if i < len(s) {
+			c = s[i]
+		}
+		w.writeUint(uint64(charTo6bit(c)), 6)
+	}
+}
+
+func (w *bitWriter) len() int { return len(w.bits) }
+
+// bitReader unpacks big-endian bit fields.
+type bitReader struct {
+	bits []byte
+	pos  int
+	err  error
+}
+
+var errShortPayload = errors.New("ais: payload too short")
+
+func (r *bitReader) readUint(n int) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos+n > len(r.bits) {
+		r.err = errShortPayload
+		return 0
+	}
+	var v uint64
+	for i := 0; i < n; i++ {
+		v = v<<1 | uint64(r.bits[r.pos+i])
+	}
+	r.pos += n
+	return v
+}
+
+func (r *bitReader) readInt(n int) int64 {
+	v := r.readUint(n)
+	if r.err != nil {
+		return 0
+	}
+	if v&(1<<uint(n-1)) != 0 { // sign bit set
+		return int64(v) - int64(1)<<uint(n)
+	}
+	return int64(v)
+}
+
+// readString reads an n-character 6-bit ASCII field, trimming the trailing
+// '@' padding and surrounding spaces as receivers conventionally do.
+func (r *bitReader) readString(n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		v := r.readUint(6)
+		if r.err != nil {
+			return ""
+		}
+		sb.WriteByte(sixbitToChar(byte(v)))
+	}
+	s := sb.String()
+	if i := strings.IndexByte(s, '@'); i >= 0 {
+		s = s[:i]
+	}
+	return strings.TrimRight(s, " ")
+}
+
+func (r *bitReader) remaining() int { return len(r.bits) - r.pos }
+
+// charTo6bit maps an ASCII character to the AIS 6-bit character set.
+// Characters outside the set map to 0 ('@', "no character").
+func charTo6bit(c byte) byte {
+	switch {
+	case c >= '@' && c <= '_': // @A-Z[\]^_
+		return c - '@'
+	case c >= ' ' && c <= '?': // space through ?
+		return c
+	default:
+		return 0
+	}
+}
+
+// sixbitToChar is the inverse of charTo6bit.
+func sixbitToChar(v byte) byte {
+	v &= 0x3F
+	if v < 32 {
+		return v + '@'
+	}
+	return v
+}
+
+// armorPayload converts a bit string into the ASCII payload armoring used by
+// AIVDM sentences: every 6 bits become one character. It returns the payload
+// and the number of fill bits added to complete the final character.
+func armorPayload(bits []byte) (payload string, fill int) {
+	n := len(bits)
+	rem := n % 6
+	if rem != 0 {
+		fill = 6 - rem
+	}
+	var sb strings.Builder
+	sb.Grow((n + fill) / 6)
+	for i := 0; i < n; i += 6 {
+		var v byte
+		for j := 0; j < 6; j++ {
+			v <<= 1
+			if i+j < n {
+				v |= bits[i+j]
+			}
+		}
+		sb.WriteByte(armorChar(v))
+	}
+	return sb.String(), fill
+}
+
+// unarmorPayload converts an armored payload back into a bit string,
+// dropping the given number of fill bits from the end.
+func unarmorPayload(payload string, fill int) ([]byte, error) {
+	bits := make([]byte, 0, len(payload)*6)
+	for i := 0; i < len(payload); i++ {
+		v, ok := unarmorChar(payload[i])
+		if !ok {
+			return nil, fmt.Errorf("ais: invalid armor character %q at %d", payload[i], i)
+		}
+		for j := 5; j >= 0; j-- {
+			bits = append(bits, v>>uint(j)&1)
+		}
+	}
+	if fill < 0 || fill > 5 || fill > len(bits) {
+		return nil, fmt.Errorf("ais: invalid fill bit count %d", fill)
+	}
+	return bits[:len(bits)-fill], nil
+}
+
+// armorChar maps a 6-bit value to its AIVDM payload character.
+func armorChar(v byte) byte {
+	v &= 0x3F
+	c := v + 48
+	if c > 87 {
+		c += 8
+	}
+	return c
+}
+
+// unarmorChar maps an AIVDM payload character back to its 6-bit value.
+func unarmorChar(c byte) (byte, bool) {
+	if c >= 48 && c <= 87 {
+		return c - 48, true
+	}
+	if c >= 96 && c <= 119 {
+		return c - 56, true
+	}
+	return 0, false
+}

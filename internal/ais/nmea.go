@@ -1,0 +1,212 @@
+package ais
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// maxPayloadChars is the maximum number of armored payload characters per
+// AIVDM sentence; longer messages (type 5) are split into fragments.
+const maxPayloadChars = 60
+
+// Sentence is a parsed NMEA 0183 AIVDM/AIVDO sentence.
+type Sentence struct {
+	Talker    string // "AIVDM" or "AIVDO"
+	FragCount int
+	FragNum   int
+	MsgID     string // sequential message id linking fragments ("" if single)
+	Channel   string // "A" or "B"
+	Payload   string // armored payload characters
+	FillBits  int
+}
+
+// Checksum computes the NMEA checksum (XOR of bytes between '!' and '*').
+func Checksum(body string) byte {
+	var cs byte
+	for i := 0; i < len(body); i++ {
+		cs ^= body[i]
+	}
+	return cs
+}
+
+// ParseSentence parses one AIVDM/AIVDO line, validating the checksum.
+func ParseSentence(line string) (Sentence, error) {
+	var s Sentence
+	line = strings.TrimRight(line, "\r\n")
+	if len(line) < 10 || line[0] != '!' {
+		return s, fmt.Errorf("ais: not an NMEA sentence: %q", truncate(line, 32))
+	}
+	star := strings.LastIndexByte(line, '*')
+	if star < 0 || star+3 > len(line) {
+		return s, fmt.Errorf("ais: missing checksum: %q", truncate(line, 32))
+	}
+	body := line[1:star]
+	want, err := strconv.ParseUint(line[star+1:star+3], 16, 8)
+	if err != nil {
+		return s, fmt.Errorf("ais: bad checksum field: %w", err)
+	}
+	if got := Checksum(body); got != byte(want) {
+		return s, fmt.Errorf("ais: checksum mismatch: got %02X want %02X", got, byte(want))
+	}
+	fields := strings.Split(body, ",")
+	if len(fields) != 7 {
+		return s, fmt.Errorf("ais: expected 7 fields, got %d", len(fields))
+	}
+	if fields[0] != "AIVDM" && fields[0] != "AIVDO" {
+		return s, fmt.Errorf("ais: unexpected talker %q", fields[0])
+	}
+	s.Talker = fields[0]
+	if s.FragCount, err = strconv.Atoi(fields[1]); err != nil {
+		return s, fmt.Errorf("ais: bad fragment count: %w", err)
+	}
+	if s.FragNum, err = strconv.Atoi(fields[2]); err != nil {
+		return s, fmt.Errorf("ais: bad fragment number: %w", err)
+	}
+	s.MsgID = fields[3]
+	s.Channel = fields[4]
+	s.Payload = fields[5]
+	if s.FillBits, err = strconv.Atoi(fields[6]); err != nil {
+		return s, fmt.Errorf("ais: bad fill bits: %w", err)
+	}
+	if s.FragCount < 1 || s.FragNum < 1 || s.FragNum > s.FragCount {
+		return s, fmt.Errorf("ais: inconsistent fragmentation %d/%d", s.FragNum, s.FragCount)
+	}
+	return s, nil
+}
+
+// Format renders the sentence as a complete NMEA line (without newline).
+func (s Sentence) Format() string {
+	body := fmt.Sprintf("%s,%d,%d,%s,%s,%s,%d",
+		s.Talker, s.FragCount, s.FragNum, s.MsgID, s.Channel, s.Payload, s.FillBits)
+	return fmt.Sprintf("!%s*%02X", body, Checksum(body))
+}
+
+// EncodeSentences encodes a message into one or more AIVDM lines. msgID is
+// used to link fragments of multi-sentence messages; channel is "A" or "B".
+func EncodeSentences(msg any, msgID int, channel string) ([]string, error) {
+	bits, err := EncodePayload(msg)
+	if err != nil {
+		return nil, err
+	}
+	payload, fill := armorPayload(bits)
+	if len(payload) <= maxPayloadChars {
+		s := Sentence{Talker: "AIVDM", FragCount: 1, FragNum: 1,
+			Channel: channel, Payload: payload, FillBits: fill}
+		return []string{s.Format()}, nil
+	}
+	var out []string
+	nfrag := (len(payload) + maxPayloadChars - 1) / maxPayloadChars
+	id := strconv.Itoa(msgID % 10)
+	for i := 0; i < nfrag; i++ {
+		lo := i * maxPayloadChars
+		hi := lo + maxPayloadChars
+		if hi > len(payload) {
+			hi = len(payload)
+		}
+		fb := 0
+		if i == nfrag-1 {
+			fb = fill
+		}
+		s := Sentence{Talker: "AIVDM", FragCount: nfrag, FragNum: i + 1,
+			MsgID: id, Channel: channel, Payload: payload[lo:hi], FillBits: fb}
+		out = append(out, s.Format())
+	}
+	return out, nil
+}
+
+// Decoder assembles AIVDM sentences (including multi-fragment messages)
+// into decoded AIS messages. It is not safe for concurrent use; create one
+// per input stream.
+type Decoder struct {
+	pending map[string][]Sentence // msgID+channel -> fragments received so far
+
+	// Stats counts decoding outcomes since creation.
+	Stats DecoderStats
+}
+
+// DecoderStats counts decoder outcomes.
+type DecoderStats struct {
+	Sentences  int // sentences parsed OK
+	Malformed  int // lines rejected at the sentence layer
+	Messages   int // complete messages decoded
+	Undecoded  int // payloads with unsupported type or truncated bits
+	Incomplete int // fragment groups dropped by ResetPending
+}
+
+// NewDecoder returns an empty decoder.
+func NewDecoder() *Decoder {
+	return &Decoder{pending: make(map[string][]Sentence)}
+}
+
+// Decode consumes one NMEA line. It returns a decoded message when the line
+// completes one, (nil, nil) when the line was consumed but the message is
+// still incomplete, and an error for malformed input.
+func (d *Decoder) Decode(line string) (any, error) {
+	s, err := ParseSentence(line)
+	if err != nil {
+		d.Stats.Malformed++
+		return nil, err
+	}
+	d.Stats.Sentences++
+	if s.FragCount == 1 {
+		return d.finish([]Sentence{s})
+	}
+	key := s.MsgID + "/" + s.Channel
+	frags := append(d.pending[key], s)
+	if len(frags) < s.FragCount {
+		d.pending[key] = frags
+		return nil, nil
+	}
+	delete(d.pending, key)
+	// Order fragments by fragment number.
+	ordered := make([]Sentence, s.FragCount)
+	for _, f := range frags {
+		if f.FragNum < 1 || f.FragNum > s.FragCount || ordered[f.FragNum-1].Payload != "" {
+			d.Stats.Undecoded++
+			return nil, fmt.Errorf("ais: inconsistent fragment set for %q", key)
+		}
+		ordered[f.FragNum-1] = f
+	}
+	return d.finish(ordered)
+}
+
+func (d *Decoder) finish(frags []Sentence) (any, error) {
+	var payload strings.Builder
+	fill := 0
+	for i, f := range frags {
+		payload.WriteString(f.Payload)
+		if i == len(frags)-1 {
+			fill = f.FillBits
+		}
+	}
+	bits, err := unarmorPayload(payload.String(), fill)
+	if err != nil {
+		d.Stats.Undecoded++
+		return nil, err
+	}
+	msg, err := DecodePayload(bits)
+	if err != nil {
+		d.Stats.Undecoded++
+		return nil, err
+	}
+	d.Stats.Messages++
+	return msg, nil
+}
+
+// ResetPending drops any partially assembled fragment groups (call it when
+// a stream gap makes completion impossible) and returns how many were
+// dropped.
+func (d *Decoder) ResetPending() int {
+	n := len(d.pending)
+	d.Stats.Incomplete += n
+	d.pending = make(map[string][]Sentence)
+	return n
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}

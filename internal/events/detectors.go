@@ -1,0 +1,490 @@
+package events
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/ais"
+	"repro/internal/geo"
+	"repro/internal/model"
+	"repro/internal/zones"
+)
+
+// --- dark periods ---------------------------------------------------------------
+
+// DarkDetector flags reporting gaps longer than Threshold. The alert is
+// raised when the vessel reappears (streaming semantics); its Start/At
+// span the silent interval. Expected cadence differences (moored vessels
+// report every 3 min) are absorbed by the threshold choice.
+type DarkDetector struct {
+	Threshold time.Duration
+	last      map[uint32]model.VesselState
+}
+
+// Name implements VesselDetector.
+func (d *DarkDetector) Name() string { return "dark" }
+
+// Process implements VesselDetector.
+func (d *DarkDetector) Process(s model.VesselState, _ *Context) []Alert {
+	if d.Threshold == 0 {
+		d.Threshold = 10 * time.Minute
+	}
+	if d.last == nil {
+		d.last = make(map[uint32]model.VesselState)
+	}
+	prev, ok := d.last[s.MMSI]
+	d.last[s.MMSI] = s
+	if !ok {
+		return nil
+	}
+	gap := s.At.Sub(prev.At)
+	if gap <= d.Threshold {
+		return nil
+	}
+	return []Alert{{
+		Kind: KindDark, MMSI: s.MMSI, At: s.At, Start: prev.At,
+		Where: prev.Pos, Severity: 2,
+		Note: fmt.Sprintf("silent for %s", gap.Round(time.Second)),
+	}}
+}
+
+// LastSeen exposes the last state per vessel (the open-world layer needs
+// it to reason about what could have happened during silence).
+func (d *DarkDetector) LastSeen(mmsi uint32) (model.VesselState, bool) {
+	s, ok := d.last[mmsi]
+	return s, ok
+}
+
+// --- teleport / position spoofing --------------------------------------------------
+
+// TeleportDetector flags position jumps implying speeds beyond MaxSpeedKn:
+// the kinematic signature of GPS/position spoofing (§1, [36][43]).
+type TeleportDetector struct {
+	MaxSpeedKn float64
+	last       map[uint32]model.VesselState
+}
+
+// Name implements VesselDetector.
+func (d *TeleportDetector) Name() string { return "teleport" }
+
+// Process implements VesselDetector.
+func (d *TeleportDetector) Process(s model.VesselState, _ *Context) []Alert {
+	if d.MaxSpeedKn == 0 {
+		d.MaxSpeedKn = 60
+	}
+	if d.last == nil {
+		d.last = make(map[uint32]model.VesselState)
+	}
+	prev, ok := d.last[s.MMSI]
+	d.last[s.MMSI] = s
+	if !ok {
+		return nil
+	}
+	dt := s.At.Sub(prev.At).Seconds()
+	if dt <= 0 {
+		return nil
+	}
+	impliedKn := geo.Distance(prev.Pos, s.Pos) / dt / geo.Knot
+	if impliedKn <= d.MaxSpeedKn {
+		return nil
+	}
+	return []Alert{{
+		Kind: KindTeleport, MMSI: s.MMSI, At: s.At, Start: prev.At,
+		Where: s.Pos, Severity: 3,
+		Note: fmt.Sprintf("implied speed %.0f kn", impliedKn),
+	}}
+}
+
+// --- identity anomalies ---------------------------------------------------------------
+
+// IdentityDetector flags structurally invalid MMSIs — the cheap but
+// effective half of identity-spoofing detection (the simulator's fake
+// identities use the unallocated 9xx MID space, as real spoofers often do).
+type IdentityDetector struct{}
+
+// Name implements VesselDetector.
+func (IdentityDetector) Name() string { return "identity" }
+
+// Process implements VesselDetector.
+func (IdentityDetector) Process(s model.VesselState, _ *Context) []Alert {
+	if s.MMSI >= 200000000 && s.MMSI <= 799999999 {
+		return nil
+	}
+	return []Alert{{
+		Kind: KindIdentity, MMSI: s.MMSI, At: s.At, Start: s.At, Where: s.Pos,
+		Severity: 3, Note: fmt.Sprintf("implausible MMSI %d", s.MMSI),
+	}}
+}
+
+// --- loitering -------------------------------------------------------------------------
+
+// LoiterDetector flags vessels that stay within RadiusM for at least
+// MinDuration while away from ports — the paper's "suspicious of dangerous
+// activities" staple. One anchor state per vessel; the anchor slides when
+// the vessel leaves the radius.
+type LoiterDetector struct {
+	RadiusM     float64
+	MinDuration time.Duration
+	MaxSpeedKn  float64
+
+	anchor  map[uint32]model.VesselState
+	alerted map[uint32]bool
+}
+
+// Name implements VesselDetector.
+func (d *LoiterDetector) Name() string { return "loiter" }
+
+// Process implements VesselDetector.
+func (d *LoiterDetector) Process(s model.VesselState, ctx *Context) []Alert {
+	if d.RadiusM == 0 {
+		d.RadiusM = 2000
+	}
+	if d.MinDuration == 0 {
+		d.MinDuration = 25 * time.Minute
+	}
+	if d.MaxSpeedKn == 0 {
+		d.MaxSpeedKn = 3.5
+	}
+	if d.anchor == nil {
+		d.anchor = make(map[uint32]model.VesselState)
+		d.alerted = make(map[uint32]bool)
+	}
+	anchor, ok := d.anchor[s.MMSI]
+	moved := !ok || geo.Distance(anchor.Pos, s.Pos) > d.RadiusM || s.SpeedKn > d.MaxSpeedKn
+	inPort := ctx.InPort(s.Pos)
+	if moved || inPort {
+		d.anchor[s.MMSI] = s
+		d.alerted[s.MMSI] = false
+		return nil
+	}
+	if d.alerted[s.MMSI] {
+		return nil
+	}
+	dwell := s.At.Sub(anchor.At)
+	if dwell < d.MinDuration {
+		return nil
+	}
+	d.alerted[s.MMSI] = true
+	return []Alert{{
+		Kind: KindLoiter, MMSI: s.MMSI, At: s.At, Start: anchor.At,
+		Where: anchor.Pos, Severity: 2,
+		Note: fmt.Sprintf("holding within %.0f m for %s", d.RadiusM, dwell.Round(time.Minute)),
+	}}
+}
+
+// --- drifting ----------------------------------------------------------------------------
+
+// DriftDetector flags not-under-command drift: sustained 0.3–2.5 kn with
+// wandering course away from ports — the engine-failure signature. It
+// needs NumSamples consecutive drifting samples to fire.
+type DriftDetector struct {
+	NumSamples int
+	state      map[uint32]*driftState
+}
+
+type driftState struct {
+	count      int
+	firstAt    time.Time
+	lastCourse float64
+	courseVar  float64
+	alerted    bool
+}
+
+// Name implements VesselDetector.
+func (d *DriftDetector) Name() string { return "drift" }
+
+// Process implements VesselDetector.
+func (d *DriftDetector) Process(s model.VesselState, ctx *Context) []Alert {
+	if d.NumSamples == 0 {
+		d.NumSamples = 20
+	}
+	if d.state == nil {
+		d.state = make(map[uint32]*driftState)
+	}
+	st, ok := d.state[s.MMSI]
+	if !ok {
+		st = &driftState{}
+		d.state[s.MMSI] = st
+	}
+	drifting := s.SpeedKn >= 0.3 && s.SpeedKn <= 2.5 && !ctx.InPort(s.Pos)
+	if s.Status == ais.StatusNotUnderCmd {
+		drifting = true
+	}
+	if !drifting {
+		st.count = 0
+		st.courseVar = 0
+		st.alerted = false
+		return nil
+	}
+	if st.count == 0 {
+		st.firstAt = s.At
+		st.lastCourse = s.CourseDeg
+	} else {
+		diff := math.Abs(geo.NormalizeBearing(s.CourseDeg - st.lastCourse))
+		if diff > 180 {
+			diff = 360 - diff
+		}
+		st.courseVar += diff
+		st.lastCourse = s.CourseDeg
+	}
+	st.count++
+	if st.alerted || st.count < d.NumSamples {
+		return nil
+	}
+	// Require either explicit NUC status or visible course wander.
+	if s.Status != ais.StatusNotUnderCmd && st.courseVar/float64(st.count) < 1.5 {
+		return nil
+	}
+	st.alerted = true
+	return []Alert{{
+		Kind: KindDrift, MMSI: s.MMSI, At: s.At, Start: st.firstAt,
+		Where: s.Pos, Severity: 3,
+		Note: fmt.Sprintf("adrift since %s", st.firstAt.Format("15:04")),
+	}}
+}
+
+// --- speed anomaly ---------------------------------------------------------------------------
+
+// SpeedAnomalyDetector flags reported speeds that are impossible for the
+// vessel or inconsistent sentinel abuse.
+type SpeedAnomalyDetector struct {
+	MaxKn float64
+}
+
+// Name implements VesselDetector.
+func (d *SpeedAnomalyDetector) Name() string { return "speed" }
+
+// Process implements VesselDetector.
+func (d *SpeedAnomalyDetector) Process(s model.VesselState, _ *Context) []Alert {
+	max := d.MaxKn
+	if max == 0 {
+		max = 50
+	}
+	if s.SpeedKn <= max || s.SpeedKn >= 102.3 {
+		return nil
+	}
+	return []Alert{{
+		Kind: KindSpeedAnomaly, MMSI: s.MMSI, At: s.At, Start: s.At, Where: s.Pos,
+		Severity: 1, Note: fmt.Sprintf("reported %.1f kn", s.SpeedKn),
+	}}
+}
+
+// --- protected-area fishing --------------------------------------------------------------------
+
+// ZoneViolationDetector flags fishing-like behaviour (slow speed or
+// explicit fishing status) sustained inside protected areas.
+type ZoneViolationDetector struct {
+	MinSamples int
+	counts     map[uint32]int
+	alerted    map[uint32]bool
+}
+
+// Name implements VesselDetector.
+func (d *ZoneViolationDetector) Name() string { return "zone-violation" }
+
+// Process implements VesselDetector.
+func (d *ZoneViolationDetector) Process(s model.VesselState, ctx *Context) []Alert {
+	if d.MinSamples == 0 {
+		d.MinSamples = 10
+	}
+	if d.counts == nil {
+		d.counts = make(map[uint32]int)
+		d.alerted = make(map[uint32]bool)
+	}
+	if ctx == nil || ctx.Zones == nil {
+		return nil
+	}
+	fishingLike := s.Status == ais.StatusFishing || (s.SpeedKn > 0.5 && s.SpeedKn < 6)
+	inside := ctx.Zones.InAny(s.Pos, zones.KindProtectedArea)
+	if !inside || !fishingLike {
+		d.counts[s.MMSI] = 0
+		d.alerted[s.MMSI] = false
+		return nil
+	}
+	d.counts[s.MMSI]++
+	if d.alerted[s.MMSI] || d.counts[s.MMSI] < d.MinSamples {
+		return nil
+	}
+	d.alerted[s.MMSI] = true
+	return []Alert{{
+		Kind: KindZoneViolation, MMSI: s.MMSI, At: s.At, Start: s.At, Where: s.Pos,
+		Severity: 3, Note: "fishing-like behaviour inside protected area",
+	}}
+}
+
+// --- rendezvous (pairwise) ------------------------------------------------------------------------
+
+// RendezvousDetector flags pairs of vessels holding within ProximityM of
+// each other at near-zero speed for MinDuration, away from ports: the
+// ship-to-ship transfer signature.
+type RendezvousDetector struct {
+	ProximityM  float64
+	MaxSpeedKn  float64
+	MinDuration time.Duration
+
+	pairs map[uint64]*pairState
+}
+
+type pairState struct {
+	since   time.Time
+	lastAt  time.Time
+	where   geo.Point
+	alerted bool
+}
+
+// Name implements PairDetector.
+func (d *RendezvousDetector) Name() string { return "rendezvous" }
+
+func pairKey(a, b uint32) uint64 { return uint64(a)<<32 | uint64(b) }
+
+// ProcessPair implements PairDetector.
+func (d *RendezvousDetector) ProcessPair(a, b model.VesselState, ctx *Context) []Alert {
+	if d.ProximityM == 0 {
+		d.ProximityM = 1000
+	}
+	if d.MaxSpeedKn == 0 {
+		d.MaxSpeedKn = 2.5
+	}
+	if d.MinDuration == 0 {
+		d.MinDuration = 10 * time.Minute
+	}
+	if d.pairs == nil {
+		d.pairs = make(map[uint64]*pairState)
+	}
+	key := pairKey(a.MMSI, b.MMSI)
+	isClose := geo.Distance(a.Pos, b.Pos) <= d.ProximityM &&
+		a.SpeedKn <= d.MaxSpeedKn && b.SpeedKn <= d.MaxSpeedKn &&
+		!ctx.InPort(a.Pos) && !ctx.InPort(b.Pos)
+	now := a.At
+	if b.At.After(now) {
+		now = b.At
+	}
+	st, ok := d.pairs[key]
+	if !isClose {
+		if ok {
+			delete(d.pairs, key)
+		}
+		return nil
+	}
+	if !ok {
+		d.pairs[key] = &pairState{since: now, lastAt: now, where: geo.Midpoint(a.Pos, b.Pos)}
+		return nil
+	}
+	st.lastAt = now
+	st.where = geo.Midpoint(a.Pos, b.Pos)
+	if st.alerted || now.Sub(st.since) < d.MinDuration {
+		return nil
+	}
+	st.alerted = true
+	return []Alert{{
+		Kind: KindRendezvous, MMSI: a.MMSI, Other: b.MMSI, At: now, Start: st.since,
+		Where: st.where, Severity: 3,
+		Note: fmt.Sprintf("stationary together for %s", now.Sub(st.since).Round(time.Minute)),
+	}}
+}
+
+// --- collision risk (pairwise) ----------------------------------------------------------------------
+
+// CollisionRiskDetector computes the closest point of approach between
+// co-located moving vessels and alerts when CPA < CPAThresholdM within
+// TCPAHorizon. Alerts are rate-limited per pair.
+type CollisionRiskDetector struct {
+	CPAThresholdM float64
+	TCPAHorizon   time.Duration
+	MinSpeedKn    float64
+	Cooldown      time.Duration
+
+	lastAlert map[uint64]time.Time
+}
+
+// Name implements PairDetector.
+func (d *CollisionRiskDetector) Name() string { return "collision-risk" }
+
+// ProcessPair implements PairDetector.
+func (d *CollisionRiskDetector) ProcessPair(a, b model.VesselState, _ *Context) []Alert {
+	if d.CPAThresholdM == 0 {
+		d.CPAThresholdM = 500
+	}
+	if d.TCPAHorizon == 0 {
+		d.TCPAHorizon = 15 * time.Minute
+	}
+	if d.MinSpeedKn == 0 {
+		d.MinSpeedKn = 4
+	}
+	if d.Cooldown == 0 {
+		d.Cooldown = 10 * time.Minute
+	}
+	if d.lastAlert == nil {
+		d.lastAlert = make(map[uint64]time.Time)
+	}
+	if a.SpeedKn < d.MinSpeedKn || b.SpeedKn < d.MinSpeedKn {
+		return nil
+	}
+	cpa, tcpa := CPA(a, b)
+	if cpa > d.CPAThresholdM || tcpa <= 0 || tcpa > d.TCPAHorizon.Seconds() {
+		return nil
+	}
+	key := pairKey(a.MMSI, b.MMSI)
+	now := a.At
+	if b.At.After(now) {
+		now = b.At
+	}
+	if last, ok := d.lastAlert[key]; ok && now.Sub(last) < d.Cooldown {
+		return nil
+	}
+	d.lastAlert[key] = now
+	return []Alert{{
+		Kind: KindCollisionRisk, MMSI: a.MMSI, Other: b.MMSI, At: now, Start: now,
+		Where: geo.Midpoint(a.Pos, b.Pos), Severity: 3,
+		Note: fmt.Sprintf("CPA %.0f m in %.0f s", cpa, tcpa),
+	}}
+}
+
+// CPA returns the closest point of approach distance in metres and the
+// time to it in seconds for two vessels extrapolated at constant velocity
+// on a local plane. A negative TCPA means the vessels are already past
+// their closest point.
+func CPA(a, b model.VesselState) (cpaM, tcpaSec float64) {
+	plane := geo.NewLocalPlane(geo.Midpoint(a.Pos, b.Pos))
+	ax, ay := plane.Forward(a.Pos)
+	bx, by := plane.Forward(b.Pos)
+	av := a.Velocity()
+	bv := b.Velocity()
+	avx := av.SpeedMS * math.Sin(geo.Radians(av.CourseDg))
+	avy := av.SpeedMS * math.Cos(geo.Radians(av.CourseDg))
+	bvx := bv.SpeedMS * math.Sin(geo.Radians(bv.CourseDg))
+	bvy := bv.SpeedMS * math.Cos(geo.Radians(bv.CourseDg))
+	dx, dy := bx-ax, by-ay
+	dvx, dvy := bvx-avx, bvy-avy
+	dv2 := dvx*dvx + dvy*dvy
+	if dv2 < 1e-9 {
+		return math.Hypot(dx, dy), 0
+	}
+	tcpa := -(dx*dvx + dy*dvy) / dv2
+	cx := dx + dvx*tcpa
+	cy := dy + dvy*tcpa
+	return math.Hypot(cx, cy), tcpa
+}
+
+// DefaultDetectors returns the standard per-vessel detector battery wired
+// with maritime defaults.
+func DefaultDetectors() []VesselDetector {
+	return []VesselDetector{
+		&DarkDetector{Threshold: 10 * time.Minute},
+		&TeleportDetector{MaxSpeedKn: 60},
+		IdentityDetector{},
+		&LoiterDetector{},
+		&DriftDetector{},
+		&SpeedAnomalyDetector{},
+		&ZoneViolationDetector{},
+	}
+}
+
+// DefaultPairDetectors returns the standard pairwise battery.
+func DefaultPairDetectors() []PairDetector {
+	return []PairDetector{
+		&RendezvousDetector{},
+		&CollisionRiskDetector{},
+	}
+}

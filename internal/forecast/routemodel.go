@@ -1,0 +1,228 @@
+package forecast
+
+import (
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/model"
+)
+
+// RouteModel is the patterns-of-life predictor: a first-order Markov
+// model over grid cells learned from historical trajectories. A state is
+// the directed cell transition (from, to); the model learns which cell
+// traffic enters next and how fast it moves there, so predictions follow
+// the lanes historical traffic followed — including the bends dead
+// reckoning cuts.
+type RouteModel struct {
+	grid geo.Grid
+	// next[(prev, cur)] = counts of the cell traffic entered next.
+	next map[[2]geo.CellID]map[geo.CellID]int
+	// speed[cell] accumulates mean transit speed (m/s).
+	speedSum map[geo.CellID]float64
+	speedN   map[geo.CellID]int
+	trained  int
+}
+
+// NewRouteModel returns an untrained model with the given cell size in
+// degrees (0.05° ≈ 5.5 km works well for coastal basins).
+func NewRouteModel(cellDeg float64) *RouteModel {
+	return &RouteModel{
+		grid:     geo.NewGrid(cellDeg),
+		next:     make(map[[2]geo.CellID]map[geo.CellID]int),
+		speedSum: make(map[geo.CellID]float64),
+		speedN:   make(map[geo.CellID]int),
+	}
+}
+
+func transKey(prev, cur geo.CellID) [2]geo.CellID {
+	return [2]geo.CellID{prev, cur}
+}
+
+// Train ingests one historical trajectory.
+func (rm *RouteModel) Train(tr *model.Trajectory) {
+	if tr.Len() < 2 {
+		return
+	}
+	rm.trained++
+	// Cell sequence with duplicates collapsed.
+	var cells []geo.CellID
+	var speeds []float64
+	for _, p := range tr.Points {
+		c := rm.grid.Cell(p.Pos)
+		if len(cells) == 0 || cells[len(cells)-1] != c {
+			cells = append(cells, c)
+			speeds = append(speeds, p.SpeedKn*geo.Knot)
+		}
+		rm.speedSum[c] += p.SpeedKn * geo.Knot
+		rm.speedN[c]++
+	}
+	for i := 2; i < len(cells); i++ {
+		key := transKey(cells[i-2], cells[i-1])
+		m, ok := rm.next[key]
+		if !ok {
+			m = make(map[geo.CellID]int)
+			rm.next[key] = m
+		}
+		m[cells[i]]++
+	}
+	_ = speeds
+}
+
+// TrainAll ingests a batch of trajectories.
+func (rm *RouteModel) TrainAll(trs []*model.Trajectory) {
+	for _, tr := range trs {
+		rm.Train(tr)
+	}
+}
+
+// Trained returns the number of trajectories ingested.
+func (rm *RouteModel) Trained() int { return rm.trained }
+
+// Name implements Predictor.
+func (rm *RouteModel) Name() string { return "route-model" }
+
+// mostLikelyNext returns the most frequent successor of the directed
+// transition (prev → cur) whose direction stays within ±75° of the
+// current walk heading — the gate keeps the walk from being hijacked by
+// busier crossing lanes at junctions. Falls back to the unfiltered best
+// when no candidate passes the gate. Ties break deterministically.
+func (rm *RouteModel) mostLikelyNext(prev, cur geo.CellID, heading float64) (geo.CellID, bool) {
+	m, ok := rm.next[transKey(prev, cur)]
+	if !ok || len(m) == 0 {
+		return 0, false
+	}
+	from := rm.grid.CellCenter(cur)
+	pick := func(gate bool) (geo.CellID, int) {
+		var best geo.CellID
+		bestN := -1
+		for c, n := range m {
+			if gate {
+				brg := geo.Bearing(from, rm.grid.CellCenter(c))
+				diff := geo.NormalizeBearing(brg - heading)
+				if diff > 180 {
+					diff = 360 - diff
+				}
+				if diff > 75 {
+					continue
+				}
+			}
+			if n > bestN || (n == bestN && c < best) {
+				best, bestN = c, n
+			}
+		}
+		return best, bestN
+	}
+	if best, n := pick(true); n >= 0 {
+		return best, true
+	}
+	best, _ := pick(false)
+	return best, true
+}
+
+// transitionSupport returns the total training count behind (prev → cur).
+func (rm *RouteModel) transitionSupport(prev, cur geo.CellID) int {
+	total := 0
+	for _, n := range rm.next[transKey(prev, cur)] {
+		total += n
+	}
+	return total
+}
+
+// cellSpeed returns the historical mean speed in the cell, or fallback.
+func (rm *RouteModel) cellSpeed(c geo.CellID, fallback float64) float64 {
+	if n := rm.speedN[c]; n > 0 {
+		if v := rm.speedSum[c] / float64(n); v > 0.5 {
+			return v
+		}
+	}
+	return fallback
+}
+
+// Predict implements Predictor: walk the most probable cell chain from
+// the vessel's current directed transition, spending the horizon at the
+// historical per-cell speeds, and land proportionally inside the final
+// leg. ok is false when the vessel's situation has no history.
+func (rm *RouteModel) Predict(tr *model.Trajectory, horizon time.Duration) (geo.Point, bool) {
+	n := tr.Len()
+	if n == 0 {
+		return geo.Point{}, false
+	}
+	last := tr.Points[n-1]
+	cur := rm.grid.Cell(last.Pos)
+	// Find the previous distinct cell for direction.
+	prev := cur
+	for i := n - 2; i >= 0; i-- {
+		if c := rm.grid.Cell(tr.Points[i].Pos); c != cur {
+			prev = c
+			break
+		}
+	}
+	if prev == cur {
+		return geo.Point{}, false // no direction information
+	}
+	fallbackSpeed := last.SpeedKn * geo.Knot
+	if fallbackSpeed < 0.5 {
+		// Stationary vessel: predict staying put.
+		return last.Pos, true
+	}
+	// Abstain when the vessel's current directed transition has thin
+	// support: off-lane behaviour (fishing wander, manoeuvring) has no
+	// pattern-of-life to follow, and a confident-looking walk would run
+	// away from a vessel that is actually orbiting. The hybrid falls back
+	// to kinematics in that case.
+	if support := rm.transitionSupport(prev, cur); support < 3 {
+		return geo.Point{}, false
+	}
+	remaining := horizon.Seconds()
+	pos := last.Pos
+	heading := last.CourseDeg
+	a, b := prev, cur
+	for remaining > 0 {
+		nxt, ok := rm.mostLikelyNext(a, b, heading)
+		if !ok {
+			// History runs out: dead-reckon the remainder along the last
+			// inter-cell direction.
+			brg := geo.Bearing(rm.grid.CellCenter(a), rm.grid.CellCenter(b))
+			speed := rm.cellSpeed(b, fallbackSpeed)
+			return geo.Destination(pos, brg, speed*remaining), true
+		}
+		target := rm.grid.CellCenter(nxt)
+		dist := geo.Distance(pos, target)
+		speed := rm.cellSpeed(b, fallbackSpeed)
+		legTime := dist / speed
+		if legTime >= remaining {
+			frac := remaining / legTime
+			return geo.Interpolate(pos, target, frac), true
+		}
+		remaining -= legTime
+		heading = geo.Bearing(pos, target)
+		pos = target
+		a, b = b, nxt
+	}
+	return pos, true
+}
+
+// Hybrid blends the route model with a kinematic fallback: the route
+// model answers where it has history; the fallback covers everything
+// else. This is the §4 prescription — context (patterns-of-life) as the
+// reference for expectation, kinematics as the floor.
+type Hybrid struct {
+	Route    *RouteModel
+	Fallback Predictor
+}
+
+// Name implements Predictor.
+func (Hybrid) Name() string { return "hybrid" }
+
+// Predict implements Predictor.
+func (h Hybrid) Predict(tr *model.Trajectory, horizon time.Duration) (geo.Point, bool) {
+	if h.Route != nil {
+		if p, ok := h.Route.Predict(tr, horizon); ok {
+			return p, true
+		}
+	}
+	if h.Fallback == nil {
+		return DeadReckoning{}.Predict(tr, horizon)
+	}
+	return h.Fallback.Predict(tr, horizon)
+}

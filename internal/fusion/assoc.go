@@ -1,0 +1,146 @@
+package fusion
+
+import "math"
+
+// Hungarian solves the square assignment problem: given an n×n cost
+// matrix, it returns rowAssign where rowAssign[i] is the column assigned
+// to row i, minimising total cost. It is the Jonker-style O(n³) shortest
+// augmenting path formulation with potentials. Infinite costs are allowed
+// (forbidden pairs) as long as a finite-cost perfect matching exists on
+// padded matrices.
+func Hungarian(cost [][]float64) []int {
+	n := len(cost)
+	if n == 0 {
+		return nil
+	}
+	const inf = math.MaxFloat64 / 4
+	// 1-indexed potentials and matching, per the classic formulation.
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1) // p[j] = row matched to column j
+	way := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := 0; j <= n; j++ {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				c := cost[i0-1][j-1]
+				if c > inf {
+					c = inf
+				}
+				cur := c - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	rowAssign := make([]int, n)
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			rowAssign[p[j]-1] = j - 1
+		}
+	}
+	return rowAssign
+}
+
+// Assignment pairs measurement indices with track indices.
+type Assignment struct {
+	Track       int
+	Measurement int
+	Cost        float64
+}
+
+// unassigned marks a padded (dummy) pairing.
+const unassignedCost = 1e9
+
+// Associate solves the gated assignment between tracks and measurements:
+// costs[i][j] is the association cost of track i with measurement j, with
+// math.Inf(1) meaning "outside the gate". It returns the accepted
+// assignments plus the indices of unassigned tracks and measurements.
+// The matrix is padded to square with dummy rows/columns so that every
+// real pairing beats "leave both unassigned" only when its cost is below
+// unassignedCost.
+func Associate(costs [][]float64) (assigned []Assignment, freeTracks, freeMeas []int) {
+	nT := len(costs)
+	nM := 0
+	if nT > 0 {
+		nM = len(costs[0])
+	}
+	if nT == 0 && nM == 0 {
+		return nil, nil, nil
+	}
+	n := nT
+	if nM > n {
+		n = nM
+	}
+	pad := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		pad[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			switch {
+			case i < nT && j < nM:
+				c := costs[i][j]
+				if math.IsInf(c, 1) {
+					c = unassignedCost * 2 // worse than any dummy: never chosen over a dummy pair
+				}
+				pad[i][j] = c
+			default:
+				pad[i][j] = unassignedCost
+			}
+		}
+	}
+	rowAssign := Hungarian(pad)
+	for i := 0; i < nT; i++ {
+		j := rowAssign[i]
+		if j < nM && pad[i][j] < unassignedCost {
+			assigned = append(assigned, Assignment{Track: i, Measurement: j, Cost: pad[i][j]})
+		} else {
+			freeTracks = append(freeTracks, i)
+		}
+	}
+	taken := make([]bool, nM)
+	for _, a := range assigned {
+		taken[a.Measurement] = true
+	}
+	for j := 0; j < nM; j++ {
+		if !taken[j] {
+			freeMeas = append(freeMeas, j)
+		}
+	}
+	return assigned, freeTracks, freeMeas
+}

@@ -1,0 +1,242 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func randItems(rng *rand.Rand, n int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{
+			Pos: geo.Point{Lat: 30 + rng.Float64()*15, Lon: -5 + rng.Float64()*40},
+			ID:  uint64(i),
+		}
+	}
+	return items
+}
+
+func idsOf(items []Item) []uint64 {
+	ids := make([]uint64, len(items))
+	for i, it := range items {
+		ids[i] = it.ID
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func equalIDs(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// buildAll constructs the three index variants over the same items.
+func buildAll(items []Item) map[string]SpatialIndex {
+	g := NewGridIndex(0.5)
+	for _, it := range items {
+		g.Insert(it)
+	}
+	return map[string]SpatialIndex{
+		"scan":  &Scan{Items: items},
+		"grid":  g,
+		"rtree": BuildRTree(items),
+	}
+}
+
+func TestSearchAgreesWithScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	items := randItems(rng, 3000)
+	idx := buildAll(items)
+	scan := idx["scan"]
+	for trial := 0; trial < 50; trial++ {
+		c := geo.Point{Lat: 30 + rng.Float64()*15, Lon: -5 + rng.Float64()*40}
+		r := geo.RectAround(c, 30000+rng.Float64()*300000)
+		want := idsOf(scan.Search(r, nil))
+		for name, ix := range idx {
+			if name == "scan" {
+				continue
+			}
+			got := idsOf(ix.Search(r, nil))
+			if !equalIDs(got, want) {
+				t.Fatalf("%s: search mismatch (%d vs %d results)", name, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestNearestAgreesWithScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	items := randItems(rng, 2000)
+	idx := buildAll(items)
+	scan := idx["scan"]
+	for trial := 0; trial < 30; trial++ {
+		p := geo.Point{Lat: 30 + rng.Float64()*15, Lon: -5 + rng.Float64()*40}
+		k := 1 + rng.Intn(20)
+		want := scan.Nearest(p, k)
+		for name, ix := range idx {
+			if name == "scan" {
+				continue
+			}
+			got := ix.Nearest(p, k)
+			if len(got) != len(want) {
+				t.Fatalf("%s: kNN size %d, want %d", name, len(got), len(want))
+			}
+			// Distances must match (IDs may differ under exact ties).
+			for i := range got {
+				dg := geo.Distance(p, got[i].Pos)
+				dw := geo.Distance(p, want[i].Pos)
+				if dg-dw > 0.5 {
+					t.Fatalf("%s: kNN[%d] dist %.2f, scan %.2f", name, i, dg, dw)
+				}
+			}
+		}
+	}
+}
+
+func TestNearestOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	items := randItems(rng, 500)
+	for name, ix := range buildAll(items) {
+		p := geo.Point{Lat: 37, Lon: 10}
+		got := ix.Nearest(p, 25)
+		for i := 1; i < len(got); i++ {
+			if geo.Distance(p, got[i].Pos) < geo.Distance(p, got[i-1].Pos)-1e-9 {
+				t.Errorf("%s: kNN results not sorted by distance", name)
+			}
+		}
+	}
+}
+
+func TestNearestKLargerThanN(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	items := randItems(rng, 7)
+	for name, ix := range buildAll(items) {
+		if got := ix.Nearest(geo.Point{Lat: 37, Lon: 10}, 100); len(got) != 7 {
+			t.Errorf("%s: k>n should return all items, got %d", name, len(got))
+		}
+	}
+}
+
+func TestEmptyIndexes(t *testing.T) {
+	for name, ix := range buildAll(nil) {
+		if ix.Len() != 0 {
+			t.Errorf("%s: empty index Len != 0", name)
+		}
+		if got := ix.Search(geo.Rect{MinLat: -90, MinLon: -180, MaxLat: 90, MaxLon: 180}, nil); len(got) != 0 {
+			t.Errorf("%s: empty search should be empty", name)
+		}
+		if got := ix.Nearest(geo.Point{}, 5); len(got) != 0 {
+			t.Errorf("%s: empty kNN should be empty", name)
+		}
+	}
+}
+
+func TestGridRemove(t *testing.T) {
+	g := NewGridIndex(0.5)
+	it := Item{Pos: geo.Point{Lat: 37, Lon: 10}, ID: 42}
+	g.Insert(it)
+	g.Insert(Item{Pos: geo.Point{Lat: 37.01, Lon: 10.01}, ID: 43})
+	if !g.Remove(it.Pos, 42) {
+		t.Fatal("remove should succeed")
+	}
+	if g.Remove(it.Pos, 42) {
+		t.Fatal("double remove should fail")
+	}
+	if g.Len() != 1 {
+		t.Errorf("len %d after remove", g.Len())
+	}
+	left := g.Search(geo.RectAround(it.Pos, 5000), nil)
+	if len(left) != 1 || left[0].ID != 43 {
+		t.Errorf("wrong item left: %+v", left)
+	}
+}
+
+func TestRTreeSinglePointAndDuplicates(t *testing.T) {
+	p := geo.Point{Lat: 37, Lon: 10}
+	items := []Item{{Pos: p, ID: 1}, {Pos: p, ID: 2}, {Pos: p, ID: 3}}
+	rt := BuildRTree(items)
+	got := rt.Search(geo.RectAround(p, 100), nil)
+	if len(got) != 3 {
+		t.Errorf("duplicate positions: got %d", len(got))
+	}
+	nn := rt.Nearest(p, 2)
+	if len(nn) != 2 {
+		t.Errorf("kNN over duplicates: got %d", len(nn))
+	}
+}
+
+func TestRTreeSearchWholeWorld(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	items := randItems(rng, 1234)
+	rt := BuildRTree(items)
+	got := rt.Search(geo.Rect{MinLat: -90, MinLon: -180, MaxLat: 90, MaxLon: 180}, nil)
+	if len(got) != 1234 {
+		t.Errorf("whole-world search returned %d of 1234", len(got))
+	}
+}
+
+func benchIndexes(n int) (map[string]SpatialIndex, *rand.Rand) {
+	rng := rand.New(rand.NewSource(6))
+	return buildAll(randItems(rng, n)), rng
+}
+
+func BenchmarkSearchScan100k(b *testing.B)  { benchSearch(b, "scan") }
+func BenchmarkSearchGrid100k(b *testing.B)  { benchSearch(b, "grid") }
+func BenchmarkSearchRTree100k(b *testing.B) { benchSearch(b, "rtree") }
+
+func benchSearch(b *testing.B, which string) {
+	idx, rng := benchIndexes(100000)
+	ix := idx[which]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := geo.Point{Lat: 30 + rng.Float64()*15, Lon: -5 + rng.Float64()*40}
+		_ = ix.Search(geo.RectAround(c, 50000), nil)
+	}
+}
+
+func BenchmarkNearestScan100k(b *testing.B)  { benchNearest(b, "scan") }
+func BenchmarkNearestGrid100k(b *testing.B)  { benchNearest(b, "grid") }
+func BenchmarkNearestRTree100k(b *testing.B) { benchNearest(b, "rtree") }
+
+func benchNearest(b *testing.B, which string) {
+	idx, rng := benchIndexes(100000)
+	ix := idx[which]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := geo.Point{Lat: 30 + rng.Float64()*15, Lon: -5 + rng.Float64()*40}
+		_ = ix.Nearest(p, 10)
+	}
+}
+
+func BenchmarkBuildRTree100k(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	items := randItems(rng, 100000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = BuildRTree(items)
+	}
+}
+
+func BenchmarkGridInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	items := randItems(rng, 100000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	g := NewGridIndex(0.5)
+	for i := 0; i < b.N; i++ {
+		g.Insert(items[i%len(items)])
+	}
+}

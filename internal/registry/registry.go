@@ -1,0 +1,367 @@
+// Package registry models institutional vessel registers — the
+// MarineTraffic-versus-Lloyd's scenario of the paper's §4, where two
+// sources disagree on a ship's length or flag because one lags on updates.
+// It provides the record model, conflict detection between providers, and
+// reliability-weighted resolution, plus a synthetic register pair generator
+// with known ground truth so resolution accuracy is measurable (E6, E10).
+package registry
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Record is one register entry for a vessel.
+type Record struct {
+	MMSI     uint32
+	IMO      uint32
+	Name     string
+	CallSign string
+	Flag     string  // ISO country code
+	LengthM  float64 // overall length
+	BeamM    float64
+	ShipType string // coarse class: cargo, tanker, fishing, passenger, tug
+}
+
+// Register is a provider's view of the world fleet.
+type Register struct {
+	Provider string
+	records  map[uint32]*Record
+}
+
+// NewRegister returns an empty register for the named provider.
+func NewRegister(provider string) *Register {
+	return &Register{Provider: provider, records: make(map[uint32]*Record)}
+}
+
+// Put inserts or replaces a record.
+func (r *Register) Put(rec *Record) { r.records[rec.MMSI] = rec }
+
+// Get returns the record for an MMSI, or nil.
+func (r *Register) Get(mmsi uint32) *Record { return r.records[mmsi] }
+
+// Len returns the number of records.
+func (r *Register) Len() int { return len(r.records) }
+
+// MMSIs returns the sorted MMSIs present in the register.
+func (r *Register) MMSIs() []uint32 {
+	out := make([]uint32, 0, len(r.records))
+	for m := range r.records {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Field names used in conflict reports.
+const (
+	FieldName     = "name"
+	FieldFlag     = "flag"
+	FieldLength   = "length"
+	FieldShipType = "ship_type"
+	FieldCallSign = "call_sign"
+)
+
+// Conflict describes a disagreement between two providers on one field of
+// one vessel.
+type Conflict struct {
+	MMSI   uint32
+	Field  string
+	Values map[string]string // provider -> value as string
+}
+
+// String renders the conflict for logs.
+func (c Conflict) String() string {
+	parts := make([]string, 0, len(c.Values))
+	provs := make([]string, 0, len(c.Values))
+	for p := range c.Values {
+		provs = append(provs, p)
+	}
+	sort.Strings(provs)
+	for _, p := range provs {
+		parts = append(parts, fmt.Sprintf("%s=%q", p, c.Values[p]))
+	}
+	return fmt.Sprintf("mmsi %d %s: %s", c.MMSI, c.Field, strings.Join(parts, " vs "))
+}
+
+// lengthToleranceM is the slack allowed before two length values count as
+// conflicting; the paper notes lengths "may differ slightly" benignly.
+const lengthToleranceM = 2.0
+
+// FindConflicts compares registers pairwise and reports every field-level
+// disagreement on vessels both providers know.
+func FindConflicts(regs ...*Register) []Conflict {
+	var out []Conflict
+	if len(regs) < 2 {
+		return out
+	}
+	base := regs[0]
+	for _, mmsi := range base.MMSIs() {
+		recs := make(map[string]*Record)
+		for _, r := range regs {
+			if rec := r.Get(mmsi); rec != nil {
+				recs[r.Provider] = rec
+			}
+		}
+		if len(recs) < 2 {
+			continue
+		}
+		out = append(out, conflictsFor(mmsi, recs)...)
+	}
+	return out
+}
+
+func conflictsFor(mmsi uint32, recs map[string]*Record) []Conflict {
+	var out []Conflict
+	check := func(field string, get func(*Record) string, eq func(a, b string) bool) {
+		vals := make(map[string]string, len(recs))
+		distinct := []string{}
+		for p, rec := range recs {
+			v := get(rec)
+			vals[p] = v
+			found := false
+			for _, d := range distinct {
+				if eq(d, v) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				distinct = append(distinct, v)
+			}
+		}
+		if len(distinct) > 1 {
+			out = append(out, Conflict{MMSI: mmsi, Field: field, Values: vals})
+		}
+	}
+	strEq := func(a, b string) bool { return strings.EqualFold(strings.TrimSpace(a), strings.TrimSpace(b)) }
+	check(FieldName, func(r *Record) string { return r.Name }, strEq)
+	check(FieldFlag, func(r *Record) string { return r.Flag }, strEq)
+	check(FieldCallSign, func(r *Record) string { return r.CallSign }, strEq)
+	check(FieldShipType, func(r *Record) string { return r.ShipType }, strEq)
+	check(FieldLength, func(r *Record) string { return fmt.Sprintf("%.1f", r.LengthM) },
+		func(a, b string) bool {
+			var fa, fb float64
+			fmt.Sscanf(a, "%f", &fa)
+			fmt.Sscanf(b, "%f", &fb)
+			return abs(fa-fb) <= lengthToleranceM
+		})
+	return out
+}
+
+// Resolver merges conflicting records using per-provider reliability
+// weights (the paper's "additional knowledge on sources' quality may help
+// solving the issue").
+type Resolver struct {
+	// Reliability maps provider -> weight in (0,1]; missing providers get
+	// DefaultReliability.
+	Reliability        map[string]float64
+	DefaultReliability float64
+}
+
+// NewResolver returns a resolver with uniform default reliability.
+func NewResolver() *Resolver {
+	return &Resolver{Reliability: make(map[string]float64), DefaultReliability: 0.5}
+}
+
+func (rv *Resolver) weight(provider string) float64 {
+	if w, ok := rv.Reliability[provider]; ok && w > 0 {
+		return w
+	}
+	return rv.DefaultReliability
+}
+
+// Resolve merges the providers' records for one vessel into a single
+// record: for each field, the value backed by the highest total provider
+// reliability wins (weighted vote; ties break on provider name for
+// determinism). Numeric fields use the reliability-weighted mean of values
+// within tolerance of the winning cluster.
+func (rv *Resolver) Resolve(recs map[string]*Record) *Record {
+	if len(recs) == 0 {
+		return nil
+	}
+	providers := make([]string, 0, len(recs))
+	for p := range recs {
+		providers = append(providers, p)
+	}
+	sort.Strings(providers)
+
+	out := &Record{}
+	first := recs[providers[0]]
+	out.MMSI = first.MMSI
+	out.IMO = first.IMO
+
+	out.Name = rv.voteString(providers, recs, func(r *Record) string { return r.Name })
+	out.Flag = rv.voteString(providers, recs, func(r *Record) string { return r.Flag })
+	out.CallSign = rv.voteString(providers, recs, func(r *Record) string { return r.CallSign })
+	out.ShipType = rv.voteString(providers, recs, func(r *Record) string { return r.ShipType })
+	out.LengthM = rv.voteNumeric(providers, recs, func(r *Record) float64 { return r.LengthM })
+	out.BeamM = rv.voteNumeric(providers, recs, func(r *Record) float64 { return r.BeamM })
+	return out
+}
+
+func (rv *Resolver) voteString(providers []string, recs map[string]*Record, get func(*Record) string) string {
+	scores := map[string]float64{}
+	for _, p := range providers {
+		v := strings.TrimSpace(get(recs[p]))
+		key := strings.ToUpper(v)
+		scores[key] += rv.weight(p)
+	}
+	bestKey, bestScore := "", -1.0
+	keys := make([]string, 0, len(scores))
+	for k := range scores {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if scores[k] > bestScore {
+			bestKey, bestScore = k, scores[k]
+		}
+	}
+	// Return the original-cased variant from the most reliable provider.
+	bestW := -1.0
+	result := bestKey
+	for _, p := range providers {
+		v := strings.TrimSpace(get(recs[p]))
+		if strings.ToUpper(v) == bestKey && rv.weight(p) > bestW {
+			bestW = rv.weight(p)
+			result = v
+		}
+	}
+	return result
+}
+
+func (rv *Resolver) voteNumeric(providers []string, recs map[string]*Record, get func(*Record) float64) float64 {
+	// Cluster values within tolerance, score clusters by total weight, then
+	// return the weighted mean of the winning cluster.
+	type cluster struct {
+		centre float64
+		weight float64
+		sum    float64
+	}
+	var clusters []*cluster
+	for _, p := range providers {
+		v := get(recs[p])
+		w := rv.weight(p)
+		var found *cluster
+		for _, c := range clusters {
+			if abs(c.centre-v) <= lengthToleranceM {
+				found = c
+				break
+			}
+		}
+		if found == nil {
+			found = &cluster{centre: v}
+			clusters = append(clusters, found)
+		}
+		found.weight += w
+		found.sum += v * w
+	}
+	var best *cluster
+	for _, c := range clusters {
+		if best == nil || c.weight > best.weight {
+			best = c
+		}
+	}
+	if best == nil || best.weight == 0 {
+		return 0
+	}
+	return best.sum / best.weight
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// SyntheticPair generates ground truth plus two registers that disagree on
+// a controlled fraction of fields. Provider B is the lower-quality source:
+// corruptFracB of its records carry a corrupted field, versus
+// corruptFracA for provider A. Returns (truth, registerA, registerB).
+func SyntheticPair(rng *rand.Rand, n int, corruptFracA, corruptFracB float64) (map[uint32]*Record, *Register, *Register) {
+	flags := []string{"FR", "IT", "GR", "MT", "PA", "LR", "NL", "DE"}
+	types := []string{"cargo", "tanker", "fishing", "passenger", "tug"}
+	prefixes := []string{"NORTHERN", "PACIFIC", "ATLANTIC", "GOLDEN", "SILVER",
+		"BLUE", "CRIMSON", "EASTERN", "ROYAL", "COASTAL", "GRAND", "SWIFT"}
+	suffixes := []string{"STAR", "WAVE", "HORIZON", "SPIRIT", "PIONEER",
+		"TRADER", "GULL", "DOLPHIN", "MERIDIAN", "VOYAGER", "CREST", "DAWN"}
+	truth := make(map[uint32]*Record, n)
+	ra := NewRegister("A")
+	rb := NewRegister("B")
+	for i := 0; i < n; i++ {
+		mmsi := uint32(201000000 + i*37)
+		rec := &Record{
+			MMSI: mmsi,
+			IMO:  uint32(9000000 + i),
+			Name: fmt.Sprintf("%s %s %d",
+				prefixes[rng.Intn(len(prefixes))], suffixes[rng.Intn(len(suffixes))], i),
+			CallSign: fmt.Sprintf("C%04d", i),
+			Flag:     flags[rng.Intn(len(flags))],
+			LengthM:  30 + rng.Float64()*270,
+			BeamM:    6 + rng.Float64()*40,
+			ShipType: types[rng.Intn(len(types))],
+		}
+		truth[mmsi] = rec
+		ra.Put(corrupt(rng, rec, corruptFracA, flags, types))
+		rb.Put(corrupt(rng, rec, corruptFracB, flags, types))
+	}
+	return truth, ra, rb
+}
+
+// corrupt returns a copy of rec, with one random field corrupted with
+// probability frac.
+func corrupt(rng *rand.Rand, rec *Record, frac float64, flags, types []string) *Record {
+	c := *rec
+	if rng.Float64() >= frac {
+		return &c
+	}
+	switch rng.Intn(4) {
+	case 0: // stale flag
+		c.Flag = flags[rng.Intn(len(flags))]
+	case 1: // length off by 5–25 m
+		c.LengthM += 5 + rng.Float64()*20
+	case 2: // name typo: drop a character
+		if len(c.Name) > 3 {
+			i := 1 + rng.Intn(len(c.Name)-2)
+			c.Name = c.Name[:i] + c.Name[i+1:]
+		}
+	case 3: // misclassified type
+		c.ShipType = types[rng.Intn(len(types))]
+	}
+	return &c
+}
+
+// ResolutionAccuracy scores resolved records against ground truth: the
+// fraction of (vessel, field) pairs resolved to the true value, over the
+// four corruptible fields.
+func ResolutionAccuracy(truth map[uint32]*Record, resolved map[uint32]*Record) float64 {
+	if len(truth) == 0 {
+		return 0
+	}
+	var correct, total float64
+	for mmsi, tr := range truth {
+		rec, ok := resolved[mmsi]
+		if !ok {
+			total += 4
+			continue
+		}
+		total += 4
+		if strings.EqualFold(rec.Flag, tr.Flag) {
+			correct++
+		}
+		if strings.EqualFold(rec.Name, tr.Name) {
+			correct++
+		}
+		if strings.EqualFold(rec.ShipType, tr.ShipType) {
+			correct++
+		}
+		if abs(rec.LengthM-tr.LengthM) <= lengthToleranceM {
+			correct++
+		}
+	}
+	return correct / total
+}

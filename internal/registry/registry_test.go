@@ -1,0 +1,195 @@
+package registry
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestFindConflictsDetectsDisagreement(t *testing.T) {
+	a := NewRegister("A")
+	b := NewRegister("B")
+	a.Put(&Record{MMSI: 1, Name: "ALPHA", Flag: "FR", LengthM: 100, ShipType: "cargo", CallSign: "AA"})
+	b.Put(&Record{MMSI: 1, Name: "ALPHA", Flag: "IT", LengthM: 100.5, ShipType: "cargo", CallSign: "AA"})
+	conflicts := FindConflicts(a, b)
+	if len(conflicts) != 1 {
+		t.Fatalf("expected exactly the flag conflict, got %d: %v", len(conflicts), conflicts)
+	}
+	if conflicts[0].Field != FieldFlag {
+		t.Errorf("conflict field = %s", conflicts[0].Field)
+	}
+	if !strings.Contains(conflicts[0].String(), "flag") {
+		t.Errorf("conflict string should mention the field: %s", conflicts[0])
+	}
+}
+
+func TestFindConflictsLengthTolerance(t *testing.T) {
+	a := NewRegister("A")
+	b := NewRegister("B")
+	// 1.5 m apart: benign. 10 m apart: conflict.
+	a.Put(&Record{MMSI: 1, Name: "X", Flag: "FR", LengthM: 100, ShipType: "cargo"})
+	b.Put(&Record{MMSI: 1, Name: "X", Flag: "FR", LengthM: 101.5, ShipType: "cargo"})
+	if c := FindConflicts(a, b); len(c) != 0 {
+		t.Errorf("small length delta should not conflict: %v", c)
+	}
+	b.Put(&Record{MMSI: 1, Name: "X", Flag: "FR", LengthM: 110, ShipType: "cargo"})
+	if c := FindConflicts(a, b); len(c) != 1 || c[0].Field != FieldLength {
+		t.Errorf("large length delta should conflict: %v", c)
+	}
+}
+
+func TestFindConflictsSkipsSingleProvider(t *testing.T) {
+	a := NewRegister("A")
+	b := NewRegister("B")
+	a.Put(&Record{MMSI: 1, Name: "ONLY-A", Flag: "FR"})
+	b.Put(&Record{MMSI: 2, Name: "ONLY-B", Flag: "IT"})
+	if c := FindConflicts(a, b); len(c) != 0 {
+		t.Errorf("no overlap means no conflicts: %v", c)
+	}
+	if c := FindConflicts(a); len(c) != 0 {
+		t.Errorf("single register can't conflict: %v", c)
+	}
+}
+
+func TestResolverWeightedVote(t *testing.T) {
+	rv := NewResolver()
+	rv.Reliability["good"] = 0.9
+	rv.Reliability["bad"] = 0.2
+	recs := map[string]*Record{
+		"good": {MMSI: 1, Name: "TRUTH", Flag: "FR", LengthM: 100, ShipType: "cargo"},
+		"bad":  {MMSI: 1, Name: "TYPO", Flag: "IT", LengthM: 120, ShipType: "tanker"},
+	}
+	got := rv.Resolve(recs)
+	if got.Name != "TRUTH" || got.Flag != "FR" || got.ShipType != "cargo" {
+		t.Errorf("reliable provider should win: %+v", got)
+	}
+	if got.LengthM != 100 {
+		t.Errorf("length should come from the winning cluster: %f", got.LengthM)
+	}
+}
+
+func TestResolverNumericClusterMean(t *testing.T) {
+	rv := NewResolver()
+	rv.Reliability["a"] = 0.5
+	rv.Reliability["b"] = 0.5
+	rv.Reliability["c"] = 0.3
+	recs := map[string]*Record{
+		"a": {MMSI: 1, LengthM: 100},
+		"b": {MMSI: 1, LengthM: 101}, // same cluster as a
+		"c": {MMSI: 1, LengthM: 150}, // outlier
+	}
+	got := rv.Resolve(recs)
+	want := (100*0.5 + 101*0.5) / 1.0
+	if abs(got.LengthM-want) > 1e-9 {
+		t.Errorf("length = %f, want weighted cluster mean %f", got.LengthM, want)
+	}
+}
+
+func TestResolveEmpty(t *testing.T) {
+	rv := NewResolver()
+	if rv.Resolve(nil) != nil {
+		t.Error("resolving nothing should give nil")
+	}
+}
+
+func TestResolveDeterministic(t *testing.T) {
+	rv := NewResolver() // uniform weights: tie
+	recs := map[string]*Record{
+		"a": {MMSI: 1, Name: "AAA", Flag: "FR"},
+		"b": {MMSI: 1, Name: "BBB", Flag: "IT"},
+	}
+	first := rv.Resolve(recs).Name
+	for i := 0; i < 20; i++ {
+		if rv.Resolve(recs).Name != first {
+			t.Fatal("tie resolution must be deterministic")
+		}
+	}
+}
+
+func TestSyntheticPairConflictRates(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	truth, ra, rb := SyntheticPair(rng, 500, 0.02, 0.30)
+	if ra.Len() != 500 || rb.Len() != 500 || len(truth) != 500 {
+		t.Fatal("sizes mismatch")
+	}
+	conflicts := FindConflicts(ra, rb)
+	// With 2% + 30% corruption the conflict count should be in the broad
+	// vicinity of 150; assert a sane band rather than a point.
+	if len(conflicts) < 60 || len(conflicts) > 260 {
+		t.Errorf("conflict count %d outside plausible band", len(conflicts))
+	}
+}
+
+func TestReliabilityWeightedResolutionBeatsUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	truth, ra, rb := SyntheticPair(rng, 800, 0.02, 0.35)
+
+	resolveAll := func(rv *Resolver) map[uint32]*Record {
+		out := make(map[uint32]*Record)
+		for _, mmsi := range ra.MMSIs() {
+			recs := map[string]*Record{}
+			if r := ra.Get(mmsi); r != nil {
+				recs["A"] = r
+			}
+			if r := rb.Get(mmsi); r != nil {
+				recs["B"] = r
+			}
+			out[mmsi] = rv.Resolve(recs)
+		}
+		return out
+	}
+
+	weighted := NewResolver()
+	weighted.Reliability["A"] = 0.95
+	weighted.Reliability["B"] = 0.40
+	accWeighted := ResolutionAccuracy(truth, resolveAll(weighted))
+
+	uniform := NewResolver()
+	accUniform := ResolutionAccuracy(truth, resolveAll(uniform))
+
+	if accWeighted <= accUniform {
+		t.Errorf("reliability weighting should beat uniform: weighted=%.3f uniform=%.3f",
+			accWeighted, accUniform)
+	}
+	if accWeighted < 0.95 {
+		t.Errorf("weighted resolution accuracy too low: %.3f", accWeighted)
+	}
+}
+
+func TestResolutionAccuracyEdges(t *testing.T) {
+	if ResolutionAccuracy(nil, nil) != 0 {
+		t.Error("empty truth should score 0")
+	}
+	truth := map[uint32]*Record{1: {MMSI: 1, Name: "A", Flag: "FR", ShipType: "cargo", LengthM: 50}}
+	if got := ResolutionAccuracy(truth, map[uint32]*Record{}); got != 0 {
+		t.Errorf("missing resolution should score 0, got %f", got)
+	}
+	perfect := map[uint32]*Record{1: {MMSI: 1, Name: "A", Flag: "FR", ShipType: "cargo", LengthM: 50}}
+	if got := ResolutionAccuracy(truth, perfect); got != 1 {
+		t.Errorf("perfect resolution should score 1, got %f", got)
+	}
+}
+
+func BenchmarkFindConflicts(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	_, ra, rb := SyntheticPair(rng, 1000, 0.05, 0.25)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = FindConflicts(ra, rb)
+	}
+}
+
+func BenchmarkResolve(b *testing.B) {
+	rv := NewResolver()
+	rv.Reliability["A"] = 0.9
+	rv.Reliability["B"] = 0.4
+	recs := map[string]*Record{
+		"A": {MMSI: 1, Name: "TRUTH", Flag: "FR", LengthM: 100, ShipType: "cargo"},
+		"B": {MMSI: 1, Name: "TYPO", Flag: "IT", LengthM: 120, ShipType: "tanker"},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = rv.Resolve(recs)
+	}
+}

@@ -1,0 +1,438 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/ais"
+	"repro/internal/geo"
+	"repro/internal/zones"
+)
+
+// EventKind labels an injected anomaly in the ground-truth log.
+type EventKind string
+
+// Injected anomaly kinds; these are the behaviours experiment E8 scores
+// detectors against.
+const (
+	EventDark          EventKind = "dark"           // AIS transmission suppressed
+	EventSpoofOffset   EventKind = "spoof-offset"   // reported positions displaced
+	EventSpoofIdentity EventKind = "spoof-identity" // reported MMSI replaced
+	EventRendezvous    EventKind = "rendezvous"     // two vessels meet mid-sea
+	EventLoiter        EventKind = "loiter"         // drifting in a small area off-lane
+	EventDrift         EventKind = "drift"          // not under command, drifting
+	EventZoneViolation EventKind = "zone-violation" // fishing inside a protected area
+)
+
+// TruthEvent records one injected anomaly with its exact extent, the
+// scoring key for detector evaluation.
+type TruthEvent struct {
+	Kind  EventKind
+	MMSI  uint32
+	Other uint32 // peer vessel for rendezvous, else 0
+	Start time.Time
+	End   time.Time
+	Where geo.Point // representative location (meeting point, zone centre…)
+}
+
+// directive is a scheduled behaviour override attached to a vessel.
+type directive struct {
+	kind  EventKind
+	start time.Time
+	end   time.Time
+
+	// Parameters by kind.
+	offsetM   float64   // spoof-offset displacement
+	offsetBrg float64   // spoof-offset direction
+	fakeMMSI  uint32    // spoof-identity replacement
+	meet      geo.Point // rendezvous meeting point / loiter centre / violation target
+	arrived   bool
+}
+
+func (d *directive) activeAt(t time.Time) bool {
+	return !t.Before(d.start) && t.Before(d.end)
+}
+
+// activeDirective returns the vessel's active override at t, or nil.
+// Motion-shaping directives (rendezvous, loiter, drift, violation) take
+// precedence over transmission-only ones (dark, spoofing), which matters
+// when a dark window overlays a rendezvous.
+func (v *Vessel) activeDirective(t time.Time) *directive {
+	var fallback *directive
+	for _, d := range v.overrides {
+		if !d.activeAt(t) {
+			continue
+		}
+		switch d.kind {
+		case EventDark, EventSpoofOffset, EventSpoofIdentity:
+			if fallback == nil {
+				fallback = d
+			}
+		default:
+			return d
+		}
+	}
+	return fallback
+}
+
+// activeDark reports whether any dark window covers t.
+func (v *Vessel) activeDark(t time.Time) bool {
+	for _, d := range v.overrides {
+		if d.kind == EventDark && d.activeAt(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// applyDirective drives the vessel during an override window instead of
+// its normal behaviour. Dark and spoofing directives do not change motion
+// (the vessel sails on; only its transmissions are affected), so they
+// return false to let the normal behaviour run.
+func applyDirective(d *directive, v *Vessel, s *Simulator, dt float64) (overrode bool) {
+	switch d.kind {
+	case EventDark, EventSpoofOffset, EventSpoofIdentity:
+		return false
+	case EventRendezvous:
+		if !d.arrived {
+			if dist := v.steerTowards(s.rng, d.meet, v.CruiseKn, dt); dist < 300 {
+				d.arrived = true
+			}
+			return true
+		}
+		// On station: hold position, nudging back toward the meeting
+		// point so the pair stays within ship-to-ship transfer range.
+		if geo.Distance(v.Pos, d.meet) > 250 {
+			v.CourseDeg = geo.Bearing(v.Pos, d.meet)
+			v.SpeedKn = 1.0
+		} else {
+			v.SpeedKn = 0.2
+		}
+		v.drift(dt)
+		return true
+	case EventLoiter:
+		if !d.arrived {
+			if dist := v.steerTowards(s.rng, d.meet, v.CruiseKn, dt); dist < 800 {
+				d.arrived = true
+			}
+			return true
+		}
+		v.SpeedKn = 0.5 + s.rng.Float64()*0.7
+		v.CourseDeg = geo.NormalizeBearing(v.CourseDeg + (s.rng.Float64()*2-1)*12*dt)
+		v.drift(dt)
+		return true
+	case EventDrift:
+		v.Status = ais.StatusNotUnderCmd
+		v.SpeedKn = 1.0 + s.rng.Float64()*0.5
+		v.CourseDeg = geo.NormalizeBearing(v.CourseDeg + (s.rng.Float64()*2-1)*2*dt)
+		v.drift(dt)
+		return true
+	case EventZoneViolation:
+		if !d.arrived {
+			if dist := v.steerTowards(s.rng, d.meet, v.CruiseKn, dt); dist < 800 {
+				d.arrived = true
+			}
+			return true
+		}
+		// Fish inside the protected area: slow erratic legs.
+		v.Status = ais.StatusFishing
+		v.SpeedKn = 2.5 + s.rng.Float64()*1.5
+		v.CourseDeg = geo.NormalizeBearing(v.CourseDeg + (s.rng.Float64()*2-1)*10*dt)
+		v.drift(dt)
+		if geo.Distance(v.Pos, d.meet) > 4000 {
+			v.CourseDeg = geo.Bearing(v.Pos, d.meet)
+		}
+		return true
+	}
+	return false
+}
+
+// scheduleAnomalies attaches directives to the fleet according to the
+// configured rates and returns the ground-truth event log. Windows are
+// planned inside (start, start+dur) with margins so every event completes.
+func scheduleAnomalies(rng *rand.Rand, cfg *Config, fleet []*Vessel) []TruthEvent {
+	var events []TruthEvent
+	dur := cfg.Duration
+	start := cfg.Start
+
+	windowIn := func(margin, length time.Duration) (time.Time, time.Time) {
+		span := dur - 2*margin - length
+		if span <= 0 {
+			return start.Add(margin), start.Add(margin + length)
+		}
+		off := time.Duration(rng.Int63n(int64(span)))
+		s0 := start.Add(margin + off)
+		return s0, s0.Add(length)
+	}
+
+	// Go-dark: the Windward [43] profile — a fraction of the fleet goes
+	// dark for a fraction of the run, possibly in several episodes.
+	for _, v := range fleet {
+		if rng.Float64() >= cfg.DarkShipFrac {
+			continue
+		}
+		darkTotal := time.Duration(float64(dur) * cfg.DarkTimeFrac * (0.8 + rng.Float64()*0.6))
+		episodes := 1 + rng.Intn(2)
+		per := darkTotal / time.Duration(episodes)
+		if per < 2*time.Minute {
+			per = 2 * time.Minute
+		}
+		for e := 0; e < episodes; e++ {
+			s0, e0 := windowIn(5*time.Minute, per)
+			v.overrides = append(v.overrides, &directive{kind: EventDark, start: s0, end: e0})
+			events = append(events, TruthEvent{Kind: EventDark, MMSI: v.MMSI, Start: s0, End: e0})
+		}
+	}
+
+	// Spoofing: offset or identity fraud on a small fraction of the fleet.
+	for _, v := range fleet {
+		if rng.Float64() >= cfg.SpoofShipFrac {
+			continue
+		}
+		s0, e0 := windowIn(10*time.Minute, time.Duration(20+rng.Intn(40))*time.Minute)
+		if rng.Float64() < 0.5 {
+			d := &directive{
+				kind: EventSpoofOffset, start: s0, end: e0,
+				offsetM:   20000 + rng.Float64()*50000,
+				offsetBrg: rng.Float64() * 360,
+			}
+			v.overrides = append(v.overrides, d)
+			events = append(events, TruthEvent{Kind: EventSpoofOffset, MMSI: v.MMSI, Start: s0, End: e0})
+		} else {
+			d := &directive{
+				kind: EventSpoofIdentity, start: s0, end: e0,
+				fakeMMSI: uint32(900000000 + rng.Intn(99999999)),
+			}
+			v.overrides = append(v.overrides, d)
+			events = append(events, TruthEvent{Kind: EventSpoofIdentity, MMSI: v.MMSI, Start: s0, End: e0})
+		}
+	}
+
+	// Rendezvous: pair nearby vessels; the approach time is derived from
+	// their actual separation so every pair can really make the meeting
+	// point before the hold phase starts.
+	nRdv := int(float64(len(fleet)) * cfg.RendezvousFrac / 2)
+	candidates := make([]*Vessel, 0, len(fleet))
+	for _, v := range fleet {
+		if len(v.overrides) == 0 { // keep rendezvous clean of other overrides
+			candidates = append(candidates, v)
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].MMSI < candidates[j].MMSI })
+	const maxPairSep = 120000 // only pair vessels within 120 km
+	used := make(map[uint32]bool)
+	scheduled := 0
+	for i := 0; i < len(candidates) && scheduled < nRdv; i++ {
+		a := candidates[i]
+		if used[a.MMSI] {
+			continue
+		}
+		var b *Vessel
+		bestD := maxPairSep + 1.0
+		for j := i + 1; j < len(candidates); j++ {
+			c := candidates[j]
+			if used[c.MMSI] {
+				continue
+			}
+			if d := geo.Distance(a.Pos, c.Pos); d < bestD {
+				bestD, b = d, c
+			}
+		}
+		if b == nil || bestD > maxPairSep {
+			continue
+		}
+		used[a.MMSI], used[b.MMSI] = true, true
+		meet := geo.Midpoint(a.Pos, b.Pos)
+		meet = geo.Destination(meet, float64(i*37%360), 5000)
+		// A rendezvous at berth is normal port life, not the ship-to-ship
+		// transfer scenario: push the meeting point offshore of any port.
+		for hop := 0; hop < 8; hop++ {
+			moved := false
+			for _, port := range cfg.World.Ports {
+				if geo.Distance(meet, port.Pos) < 9000 {
+					meet = geo.Destination(port.Pos, geo.Bearing(port.Pos, meet), 14000)
+					moved = true
+				}
+			}
+			if !moved {
+				break
+			}
+		}
+		// Slowest participant must cover its distance to the (possibly
+		// relocated) meeting point; pad 50% for turning and speed noise.
+		slowest := a.CruiseKn
+		if b.CruiseKn < slowest {
+			slowest = b.CruiseKn
+		}
+		if slowest < 4 {
+			slowest = 4
+		}
+		furthest := geo.Distance(a.Pos, meet)
+		if d := geo.Distance(b.Pos, meet); d > furthest {
+			furthest = d
+		}
+		approachSec := (furthest + 3000) / (slowest * geo.Knot) * 1.5
+		approach := time.Duration(approachSec * float64(time.Second))
+		if approach < 10*time.Minute {
+			approach = 10 * time.Minute
+		}
+		hold := time.Duration(30+rng.Intn(30)) * time.Minute
+		if approach+hold+20*time.Minute > dur {
+			continue // cannot fit in this run
+		}
+		// Start the approach shortly after the run begins: the approach
+		// duration was computed from the vessels' starting positions, and
+		// letting them wander first would invalidate it.
+		s0 := start.Add(2*time.Minute + time.Duration(rng.Int63n(int64(8*time.Minute))))
+		e0 := s0.Add(approach + hold)
+		for _, v := range []*Vessel{a, b} {
+			v.overrides = append(v.overrides, &directive{
+				kind: EventRendezvous, start: s0, end: e0, meet: meet,
+			})
+		}
+		// The truth window spans the whole directive: vessels typically
+		// arrive before the padded approach estimate, and the meeting
+		// genuinely begins at arrival (detectors cannot fire earlier
+		// anyway, since the pair is neither close nor slow during the
+		// approach).
+		events = append(events, TruthEvent{
+			Kind: EventRendezvous, MMSI: a.MMSI, Other: b.MMSI,
+			Start: s0, End: e0, Where: meet,
+		})
+		scheduled++
+	}
+
+	// Dark rendezvous: pairs that meet with transponders off (§4's
+	// closed-world blind spot). Reuse the rendezvous mechanics, then
+	// overlay a dark window covering the meeting.
+	nDarkRdv := int(float64(len(fleet)) * cfg.DarkRendezvousFrac / 2)
+	for i := 0; i < len(candidates) && nDarkRdv > 0; i++ {
+		a := candidates[i]
+		if used[a.MMSI] {
+			continue
+		}
+		var b *Vessel
+		bestD := maxPairSep + 1.0
+		for j := i + 1; j < len(candidates); j++ {
+			c := candidates[j]
+			if used[c.MMSI] {
+				continue
+			}
+			if d := geo.Distance(a.Pos, c.Pos); d < bestD {
+				bestD, b = d, c
+			}
+		}
+		if b == nil || bestD > maxPairSep {
+			continue
+		}
+		used[a.MMSI], used[b.MMSI] = true, true
+		meet := geo.Destination(geo.Midpoint(a.Pos, b.Pos), float64(i*53%360), 5000)
+		slowest := a.CruiseKn
+		if b.CruiseKn < slowest {
+			slowest = b.CruiseKn
+		}
+		if slowest < 4 {
+			slowest = 4
+		}
+		furthest := geo.Distance(a.Pos, meet)
+		if d := geo.Distance(b.Pos, meet); d > furthest {
+			furthest = d
+		}
+		approach := time.Duration((furthest + 3000) / (slowest * geo.Knot) * 1.5 * float64(time.Second))
+		if approach < 10*time.Minute {
+			approach = 10 * time.Minute
+		}
+		hold := time.Duration(30+rng.Intn(30)) * time.Minute
+		if approach+hold+25*time.Minute > dur {
+			continue
+		}
+		s0 := start.Add(2*time.Minute + time.Duration(rng.Int63n(int64(8*time.Minute))))
+		e0 := s0.Add(approach + hold)
+		darkFrom := s0.Add(approach / 2)
+		darkTo := e0.Add(10 * time.Minute)
+		for _, v := range []*Vessel{a, b} {
+			v.overrides = append(v.overrides,
+				&directive{kind: EventRendezvous, start: s0, end: e0, meet: meet},
+				&directive{kind: EventDark, start: darkFrom, end: darkTo})
+		}
+		events = append(events,
+			TruthEvent{Kind: EventRendezvous, MMSI: a.MMSI, Other: b.MMSI, Start: s0, End: e0, Where: meet},
+			TruthEvent{Kind: EventDark, MMSI: a.MMSI, Start: darkFrom, End: darkTo},
+			TruthEvent{Kind: EventDark, MMSI: b.MMSI, Start: darkFrom, End: darkTo})
+		nDarkRdv--
+	}
+
+	// Loitering, drifting, zone violations on further unmodified vessels.
+	for _, v := range fleet {
+		if len(v.overrides) > 0 {
+			continue
+		}
+		switch {
+		case rng.Float64() < cfg.LoiterFrac:
+			// The loiter spot must be reachable early in the window, so
+			// keep it within a few kilometres and start soon after the
+			// run begins (positions are known at schedule time).
+			s0 := start.Add(2*time.Minute + time.Duration(rng.Int63n(int64(8*time.Minute))))
+			e0 := s0.Add(time.Duration(45+rng.Intn(45)) * time.Minute)
+			if e0.After(start.Add(dur)) {
+				continue
+			}
+			centre := geo.Destination(v.Pos, rng.Float64()*360, 2000+rng.Float64()*4000)
+			v.overrides = append(v.overrides, &directive{kind: EventLoiter, start: s0, end: e0, meet: centre})
+			events = append(events, TruthEvent{Kind: EventLoiter, MMSI: v.MMSI, Start: s0, End: e0, Where: centre})
+		case rng.Float64() < cfg.DriftFrac:
+			s0, e0 := windowIn(10*time.Minute, time.Duration(30+rng.Intn(90))*time.Minute)
+			v.overrides = append(v.overrides, &directive{kind: EventDrift, start: s0, end: e0})
+			events = append(events, TruthEvent{Kind: EventDrift, MMSI: v.MMSI, Start: s0, End: e0})
+		case rng.Float64() < cfg.ZoneViolationFrac && v.Type == ais.ShipTypeFishing:
+			target := protectedAreaTarget(cfg.World, rng)
+			if target == (geo.Point{}) {
+				continue
+			}
+			// Budget the approach from the vessel's start position; skip
+			// vessels that cannot reach a protected area in this run.
+			speed := v.CruiseKn
+			if speed < 4 {
+				speed = 4
+			}
+			travel := time.Duration(geo.Distance(v.Pos, target) / (speed * geo.Knot) * 1.4 * float64(time.Second))
+			fish := time.Duration(45+rng.Intn(45)) * time.Minute
+			s0 := start.Add(2*time.Minute + time.Duration(rng.Int63n(int64(8*time.Minute))))
+			e0 := s0.Add(travel + fish)
+			if e0.After(start.Add(dur - 5*time.Minute)) {
+				continue
+			}
+			v.overrides = append(v.overrides, &directive{kind: EventZoneViolation, start: s0, end: e0, meet: target})
+			// The scoreable violation is the in-area fishing phase.
+			events = append(events, TruthEvent{Kind: EventZoneViolation, MMSI: v.MMSI, Start: s0.Add(travel), End: e0, Where: target})
+		}
+	}
+
+	sort.Slice(events, func(i, j int) bool {
+		if !events[i].Start.Equal(events[j].Start) {
+			return events[i].Start.Before(events[j].Start)
+		}
+		return events[i].MMSI < events[j].MMSI
+	})
+	return events
+}
+
+// protectedAreaTarget picks a point inside some protected area, or the zero
+// point if the world has none.
+func protectedAreaTarget(w *World, rng *rand.Rand) geo.Point {
+	if w.Zones == nil {
+		return geo.Point{}
+	}
+	var areas []geo.Point
+	for _, z := range w.Zones.All() {
+		if z.Kind == zones.KindProtectedArea {
+			areas = append(areas, z.Area.Centroid())
+		}
+	}
+	if len(areas) == 0 {
+		return geo.Point{}
+	}
+	c := areas[rng.Intn(len(areas))]
+	return geo.Destination(c, rng.Float64()*360, rng.Float64()*3000)
+}

@@ -1,0 +1,463 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/ais"
+	"repro/internal/geo"
+	"repro/internal/registry"
+)
+
+// Config parameterises a simulation run. Zero values select sensible
+// defaults (see Normalize).
+type Config struct {
+	Seed       int64
+	World      *World
+	NumVessels int
+	Start      time.Time
+	Duration   time.Duration
+	TickSec    float64 // integration step
+	TruthEvery time.Duration
+
+	// Defect and anomaly rates.
+	GPSNoiseM       float64 // reported-position noise sigma
+	StaticErrorRate float64 // fraction of static transmissions corrupted [44]
+	DarkShipFrac    float64 // fraction of fleet that goes dark [43]
+	DarkTimeFrac    float64 // fraction of run a dark ship stays dark [43]
+	SpoofShipFrac   float64
+	RendezvousFrac  float64 // fraction of fleet involved in a rendezvous
+	// DarkRendezvousFrac schedules rendezvous whose participants switch
+	// their transponders off around the meeting — the §4 scenario where
+	// closed-world queries structurally miss the event.
+	DarkRendezvousFrac float64
+	LoiterFrac         float64
+	DriftFrac          float64
+	ZoneViolationFrac  float64
+
+	// Receiver model.
+	TerrestrialRangeM float64 // range of shore stations
+	TerrestrialLoss   float64 // per-message loss probability in range
+	SatSwathDeg       float64 // half-width in longitude of a satellite swath
+	SatPeriod         time.Duration
+	SatCount          int
+	SatLoss           float64
+
+	// Radar sensor model (enabled when RadarRangeM > 0): contacts without
+	// identity from stations co-located with the first NumRadar ports.
+	RadarRangeM float64
+	RadarPeriod time.Duration
+	RadarNoiseM float64
+	NumRadar    int
+}
+
+// Normalize fills in defaults for unset fields.
+func (c *Config) Normalize() {
+	if c.World == nil {
+		c.World = MediterraneanWorld(c.Seed + 1)
+	}
+	if c.NumVessels == 0 {
+		c.NumVessels = 100
+	}
+	if c.Start.IsZero() {
+		c.Start = time.Date(2017, 3, 21, 0, 0, 0, 0, time.UTC)
+	}
+	if c.Duration == 0 {
+		c.Duration = 2 * time.Hour
+	}
+	if c.TickSec == 0 {
+		c.TickSec = 2
+	}
+	if c.TruthEvery == 0 {
+		c.TruthEvery = 30 * time.Second
+	}
+	if c.GPSNoiseM == 0 {
+		c.GPSNoiseM = 10 // the paper's "GPS position accuracy ... around 10m"
+	}
+	if c.TerrestrialRangeM == 0 {
+		c.TerrestrialRangeM = 70000 // ~40 NM
+	}
+	if c.SatSwathDeg == 0 {
+		c.SatSwathDeg = 25
+	}
+	if c.SatPeriod == 0 {
+		c.SatPeriod = 100 * time.Minute
+	}
+	if c.SatCount == 0 {
+		c.SatCount = 4
+	}
+	if c.SatLoss == 0 {
+		c.SatLoss = 0.35 // satellite AIS suffers message collisions
+	}
+	if c.TerrestrialLoss == 0 {
+		c.TerrestrialLoss = 0.02
+	}
+	if c.RadarRangeM > 0 {
+		if c.RadarPeriod == 0 {
+			c.RadarPeriod = 5 * time.Second
+		}
+		if c.RadarNoiseM == 0 {
+			c.RadarNoiseM = 120
+		}
+		if c.NumRadar == 0 {
+			c.NumRadar = 3
+		}
+	}
+}
+
+// DefaultAnomalyRates sets the paper-calibrated defect profile: 27% of
+// ships dark ≥10% of the time, ~5% static errors, plus a sprinkling of the
+// suspicious behaviours of §3.1.
+func (c *Config) DefaultAnomalyRates() {
+	c.StaticErrorRate = 0.05
+	c.DarkShipFrac = 0.27
+	c.DarkTimeFrac = 0.12
+	c.SpoofShipFrac = 0.03
+	c.RendezvousFrac = 0.04
+	c.LoiterFrac = 0.03
+	c.DriftFrac = 0.02
+	c.ZoneViolationFrac = 0.15 // of fishing vessels without other overrides
+}
+
+// Observation is one received AIS position report with reception metadata.
+type Observation struct {
+	At          time.Time
+	Terrestrial bool
+	Satellite   bool
+	Report      ais.PositionReport
+	// TrueMMSI is the transmitting vessel even under identity spoofing;
+	// evaluation-only, never fed to detectors.
+	TrueMMSI uint32
+}
+
+// StaticObservation is one received static/voyage message with corruption
+// ground truth for E3.
+type StaticObservation struct {
+	At        time.Time
+	Msg       ais.StaticVoyage
+	Corrupted bool
+	BadField  string
+}
+
+// RadarContact is an identity-less position measurement from a coastal
+// radar. TrueMMSI is evaluation-only.
+type RadarContact struct {
+	At       time.Time
+	Pos      geo.Point
+	Station  int
+	TrueMMSI uint32
+}
+
+// TruthPoint samples a vessel's true state.
+type TruthPoint struct {
+	At        time.Time
+	Pos       geo.Point
+	SpeedKn   float64
+	CourseDeg float64
+	Dark      bool
+}
+
+// Run is the full output of a simulation: streams plus ground truth.
+type Run struct {
+	Config  Config
+	Vessels []*Vessel
+	Truth   map[uint32][]TruthPoint
+	// Positions is ordered by time; it interleaves the whole fleet.
+	Positions []Observation
+	Statics   []StaticObservation
+	Radar     []RadarContact
+	Events    []TruthEvent
+	// Emitted counts transmissions before reception filtering; the
+	// received count is len(Positions).
+	Emitted int
+	// Register is the fleet's true static data as a register snapshot.
+	Register *registry.Register
+}
+
+// Simulator holds the mutable state of a run in progress.
+type Simulator struct {
+	World *World
+	Now   time.Time
+	rng   *rand.Rand
+}
+
+// Simulate executes the configured scenario and returns its streams and
+// ground truth.
+func Simulate(cfg Config) (*Run, error) {
+	cfg.Normalize()
+	if len(cfg.World.Routes) == 0 {
+		return nil, fmt.Errorf("sim: world %q has no routes", cfg.World.Name)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := &Simulator{World: cfg.World, Now: cfg.Start, rng: rng}
+	fleet := newFleet(rng, cfg.World, cfg.NumVessels)
+	events := scheduleAnomalies(rng, &cfg, fleet)
+
+	run := &Run{
+		Config:   cfg,
+		Vessels:  fleet,
+		Truth:    make(map[uint32][]TruthPoint, len(fleet)),
+		Events:   events,
+		Register: registry.NewRegister("fleet-truth"),
+	}
+	for _, v := range fleet {
+		run.Register.Put(&registry.Record{
+			MMSI: v.MMSI, IMO: v.IMO, Name: v.Name, CallSign: v.CallSign,
+			Flag: "FR", LengthM: v.LengthM, BeamM: v.BeamM,
+			ShipType: v.Type.String(),
+		})
+	}
+
+	end := cfg.Start.Add(cfg.Duration)
+	dt := cfg.TickSec
+	tick := time.Duration(dt * float64(time.Second))
+	lastTruth := cfg.Start.Add(-cfg.TruthEvery)
+	lastRadar := cfg.Start.Add(-cfg.RadarPeriod)
+
+	// Stagger initial emission times so the fleet does not transmit in
+	// lockstep.
+	for _, v := range fleet {
+		v.nextPosAt = cfg.Start.Add(time.Duration(rng.Float64() * float64(10*time.Second)))
+		v.nextStaticAt = cfg.Start.Add(time.Duration(rng.Float64() * float64(6*time.Minute)))
+	}
+
+	for s.Now.Before(end) {
+		// 1. Advance vessel kinematics.
+		for _, v := range fleet {
+			d := v.activeDirective(s.Now)
+			if d == nil || !applyDirective(d, v, s, dt) {
+				v.behavior.step(v, s, dt)
+			}
+		}
+
+		// 2. Truth sampling.
+		if s.Now.Sub(lastTruth) >= cfg.TruthEvery {
+			lastTruth = s.Now
+			for _, v := range fleet {
+				run.Truth[v.MMSI] = append(run.Truth[v.MMSI], TruthPoint{
+					At: s.Now, Pos: v.Pos, SpeedKn: v.SpeedKn, CourseDeg: v.CourseDeg,
+					Dark: v.activeDark(s.Now),
+				})
+			}
+		}
+
+		// 3. AIS emissions.
+		for _, v := range fleet {
+			if s.Now.Before(v.nextPosAt) {
+				continue
+			}
+			v.nextPosAt = s.Now.Add(reportInterval(v, rng))
+			run.Emitted++
+			if v.activeDark(s.Now) {
+				continue // transponder off
+			}
+			rep := s.buildReport(v, v.activeDirective(s.Now), cfg.GPSNoiseM)
+			terr, sat := s.receive(&cfg, v.Pos)
+			if terr || sat {
+				run.Positions = append(run.Positions, Observation{
+					At: s.Now, Terrestrial: terr, Satellite: sat,
+					Report: rep, TrueMMSI: v.MMSI,
+				})
+			}
+		}
+
+		// 4. Static/voyage emissions.
+		for _, v := range fleet {
+			if s.Now.Before(v.nextStaticAt) {
+				continue
+			}
+			v.nextStaticAt = s.Now.Add(6 * time.Minute)
+			if v.activeDark(s.Now) {
+				continue
+			}
+			terr, sat := s.receive(&cfg, v.Pos)
+			if !terr && !sat {
+				continue
+			}
+			msg, corrupted, badField := s.buildStatic(v, cfg.StaticErrorRate)
+			run.Statics = append(run.Statics, StaticObservation{
+				At: s.Now, Msg: msg, Corrupted: corrupted, BadField: badField,
+			})
+		}
+
+		// 5. Radar contacts.
+		if cfg.RadarRangeM > 0 && s.Now.Sub(lastRadar) >= cfg.RadarPeriod {
+			lastRadar = s.Now
+			n := cfg.NumRadar
+			if n > len(cfg.World.Ports) {
+				n = len(cfg.World.Ports)
+			}
+			for st := 0; st < n; st++ {
+				sp := cfg.World.Ports[st].Pos
+				for _, v := range fleet {
+					if geo.Distance(v.Pos, sp) > cfg.RadarRangeM {
+						continue
+					}
+					run.Radar = append(run.Radar, RadarContact{
+						At:       s.Now,
+						Pos:      noisyPoint(rng, v.Pos, cfg.RadarNoiseM),
+						Station:  st,
+						TrueMMSI: v.MMSI,
+					})
+				}
+			}
+		}
+
+		s.Now = s.Now.Add(tick)
+	}
+	return run, nil
+}
+
+// reportInterval returns the SOLAS-style reporting cadence for the
+// vessel's class and speed, with jitter.
+func reportInterval(v *Vessel, rng *rand.Rand) time.Duration {
+	var base time.Duration
+	if v.Class == ClassB {
+		base = 30 * time.Second
+	} else {
+		switch {
+		case v.Status == ais.StatusMoored || v.Status == ais.StatusAtAnchor:
+			base = 3 * time.Minute
+		case v.SpeedKn < 14:
+			base = 10 * time.Second
+		case v.SpeedKn < 23:
+			base = 6 * time.Second
+		default:
+			base = 2 * time.Second
+		}
+	}
+	jitter := time.Duration((rng.Float64()*0.2 - 0.1) * float64(base))
+	return base + jitter
+}
+
+// buildReport constructs the transmitted position report, applying GPS
+// noise and any active spoofing directive.
+func (s *Simulator) buildReport(v *Vessel, d *directive, gpsNoise float64) ais.PositionReport {
+	pos := noisyPoint(s.rng, v.Pos, gpsNoise)
+	mmsi := v.MMSI
+	if d != nil {
+		switch d.kind {
+		case EventSpoofOffset:
+			pos = geo.Destination(pos, d.offsetBrg, d.offsetM)
+		case EventSpoofIdentity:
+			mmsi = d.fakeMMSI
+		}
+	}
+	t := ais.TypePositionA
+	if v.Class == ClassB {
+		t = ais.TypePositionB
+	}
+	return ais.PositionReport{
+		Type:      t,
+		MMSI:      mmsi,
+		Status:    v.Status,
+		SpeedKn:   quantize(v.SpeedKn, 0.1),
+		Accuracy:  true,
+		Position:  pos,
+		CourseDeg: quantize(v.CourseDeg, 0.1),
+		Heading:   int(v.CourseDeg+0.5) % 360,
+		Second:    s.Now.Second(),
+	}
+}
+
+// Static-data field names for corruption ground truth (E3).
+const (
+	BadFieldMMSI     = "mmsi"
+	BadFieldName     = "name"
+	BadFieldDims     = "dimensions"
+	BadFieldShipType = "ship_type"
+	BadFieldCallSign = "call_sign"
+)
+
+// buildStatic constructs the transmitted static message, corrupting one
+// field with probability errRate — the ~5% static-data error profile [44].
+func (s *Simulator) buildStatic(v *Vessel, errRate float64) (msg ais.StaticVoyage, corrupted bool, badField string) {
+	msg = ais.StaticVoyage{
+		MMSI:     v.MMSI,
+		IMO:      v.IMO,
+		CallSign: v.CallSign,
+		ShipName: v.Name,
+		ShipType: v.Type,
+		DimBow:   int(v.LengthM * 0.6),
+		DimStern: int(v.LengthM * 0.4),
+		DimPort:  int(v.BeamM * 0.5),
+		DimStarb: int(v.BeamM * 0.5),
+		Draught:  v.Draught,
+	}
+	if s.rng.Float64() >= errRate {
+		return msg, false, ""
+	}
+	switch s.rng.Intn(5) {
+	case 0: // invalid MMSI (fat-fingered configuration)
+		msg.MMSI = uint32(s.rng.Intn(199999999))
+		badField = BadFieldMMSI
+	case 1: // blank or junk name
+		if s.rng.Float64() < 0.5 {
+			msg.ShipName = ""
+		} else {
+			msg.ShipName = "NONAME"
+		}
+		badField = BadFieldName
+	case 2: // absurd dimensions
+		msg.DimBow = 500
+		msg.DimStern = 511
+		badField = BadFieldDims
+	case 3: // type zero (unknown)
+		msg.ShipType = ais.ShipTypeUnknown
+		badField = BadFieldShipType
+	default: // empty call sign
+		msg.CallSign = ""
+		badField = BadFieldCallSign
+	}
+	return msg, true, badField
+}
+
+// receive runs the receiver model: terrestrial reception when within range
+// of any station, satellite reception when a swath covers the position.
+func (s *Simulator) receive(cfg *Config, p geo.Point) (terrestrial, satellite bool) {
+	for _, st := range cfg.World.Stations {
+		if geo.Distance(p, st) <= cfg.TerrestrialRangeM {
+			if s.rng.Float64() >= cfg.TerrestrialLoss {
+				terrestrial = true
+			}
+			break
+		}
+	}
+	if s.satCovered(cfg, p) && s.rng.Float64() >= cfg.SatLoss {
+		satellite = true
+	}
+	return terrestrial, satellite
+}
+
+// satCovered models SatCount polar-orbit satellites whose coverage swaths
+// sweep westward in longitude with the given period: bursty, gappy
+// coverage like real satellite AIS.
+func (s *Simulator) satCovered(cfg *Config, p geo.Point) bool {
+	if cfg.SatCount == 0 {
+		return false
+	}
+	elapsed := s.Now.Sub(cfg.Start).Seconds()
+	period := cfg.SatPeriod.Seconds()
+	for k := 0; k < cfg.SatCount; k++ {
+		phase := float64(k) / float64(cfg.SatCount)
+		centre := math.Mod(-360*(elapsed/period+phase), 360)
+		diff := math.Abs(geo.NormalizeLon(p.Lon - centre))
+		if diff <= cfg.SatSwathDeg {
+			return true
+		}
+	}
+	return false
+}
+
+func noisyPoint(rng *rand.Rand, p geo.Point, sigmaM float64) geo.Point {
+	if sigmaM <= 0 {
+		return p
+	}
+	return geo.Destination(p, rng.Float64()*360, math.Abs(rng.NormFloat64())*sigmaM)
+}
+
+func quantize(v, step float64) float64 {
+	return math.Round(v/step) * step
+}

@@ -1,0 +1,416 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/ais"
+	"repro/internal/geo"
+)
+
+func smallConfig() Config {
+	return Config{
+		Seed:       1,
+		NumVessels: 40,
+		Duration:   45 * time.Minute,
+		TickSec:    2,
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	r1, err := Simulate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Simulate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Positions) != len(r2.Positions) {
+		t.Fatalf("nondeterministic position count: %d vs %d", len(r1.Positions), len(r2.Positions))
+	}
+	for i := range r1.Positions {
+		a, b := r1.Positions[i], r2.Positions[i]
+		if a.Report.MMSI != b.Report.MMSI || !a.At.Equal(b.At) ||
+			a.Report.Position != b.Report.Position {
+			t.Fatalf("position %d differs between runs", i)
+		}
+	}
+	if len(r1.Events) != len(r2.Events) {
+		t.Fatal("nondeterministic event schedule")
+	}
+}
+
+func TestSimulateProducesTraffic(t *testing.T) {
+	run, err := Simulate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Vessels) != 40 {
+		t.Fatalf("fleet size %d", len(run.Vessels))
+	}
+	if run.Emitted == 0 || len(run.Positions) == 0 {
+		t.Fatal("no traffic produced")
+	}
+	if len(run.Positions) > run.Emitted {
+		t.Fatal("received more than emitted")
+	}
+	// Every vessel should have truth samples covering the run.
+	for _, v := range run.Vessels {
+		pts := run.Truth[v.MMSI]
+		if len(pts) < 10 {
+			t.Fatalf("vessel %d has only %d truth points", v.MMSI, len(pts))
+		}
+	}
+}
+
+func TestTruthKinematicsConsistent(t *testing.T) {
+	// Successive truth points must be reachable at the recorded speeds:
+	// the simulator must not teleport vessels.
+	run, err := Simulate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mmsi, pts := range run.Truth {
+		for i := 1; i < len(pts); i++ {
+			dt := pts[i].At.Sub(pts[i-1].At).Seconds()
+			d := geo.Distance(pts[i-1].Pos, pts[i].Pos)
+			// Max plausible speed 35 kn plus slack.
+			if d > 40*geo.Knot*dt+50 {
+				t.Fatalf("vessel %d teleported %.0f m in %.0f s", mmsi, d, dt)
+			}
+		}
+	}
+}
+
+func TestReportsStayNearTruth(t *testing.T) {
+	cfg := smallConfig()
+	run, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without spoofing, reported positions must sit within GPS noise of the
+	// true track (interpolated between truth samples).
+	for _, obs := range run.Positions {
+		if obs.Report.MMSI != obs.TrueMMSI {
+			t.Fatal("unexpected identity spoofing in clean run")
+		}
+		pts := run.Truth[obs.TrueMMSI]
+		tp, ok := nearestTruth(pts, obs.At)
+		if !ok {
+			continue
+		}
+		// Truth samples are 30 s apart; a 20 kn vessel moves ~300 m between
+		// samples. Allow generous slack plus noise.
+		if d := geo.Distance(tp.Pos, obs.Report.Position); d > 800 {
+			t.Fatalf("report %.0f m from truth for %d", d, obs.TrueMMSI)
+		}
+	}
+}
+
+func nearestTruth(pts []TruthPoint, at time.Time) (TruthPoint, bool) {
+	best := TruthPoint{}
+	bestDt := math.Inf(1)
+	for _, p := range pts {
+		dt := math.Abs(p.At.Sub(at).Seconds())
+		if dt < bestDt {
+			bestDt = dt
+			best = p
+		}
+	}
+	return best, bestDt < 60
+}
+
+func TestAnomalyScheduling(t *testing.T) {
+	cfg := smallConfig()
+	cfg.NumVessels = 150
+	cfg.Duration = 3 * time.Hour
+	cfg.DefaultAnomalyRates()
+	run, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[EventKind]int{}
+	for _, e := range run.Events {
+		counts[e.Kind]++
+		if !e.Start.Before(e.End) {
+			t.Fatalf("event %v has empty window", e)
+		}
+		if e.Start.Before(run.Config.Start) || e.End.After(run.Config.Start.Add(run.Config.Duration)) {
+			t.Fatalf("event %v escapes the run window", e)
+		}
+	}
+	if counts[EventDark] == 0 {
+		t.Error("no dark events scheduled at 27% rate")
+	}
+	if counts[EventRendezvous] == 0 {
+		t.Error("no rendezvous scheduled")
+	}
+	t.Logf("event mix: %v", counts)
+}
+
+func TestDarkSuppressesTransmissions(t *testing.T) {
+	cfg := smallConfig()
+	cfg.NumVessels = 80
+	cfg.Duration = 2 * time.Hour
+	cfg.DarkShipFrac = 0.5
+	cfg.DarkTimeFrac = 0.2
+	run, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// During a dark window a vessel must emit nothing.
+	darkWindows := map[uint32][]TruthEvent{}
+	for _, e := range run.Events {
+		if e.Kind == EventDark {
+			darkWindows[e.MMSI] = append(darkWindows[e.MMSI], e)
+		}
+	}
+	if len(darkWindows) == 0 {
+		t.Fatal("expected dark windows")
+	}
+	for _, obs := range run.Positions {
+		for _, w := range darkWindows[obs.TrueMMSI] {
+			if !obs.At.Before(w.Start) && obs.At.Before(w.End) {
+				t.Fatalf("vessel %d transmitted at %v inside dark window [%v,%v)",
+					obs.TrueMMSI, obs.At, w.Start, w.End)
+			}
+		}
+	}
+}
+
+func TestSpoofOffsetDisplacesReports(t *testing.T) {
+	cfg := smallConfig()
+	cfg.NumVessels = 100
+	cfg.Duration = 2 * time.Hour
+	cfg.SpoofShipFrac = 0.3
+	run, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spoofed := map[uint32]TruthEvent{}
+	for _, e := range run.Events {
+		if e.Kind == EventSpoofOffset {
+			spoofed[e.MMSI] = e
+		}
+	}
+	if len(spoofed) == 0 {
+		t.Skip("no offset spoof scheduled with this seed")
+	}
+	found := false
+	for _, obs := range run.Positions {
+		w, ok := spoofed[obs.TrueMMSI]
+		if !ok || obs.At.Before(w.Start) || !obs.At.Before(w.End) {
+			continue
+		}
+		tp, ok := nearestTruth(run.Truth[obs.TrueMMSI], obs.At)
+		if !ok {
+			continue
+		}
+		if d := geo.Distance(tp.Pos, obs.Report.Position); d > 10000 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("offset spoofing should displace reports by tens of km")
+	}
+}
+
+func TestRendezvousVesselsActuallyMeet(t *testing.T) {
+	cfg := smallConfig()
+	cfg.NumVessels = 60
+	cfg.Duration = 4 * time.Hour
+	cfg.RendezvousFrac = 0.2
+	run, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rdv []TruthEvent
+	for _, e := range run.Events {
+		if e.Kind == EventRendezvous {
+			rdv = append(rdv, e)
+		}
+	}
+	if len(rdv) == 0 {
+		t.Fatal("no rendezvous scheduled")
+	}
+	met := 0
+	for _, e := range rdv {
+		// Late in the window (past any approach remainder) both vessels
+		// should be within ~1.5 km of each other.
+		mid := e.Start.Add(e.End.Sub(e.Start) * 4 / 5)
+		pa, oka := truthAt(run.Truth[e.MMSI], mid)
+		pb, okb := truthAt(run.Truth[e.Other], mid)
+		if !oka || !okb {
+			continue
+		}
+		if geo.Distance(pa.Pos, pb.Pos) < 2500 {
+			met++
+		}
+	}
+	if met == 0 {
+		t.Errorf("none of %d rendezvous pairs actually met", len(rdv))
+	}
+}
+
+func truthAt(pts []TruthPoint, at time.Time) (TruthPoint, bool) {
+	return nearestTruth(pts, at)
+}
+
+func TestStaticErrorRateCalibrated(t *testing.T) {
+	cfg := smallConfig()
+	cfg.NumVessels = 120
+	cfg.Duration = 3 * time.Hour
+	cfg.StaticErrorRate = 0.05
+	run, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Statics) < 100 {
+		t.Fatalf("too few static messages: %d", len(run.Statics))
+	}
+	bad := 0
+	for _, s := range run.Statics {
+		if s.Corrupted {
+			bad++
+			if s.BadField == "" {
+				t.Fatal("corrupted static without field label")
+			}
+		}
+	}
+	rate := float64(bad) / float64(len(run.Statics))
+	if rate < 0.02 || rate > 0.09 {
+		t.Errorf("static error rate %.3f not near configured 0.05", rate)
+	}
+}
+
+func TestRadarContacts(t *testing.T) {
+	cfg := smallConfig()
+	cfg.RadarRangeM = 60000
+	cfg.NumRadar = 4
+	run, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Radar) == 0 {
+		t.Fatal("radar enabled but no contacts")
+	}
+	for _, c := range run.Radar {
+		if c.Station < 0 || c.Station >= 4 {
+			t.Fatalf("bad station %d", c.Station)
+		}
+		sp := run.Config.World.Ports[c.Station].Pos
+		if geo.Distance(c.Pos, sp) > run.Config.RadarRangeM+2000 {
+			t.Fatalf("contact outside radar range")
+		}
+	}
+}
+
+func TestObservationsTimeOrdered(t *testing.T) {
+	run, err := Simulate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(run.Positions); i++ {
+		if run.Positions[i].At.Before(run.Positions[i-1].At) {
+			t.Fatal("positions out of time order")
+		}
+	}
+}
+
+func TestGlobalWorldFeed(t *testing.T) {
+	cfg := Config{
+		Seed:       3,
+		World:      GlobalWorld(3),
+		NumVessels: 150,
+		Duration:   30 * time.Minute,
+		TickSec:    5,
+	}
+	run, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var terr, sat int
+	for _, o := range run.Positions {
+		if o.Terrestrial {
+			terr++
+		}
+		if o.Satellite {
+			sat++
+		}
+	}
+	if terr == 0 {
+		t.Error("no terrestrial receptions in global run")
+	}
+	if sat == 0 {
+		t.Error("no satellite receptions in global run")
+	}
+	// Traffic must be geographically spread (Figure 1's point).
+	g := geo.NewGrid(10)
+	cells := map[geo.CellID]bool{}
+	for _, o := range run.Positions {
+		cells[g.Cell(o.Report.Position)] = true
+	}
+	if len(cells) < 10 {
+		t.Errorf("global traffic concentrated in %d cells", len(cells))
+	}
+}
+
+func TestReportIntervalByClassAndSpeed(t *testing.T) {
+	rngSeed := smallConfig()
+	_ = rngSeed
+	a := &Vessel{Class: ClassA, SpeedKn: 10, Status: ais.StatusUnderWayEngine}
+	b := &Vessel{Class: ClassA, SpeedKn: 20, Status: ais.StatusUnderWayEngine}
+	fast := &Vessel{Class: ClassA, SpeedKn: 25, Status: ais.StatusUnderWayEngine}
+	moored := &Vessel{Class: ClassA, SpeedKn: 0, Status: ais.StatusMoored}
+	classB := &Vessel{Class: ClassB, SpeedKn: 10}
+	rng := newTestRand()
+	mean := func(v *Vessel) float64 {
+		var sum time.Duration
+		const n = 200
+		for i := 0; i < n; i++ {
+			sum += reportInterval(v, rng)
+		}
+		return sum.Seconds() / n
+	}
+	if !(mean(fast) < mean(b) && mean(b) < mean(a) && mean(a) < mean(classB) && mean(classB) < mean(moored)) {
+		t.Errorf("interval ordering broken: fast=%.1f b=%.1f a=%.1f classB=%.1f moored=%.1f",
+			mean(fast), mean(b), mean(a), mean(classB), mean(moored))
+	}
+}
+
+func TestWorldsAreSane(t *testing.T) {
+	for _, w := range []*World{MediterraneanWorld(1), GlobalWorld(1)} {
+		if len(w.Ports) < 10 || len(w.Routes) == 0 || len(w.Stations) == 0 {
+			t.Fatalf("world %s underpopulated", w.Name)
+		}
+		for _, r := range w.Routes {
+			if r.Path.Length() < 1000 {
+				t.Fatalf("degenerate route in %s", w.Name)
+			}
+			for _, p := range r.Path.Points {
+				if !p.Valid() {
+					t.Fatalf("invalid route point in %s", w.Name)
+				}
+			}
+		}
+		if w.Zones == nil || w.Zones.Len() == 0 {
+			t.Fatalf("world %s has no zones", w.Name)
+		}
+	}
+}
+
+func BenchmarkSimulate100Vessels30Min(b *testing.B) {
+	cfg := Config{Seed: 1, NumVessels: 100, Duration: 30 * time.Minute, TickSec: 2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// newTestRand returns a deterministic rand for interval tests.
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(99)) }

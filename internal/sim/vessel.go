@@ -1,0 +1,330 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/ais"
+	"repro/internal/geo"
+)
+
+// Class distinguishes AIS transponder classes, which differ in reporting
+// cadence and message types.
+type Class int
+
+// Transponder classes.
+const (
+	ClassA Class = iota // SOLAS vessels: types 1–3 position, type 5 static
+	ClassB              // small craft: type 18 position, type 24 static
+)
+
+// Vessel is one simulated ship: identity, physical characteristics,
+// kinematic state and a behaviour that steers it.
+type Vessel struct {
+	MMSI     uint32
+	IMO      uint32
+	Name     string
+	CallSign string
+	Type     ais.ShipType
+	Class    Class
+	CruiseKn float64
+	LengthM  float64
+	BeamM    float64
+	Draught  float64
+
+	// Kinematic state, updated every tick.
+	Pos       geo.Point
+	SpeedKn   float64
+	CourseDeg float64
+	Status    ais.NavStatus
+
+	behavior  behavior
+	overrides []*directive
+
+	// Emission bookkeeping.
+	nextPosAt    time.Time
+	nextStaticAt time.Time
+}
+
+// steerTowards turns the vessel toward target with a bounded turn rate and
+// sets the requested speed with a little noise; it advances the position by
+// dt seconds and returns the remaining distance to the target.
+func (v *Vessel) steerTowards(rng *rand.Rand, target geo.Point, speedKn, dt float64) float64 {
+	dist := geo.Distance(v.Pos, target)
+	want := geo.Bearing(v.Pos, target)
+	v.CourseDeg = turnToward(v.CourseDeg, want, 8*dt) // ≤8°/s turn rate
+	v.SpeedKn = speedKn * (0.97 + rng.Float64()*0.06)
+	v.Pos = geo.Project(v.Pos, geo.Velocity{SpeedMS: v.SpeedKn * geo.Knot, CourseDg: v.CourseDeg}, dt)
+	return dist
+}
+
+// drift advances the vessel with its current course/speed.
+func (v *Vessel) drift(dt float64) {
+	v.Pos = geo.Project(v.Pos, geo.Velocity{SpeedMS: v.SpeedKn * geo.Knot, CourseDg: v.CourseDeg}, dt)
+}
+
+func turnToward(course, want, maxStep float64) float64 {
+	diff := geo.NormalizeBearing(want - course)
+	if diff > 180 {
+		diff -= 360
+	}
+	if diff > maxStep {
+		diff = maxStep
+	} else if diff < -maxStep {
+		diff = -maxStep
+	}
+	return geo.NormalizeBearing(course + diff)
+}
+
+// behavior is a vessel's autopilot: it mutates the kinematic state each
+// tick according to the vessel's role.
+type behavior interface {
+	step(v *Vessel, s *Simulator, dt float64)
+}
+
+// voyager sails port to port along the world's routes: the cargo, tanker
+// and passenger pattern. It dwells moored in port between legs.
+type voyager struct {
+	route      int
+	distAlong  float64
+	dwellUntil time.Time
+	inPort     bool
+}
+
+func (b *voyager) step(v *Vessel, s *Simulator, dt float64) {
+	w := s.World
+	if b.inPort {
+		v.SpeedKn = 0
+		v.Status = ais.StatusMoored
+		if s.Now.Before(b.dwellUntil) {
+			return
+		}
+		// Depart on a new route out of the current port.
+		here := w.Routes[b.route].To
+		options := w.routesFrom(here)
+		if len(options) == 0 {
+			// Dead-end port: stay moored.
+			b.dwellUntil = s.Now.Add(time.Hour)
+			return
+		}
+		b.route = options[s.rng.Intn(len(options))]
+		b.distAlong = 0
+		b.inPort = false
+		v.Status = ais.StatusUnderWayEngine
+	}
+	path := w.Routes[b.route].Path
+	total := path.Length()
+	b.distAlong += v.SpeedKn * geo.Knot * dt
+	if b.distAlong >= total {
+		// Arrived: moor and dwell 2–8 hours.
+		v.Pos = path.Points[len(path.Points)-1]
+		v.SpeedKn = 0
+		v.Status = ais.StatusMoored
+		b.inPort = true
+		b.dwellUntil = s.Now.Add(time.Duration(2+s.rng.Intn(7)) * time.Hour)
+		return
+	}
+	target := path.PointAt(b.distAlong + 500)
+	v.Status = ais.StatusUnderWayEngine
+	v.steerTowards(s.rng, target, v.CruiseKn, dt)
+}
+
+// fisher transits to a fishing ground, works it with slow erratic legs,
+// then returns to port: the paper's "fishing pattern" whose interruption
+// (e.g. inside a protected area) is an event of interest.
+type fisher struct {
+	home     geo.Point
+	ground   geo.Point
+	phase    int // 0 transit out, 1 fishing, 2 transit home
+	until    time.Time
+	legUntil time.Time
+	legBrg   float64
+}
+
+func (b *fisher) step(v *Vessel, s *Simulator, dt float64) {
+	switch b.phase {
+	case 0:
+		v.Status = ais.StatusUnderWayEngine
+		if b.ground == (geo.Point{}) {
+			// Work the nearest ground (with an occasional second choice):
+			// fishing fleets are local, and a basin-wide draw would spend
+			// whole runs in transit.
+			b.ground = nearestGround(s.World, v.Pos, s.rng.Intn(4) == 0)
+		}
+		if d := v.steerTowards(s.rng, b.ground, v.CruiseKn, dt); d < 1500 {
+			b.phase = 1
+			b.until = s.Now.Add(time.Duration(4+s.rng.Intn(8)) * time.Hour)
+		}
+	case 1:
+		v.Status = ais.StatusFishing
+		if b.until.IsZero() {
+			// Mid-trip starts enter here without a planned end.
+			b.until = s.Now.Add(time.Duration(2+s.rng.Intn(8)) * time.Hour)
+		}
+		if s.Now.After(b.until) {
+			b.phase = 2
+			return
+		}
+		// Slow zig-zag legs of 5–15 minutes around the ground.
+		if s.Now.After(b.legUntil) {
+			b.legBrg = s.rng.Float64() * 360
+			// Bias legs back toward the ground so the vessel orbits it.
+			if geo.Distance(v.Pos, b.ground) > 8000 {
+				b.legBrg = geo.Bearing(v.Pos, b.ground)
+			}
+			b.legUntil = s.Now.Add(time.Duration(5+s.rng.Intn(11)) * time.Minute)
+		}
+		v.CourseDeg = turnToward(v.CourseDeg, b.legBrg, 6*dt)
+		v.SpeedKn = 2.5 + s.rng.Float64()*2
+		v.drift(dt)
+	case 2:
+		v.Status = ais.StatusUnderWayEngine
+		if d := v.steerTowards(s.rng, b.home, v.CruiseKn, dt); d < 1500 {
+			b.phase = 0
+			b.ground = geo.Point{}
+			v.SpeedKn = 0
+			v.Status = ais.StatusMoored
+		}
+	}
+}
+
+// tug works a small patch around its home port at modest speed.
+type tug struct {
+	home   geo.Point
+	target geo.Point
+}
+
+func (b *tug) step(v *Vessel, s *Simulator, dt float64) {
+	v.Status = ais.StatusUnderWayEngine
+	if b.target == (geo.Point{}) || geo.Distance(v.Pos, b.target) < 500 {
+		b.target = geo.Destination(b.home, s.rng.Float64()*360, s.rng.Float64()*12000)
+	}
+	v.steerTowards(s.rng, b.target, v.CruiseKn*0.8, dt)
+}
+
+// vesselNames feed deterministic but varied ship names.
+var namePrefixes = []string{
+	"NORTHERN", "PACIFIC", "ATLANTIC", "GOLDEN", "SILVER", "BLUE", "CRIMSON",
+	"EASTERN", "ROYAL", "COASTAL", "GRAND", "SWIFT", "IRON", "BRAVE", "CALM",
+}
+var nameSuffixes = []string{
+	"STAR", "WAVE", "HORIZON", "SPIRIT", "PIONEER", "TRADER", "GULL",
+	"DOLPHIN", "MERIDIAN", "VOYAGER", "CREST", "HARVESTER", "GLORY", "DAWN",
+}
+
+// newFleet builds n vessels with a realistic class mix and assigns
+// behaviours: ~45% cargo, 15% tanker, 20% fishing, 10% passenger, 10% tug.
+func newFleet(rng *rand.Rand, w *World, n int) []*Vessel {
+	fleet := make([]*Vessel, 0, n)
+	for i := 0; i < n; i++ {
+		v := &Vessel{
+			MMSI:     uint32(201000000 + i*91),
+			IMO:      uint32(9100000 + i),
+			Name:     fmt.Sprintf("%s %s %d", namePrefixes[rng.Intn(len(namePrefixes))], nameSuffixes[rng.Intn(len(nameSuffixes))], i%97),
+			CallSign: fmt.Sprintf("S%04X", i),
+		}
+		roll := rng.Float64()
+		port := w.Ports[rng.Intn(len(w.Ports))]
+		switch {
+		case roll < 0.45: // cargo
+			v.Type = ais.ShipTypeCargo
+			v.Class = ClassA
+			v.CruiseKn = 12 + rng.Float64()*8
+			v.LengthM = 120 + rng.Float64()*200
+			v.BeamM = 20 + rng.Float64()*25
+			v.Draught = 8 + rng.Float64()*8
+			v.behavior = startVoyage(rng, w, v)
+		case roll < 0.60: // tanker
+			v.Type = ais.ShipTypeTanker
+			v.Class = ClassA
+			v.CruiseKn = 11 + rng.Float64()*5
+			v.LengthM = 180 + rng.Float64()*150
+			v.BeamM = 30 + rng.Float64()*20
+			v.Draught = 10 + rng.Float64()*10
+			v.behavior = startVoyage(rng, w, v)
+		case roll < 0.80: // fishing
+			v.Type = ais.ShipTypeFishing
+			v.Class = ClassB
+			if rng.Float64() < 0.3 {
+				v.Class = ClassA
+			}
+			v.CruiseKn = 8 + rng.Float64()*4
+			v.LengthM = 15 + rng.Float64()*25
+			v.BeamM = 5 + rng.Float64()*4
+			v.Draught = 2 + rng.Float64()*3
+			v.Pos = jitterNear(rng, port.Pos, 2000)
+			fb := &fisher{home: port.Pos}
+			if rng.Float64() < 0.5 {
+				// Start mid-trip, already working the nearest ground, so
+				// short runs still contain fishing activity.
+				fb.ground = nearestGround(w, port.Pos, false)
+				fb.phase = 1
+				v.Pos = jitterNear(rng, fb.ground, 3000)
+			}
+			v.behavior = fb
+		case roll < 0.90: // passenger
+			v.Type = ais.ShipTypePassenger
+			v.Class = ClassA
+			v.CruiseKn = 16 + rng.Float64()*10
+			v.LengthM = 90 + rng.Float64()*220
+			v.BeamM = 18 + rng.Float64()*20
+			v.Draught = 6 + rng.Float64()*3
+			v.behavior = startVoyage(rng, w, v)
+		default: // tug / service
+			v.Type = ais.ShipTypeTug
+			v.Class = ClassB
+			v.CruiseKn = 8 + rng.Float64()*4
+			v.LengthM = 20 + rng.Float64()*15
+			v.BeamM = 7 + rng.Float64()*4
+			v.Draught = 3 + rng.Float64()*2
+			v.Pos = jitterNear(rng, port.Pos, 3000)
+			v.behavior = &tug{home: port.Pos}
+		}
+		v.CourseDeg = rng.Float64() * 360
+		fleet = append(fleet, v)
+	}
+	return fleet
+}
+
+// startVoyage places the vessel somewhere along a random route so the fleet
+// does not start bunched up in ports.
+func startVoyage(rng *rand.Rand, w *World, v *Vessel) *voyager {
+	b := &voyager{route: rng.Intn(len(w.Routes))}
+	path := w.Routes[b.route].Path
+	b.distAlong = rng.Float64() * path.Length() * 0.9
+	v.Pos = path.PointAt(b.distAlong)
+	v.SpeedKn = v.CruiseKn
+	v.Status = ais.StatusUnderWayEngine
+	return b
+}
+
+// nearestGround returns the closest fishing ground to p (or the second
+// closest when second is true, for variety).
+func nearestGround(w *World, p geo.Point, second bool) geo.Point {
+	type cand struct {
+		pt geo.Point
+		d  float64
+	}
+	var best, runner cand
+	best.d = -1
+	runner.d = -1
+	for _, g := range w.FishingGrounds {
+		d := geo.Distance(p, g)
+		switch {
+		case best.d < 0 || d < best.d:
+			runner = best
+			best = cand{pt: g, d: d}
+		case runner.d < 0 || d < runner.d:
+			runner = cand{pt: g, d: d}
+		}
+	}
+	if second && runner.d >= 0 {
+		return runner.pt
+	}
+	return best.pt
+}
+
+func jitterNear(rng *rand.Rand, p geo.Point, radius float64) geo.Point {
+	return geo.Destination(p, rng.Float64()*360, rng.Float64()*radius)
+}

@@ -1,0 +1,229 @@
+// Package sim is the synthetic maritime world that stands in for the data
+// sources the paper assumes: worldwide AIS feeds (terrestrial and
+// satellite), VTS radar, vessel registers and scripted vessel behaviour
+// with ground truth. Every run is driven by a seeded PRNG, so experiments
+// are reproducible bit for bit.
+//
+// The simulator generates the defect profile the paper describes —
+// position noise, receiver gaps, go-dark periods (27% of ships dark at
+// least 10% of the time, Windward [43]), static-data errors (~5% of
+// transmissions, USCG [44]), spoofing and anomalous behaviours — and
+// records when and where each defect was injected, so detector
+// precision/recall is measurable.
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/geo"
+	"repro/internal/zones"
+)
+
+// Port is a named harbour vessels sail between.
+type Port struct {
+	ID   string
+	Name string
+	Pos  geo.Point
+}
+
+// Route is a sailable path between two ports (indices into World.Ports).
+type Route struct {
+	From, To int
+	Path     geo.Polyline
+}
+
+// World is the static stage of a simulation: ports, routes, fishing
+// grounds, context zones and shore-side AIS stations.
+type World struct {
+	Name           string
+	Bounds         geo.Rect
+	Ports          []Port
+	Routes         []Route
+	FishingGrounds []geo.Point
+	Zones          *zones.ZoneSet
+	Stations       []geo.Point // terrestrial AIS receiver sites
+}
+
+// routesFrom returns the indices of routes starting at the given port.
+func (w *World) routesFrom(port int) []int {
+	var out []int
+	for i, r := range w.Routes {
+		if r.From == port {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// buildRoute creates a route with gently jittered intermediate waypoints so
+// traffic does not ride a single mathematical line.
+func buildRoute(rng *rand.Rand, ports []Port, from, to int, jitterM float64) Route {
+	a, b := ports[from].Pos, ports[to].Pos
+	n := 2 + rng.Intn(3) // 2–4 intermediate waypoints
+	pts := make([]geo.Point, 0, n+2)
+	pts = append(pts, a)
+	for i := 1; i <= n; i++ {
+		f := float64(i) / float64(n+1)
+		mid := geo.Interpolate(a, b, f)
+		brg := geo.Bearing(a, b) + 90
+		off := (rng.Float64()*2 - 1) * jitterM
+		pts = append(pts, geo.Destination(mid, brg, off))
+	}
+	pts = append(pts, b)
+	return Route{From: from, To: to, Path: geo.Polyline{Points: pts}}
+}
+
+// MediterraneanWorld builds a regional basin: a dozen ports around a
+// Mediterranean-like rectangle, bidirectional routes, fishing grounds,
+// protected areas and shipping lanes. This is the default stage for the
+// event-detection, fusion and forecasting experiments.
+func MediterraneanWorld(seed int64) *World {
+	rng := rand.New(rand.NewSource(seed))
+	ports := []Port{
+		{ID: "MRS", Name: "Marseille", Pos: geo.Point{Lat: 43.30, Lon: 5.37}},
+		{ID: "GOA", Name: "Genoa", Pos: geo.Point{Lat: 44.40, Lon: 8.93}},
+		{ID: "BCN", Name: "Barcelona", Pos: geo.Point{Lat: 41.35, Lon: 2.16}},
+		{ID: "NAP", Name: "Naples", Pos: geo.Point{Lat: 40.84, Lon: 14.26}},
+		{ID: "PIR", Name: "Piraeus", Pos: geo.Point{Lat: 37.94, Lon: 23.62}},
+		{ID: "VAL", Name: "Valencia", Pos: geo.Point{Lat: 39.45, Lon: -0.32}},
+		{ID: "ALG", Name: "Algiers", Pos: geo.Point{Lat: 36.76, Lon: 3.07}},
+		{ID: "TUN", Name: "Tunis", Pos: geo.Point{Lat: 36.84, Lon: 10.30}},
+		{ID: "VLT", Name: "Valletta", Pos: geo.Point{Lat: 35.90, Lon: 14.52}},
+		{ID: "ALX", Name: "Alexandria", Pos: geo.Point{Lat: 31.20, Lon: 29.89}},
+		{ID: "IST", Name: "Istanbul", Pos: geo.Point{Lat: 40.98, Lon: 28.95}},
+		{ID: "PMO", Name: "Palermo", Pos: geo.Point{Lat: 38.13, Lon: 13.36}},
+	}
+	w := &World{
+		Name:   "mediterranean",
+		Bounds: geo.Rect{MinLat: 30, MinLon: -6, MaxLat: 46, MaxLon: 36},
+		Ports:  ports,
+	}
+	// Fully connect a deterministic subset of port pairs, both directions.
+	for i := range ports {
+		for j := range ports {
+			if i == j {
+				continue
+			}
+			// Connect ~2/3 of pairs so route choice is non-trivial.
+			if (i+2*j)%3 == 0 {
+				continue
+			}
+			w.Routes = append(w.Routes, buildRoute(rng, ports, i, j, 8000))
+		}
+	}
+	w.FishingGrounds = []geo.Point{
+		{Lat: 42.6, Lon: 3.9},
+		{Lat: 40.1, Lon: 5.8},
+		{Lat: 37.5, Lon: 11.6},
+		{Lat: 38.7, Lon: 20.2},
+		{Lat: 34.8, Lon: 25.0},
+	}
+	// Zones: a port zone per port, protected areas next to two fishing
+	// grounds, and lanes along three busy routes.
+	var zs []*zones.Zone
+	for _, p := range ports {
+		zs = append(zs, zones.PortZone("port-"+p.ID, p.Name, p.Pos, 6000))
+	}
+	zs = append(zs,
+		zones.RectZone("mpa-lions", "Gulf of Lions Reserve", zones.KindProtectedArea,
+			geo.Rect{MinLat: 42.3, MinLon: 3.4, MaxLat: 42.9, MaxLon: 4.5}),
+		zones.RectZone("mpa-ionian", "Ionian Reserve", zones.KindProtectedArea,
+			geo.Rect{MinLat: 38.4, MinLon: 19.8, MaxLat: 39.0, MaxLon: 20.7}),
+		zones.RectZone("eez-west", "Western Basin EEZ", zones.KindEEZ,
+			geo.Rect{MinLat: 36, MinLon: -2, MaxLat: 44, MaxLon: 10}),
+	)
+	for i := 0; i < 3 && i < len(w.Routes); i++ {
+		r := w.Routes[i*7%len(w.Routes)]
+		zs = append(zs, zones.LaneZone(
+			"lane-"+ports[r.From].ID+"-"+ports[r.To].ID,
+			ports[r.From].Name+"–"+ports[r.To].Name+" Lane",
+			r.Path.Points, 12000))
+	}
+	w.Zones = zones.NewZoneSet(zs)
+	// Terrestrial AIS stations at every port plus a few coastal sites.
+	for _, p := range ports {
+		w.Stations = append(w.Stations, p.Pos)
+	}
+	w.Stations = append(w.Stations,
+		geo.Point{Lat: 43.0, Lon: 6.4},
+		geo.Point{Lat: 38.0, Lon: 15.6},
+		geo.Point{Lat: 35.3, Lon: 25.1},
+	)
+	return w
+}
+
+// GlobalWorld builds a planetary stage with major world ports connected by
+// long-haul great-circle routes. It exists for experiment E1 (Figure 1):
+// worldwide feed volume and satellite-versus-terrestrial coverage shares.
+func GlobalWorld(seed int64) *World {
+	rng := rand.New(rand.NewSource(seed))
+	ports := []Port{
+		{ID: "RTM", Name: "Rotterdam", Pos: geo.Point{Lat: 51.95, Lon: 4.14}},
+		{ID: "HAM", Name: "Hamburg", Pos: geo.Point{Lat: 53.54, Lon: 9.97}},
+		{ID: "ALG", Name: "Algeciras", Pos: geo.Point{Lat: 36.13, Lon: -5.44}},
+		{ID: "PIR", Name: "Piraeus", Pos: geo.Point{Lat: 37.94, Lon: 23.62}},
+		{ID: "SUZ", Name: "Suez", Pos: geo.Point{Lat: 29.93, Lon: 32.55}},
+		{ID: "DXB", Name: "Jebel Ali", Pos: geo.Point{Lat: 25.01, Lon: 55.06}},
+		{ID: "BOM", Name: "Mumbai", Pos: geo.Point{Lat: 18.95, Lon: 72.84}},
+		{ID: "SIN", Name: "Singapore", Pos: geo.Point{Lat: 1.26, Lon: 103.84}},
+		{ID: "HKG", Name: "Hong Kong", Pos: geo.Point{Lat: 22.30, Lon: 114.17}},
+		{ID: "SHA", Name: "Shanghai", Pos: geo.Point{Lat: 31.23, Lon: 121.49}},
+		{ID: "PUS", Name: "Busan", Pos: geo.Point{Lat: 35.10, Lon: 129.04}},
+		{ID: "TYO", Name: "Tokyo", Pos: geo.Point{Lat: 35.61, Lon: 139.79}},
+		{ID: "SYD", Name: "Sydney", Pos: geo.Point{Lat: -33.86, Lon: 151.20}},
+		{ID: "LAX", Name: "Los Angeles", Pos: geo.Point{Lat: 33.74, Lon: -118.26}},
+		{ID: "OAK", Name: "Oakland", Pos: geo.Point{Lat: 37.80, Lon: -122.32}},
+		{ID: "VAN", Name: "Vancouver", Pos: geo.Point{Lat: 49.29, Lon: -123.11}},
+		{ID: "PAN", Name: "Panama", Pos: geo.Point{Lat: 8.95, Lon: -79.56}},
+		{ID: "NYC", Name: "New York", Pos: geo.Point{Lat: 40.67, Lon: -74.04}},
+		{ID: "SAV", Name: "Savannah", Pos: geo.Point{Lat: 32.08, Lon: -81.09}},
+		{ID: "SSZ", Name: "Santos", Pos: geo.Point{Lat: -23.98, Lon: -46.29}},
+		{ID: "BUE", Name: "Buenos Aires", Pos: geo.Point{Lat: -34.60, Lon: -58.37}},
+		{ID: "CPT", Name: "Cape Town", Pos: geo.Point{Lat: -33.91, Lon: 18.43}},
+		{ID: "LOS", Name: "Lagos", Pos: geo.Point{Lat: 6.44, Lon: 3.40}},
+		{ID: "DUR", Name: "Durban", Pos: geo.Point{Lat: -29.87, Lon: 31.03}},
+	}
+	w := &World{
+		Name:   "global",
+		Bounds: geo.Rect{MinLat: -60, MinLon: -180, MaxLat: 70, MaxLon: 180},
+		Ports:  ports,
+	}
+	for i := range ports {
+		for j := range ports {
+			if i == j {
+				continue
+			}
+			// Sparser connectivity than a regional basin; long-haul routes.
+			if (i*3+j)%4 != 0 {
+				continue
+			}
+			// Skip routes that would cross the antimeridian to keep the
+			// simple geometry honest (traffic still spans the globe).
+			if crossesAntimeridian(ports[i].Pos, ports[j].Pos) {
+				continue
+			}
+			w.Routes = append(w.Routes, buildRoute(rng, ports, i, j, 30000))
+		}
+	}
+	w.FishingGrounds = []geo.Point{
+		{Lat: 55, Lon: -8}, {Lat: 44, Lon: -52}, {Lat: -12, Lon: 80},
+		{Lat: 5, Lon: -90}, {Lat: -38, Lon: 15}, {Lat: 40, Lon: 145},
+	}
+	var zs []*zones.Zone
+	for _, p := range ports {
+		zs = append(zs, zones.PortZone("port-"+p.ID, p.Name, p.Pos, 10000))
+	}
+	w.Zones = zones.NewZoneSet(zs)
+	for _, p := range ports {
+		w.Stations = append(w.Stations, p.Pos)
+	}
+	return w
+}
+
+func crossesAntimeridian(a, b geo.Point) bool {
+	d := a.Lon - b.Lon
+	if d < 0 {
+		d = -d
+	}
+	return d > 180
+}

@@ -1,0 +1,281 @@
+package stream
+
+import (
+	"context"
+	"time"
+)
+
+// Window is the result of a windowed aggregation for one key.
+type Window[A any] struct {
+	Key   uint64
+	Start time.Time
+	End   time.Time
+	Agg   A
+	Count int
+}
+
+// TumblingWindow groups events per key into fixed, non-overlapping
+// event-time windows of the given size and emits one aggregate per (key,
+// window) when the watermark passes the window end. The input must be
+// (approximately) time-ordered — run Reorder first for disordered streams;
+// residual disorder up to `allowed` is tolerated before a window closes.
+func TumblingWindow[T, A any](
+	ctx context.Context,
+	in <-chan Event[T],
+	size time.Duration,
+	allowed time.Duration,
+	init func() A,
+	fold func(A, Event[T]) A,
+	buf int,
+) <-chan Event[Window[A]] {
+	out := make(chan Event[Window[A]], buf)
+	type bucket struct {
+		start time.Time
+		agg   A
+		count int
+	}
+	go func() {
+		defer close(out)
+		open := make(map[uint64]map[int64]*bucket) // key -> windowIndex -> bucket
+		var maxSeen time.Time
+
+		emit := func(key uint64, idx int64, b *bucket) bool {
+			w := Window[A]{
+				Key:   key,
+				Start: b.start,
+				End:   b.start.Add(size),
+				Agg:   b.agg,
+				Count: b.count,
+			}
+			select {
+			case out <- Event[Window[A]]{Time: w.End, Key: key, Value: w}:
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		}
+
+		flushClosed := func() bool {
+			watermark := maxSeen.Add(-allowed)
+			for key, buckets := range open {
+				for idx, b := range buckets {
+					if b.start.Add(size).Add(0).Before(watermark) {
+						if !emit(key, idx, b) {
+							return false
+						}
+						delete(buckets, idx)
+					}
+				}
+				if len(buckets) == 0 {
+					delete(open, key)
+				}
+			}
+			return true
+		}
+
+		for e := range in {
+			if e.Time.After(maxSeen) {
+				maxSeen = e.Time
+			}
+			idx := e.Time.UnixNano() / int64(size)
+			buckets, ok := open[e.Key]
+			if !ok {
+				buckets = make(map[int64]*bucket)
+				open[e.Key] = buckets
+			}
+			b, ok := buckets[idx]
+			if !ok {
+				b = &bucket{start: time.Unix(0, idx*int64(size)).UTC(), agg: init()}
+				buckets[idx] = b
+			}
+			b.agg = fold(b.agg, e)
+			b.count++
+			if !flushClosed() {
+				return
+			}
+		}
+		// Input exhausted: flush every remaining window, keys and windows
+		// in deterministic order would require sorting; order by window
+		// start is enough for consumers, so emit per key ascending start.
+		for key, buckets := range open {
+			// Find ascending window indices.
+			idxs := make([]int64, 0, len(buckets))
+			for idx := range buckets {
+				idxs = append(idxs, idx)
+			}
+			for i := 1; i < len(idxs); i++ {
+				for j := i; j > 0 && idxs[j] < idxs[j-1]; j-- {
+					idxs[j], idxs[j-1] = idxs[j-1], idxs[j]
+				}
+			}
+			for _, idx := range idxs {
+				if !emit(key, idx, buckets[idx]) {
+					return
+				}
+			}
+		}
+	}()
+	return out
+}
+
+// JoinPair carries one match of a temporal join: the left value with the
+// nearest-in-time right value within the tolerance.
+type JoinPair[L, R any] struct {
+	Left  L
+	Right R
+	Skew  time.Duration // |left time - right time|
+}
+
+// TemporalJoin joins two keyed streams on equal keys and event times within
+// tol: for every left event, the right event with the same key closest in
+// time (within tol) is attached. Right events are buffered per key and
+// garbage-collected behind the joint watermark. Left events with no match
+// within tol are dropped (inner-join semantics); use TemporalJoinOuter for
+// left-outer behaviour.
+func TemporalJoin[L, R any](
+	ctx context.Context,
+	left <-chan Event[L],
+	right <-chan Event[R],
+	tol time.Duration,
+	buf int,
+) <-chan Event[JoinPair[L, R]] {
+	return temporalJoin(ctx, left, right, tol, buf, false)
+}
+
+// TemporalJoinOuter is TemporalJoin with left-outer semantics: unmatched
+// left events are emitted with the zero R and Skew = -1.
+func TemporalJoinOuter[L, R any](
+	ctx context.Context,
+	left <-chan Event[L],
+	right <-chan Event[R],
+	tol time.Duration,
+	buf int,
+) <-chan Event[JoinPair[L, R]] {
+	return temporalJoin(ctx, left, right, tol, buf, true)
+}
+
+func temporalJoin[L, R any](
+	ctx context.Context,
+	left <-chan Event[L],
+	right <-chan Event[R],
+	tol time.Duration,
+	buf int,
+	outer bool,
+) <-chan Event[JoinPair[L, R]] {
+	out := make(chan Event[JoinPair[L, R]], buf)
+	go func() {
+		defer close(out)
+		rightByKey := make(map[uint64][]Event[R])
+		var rightMax time.Time
+
+		// Drain the right stream fully first when it is an archival/context
+		// stream; to keep memory bounded for real streaming we interleave:
+		// consume right eagerly whenever left would block. The simple and
+		// correct approach for a single-process engine: read right fully if
+		// its channel is closed quickly, else interleave via select.
+		leftOpen, rightOpen := true, true
+		var pendingLeft []Event[L]
+
+		matchAndEmit := func(le Event[L]) bool {
+			candidates := rightByKey[le.Key]
+			bestIdx := -1
+			var bestSkew time.Duration
+			for i, re := range candidates {
+				skew := le.Time.Sub(re.Time)
+				if skew < 0 {
+					skew = -skew
+				}
+				if skew <= tol && (bestIdx < 0 || skew < bestSkew) {
+					bestIdx, bestSkew = i, skew
+				}
+			}
+			var pair JoinPair[L, R]
+			if bestIdx >= 0 {
+				pair = JoinPair[L, R]{Left: le.Value, Right: candidates[bestIdx].Value, Skew: bestSkew}
+			} else if outer {
+				pair = JoinPair[L, R]{Left: le.Value, Skew: -1}
+			} else {
+				return true // inner join: drop unmatched
+			}
+			select {
+			case out <- Event[JoinPair[L, R]]{Time: le.Time, Key: le.Key, Value: pair}:
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		}
+
+		// A left event is safe to match once the right stream has advanced
+		// past its time + tol (or closed).
+		flushPending := func() bool {
+			i := 0
+			for ; i < len(pendingLeft); i++ {
+				le := pendingLeft[i]
+				if rightOpen && rightMax.Before(le.Time.Add(tol)) {
+					break
+				}
+				if !matchAndEmit(le) {
+					return false
+				}
+			}
+			pendingLeft = pendingLeft[i:]
+			return true
+		}
+
+		gcRight := func() {
+			if len(pendingLeft) == 0 {
+				return
+			}
+			horizon := pendingLeft[0].Time.Add(-tol)
+			for k, evs := range rightByKey {
+				keep := evs[:0]
+				for _, re := range evs {
+					if !re.Time.Before(horizon) {
+						keep = append(keep, re)
+					}
+				}
+				if len(keep) == 0 {
+					delete(rightByKey, k)
+				} else {
+					rightByKey[k] = keep
+				}
+			}
+		}
+
+		for leftOpen || rightOpen {
+			select {
+			case le, ok := <-left:
+				if !ok {
+					leftOpen = false
+					left = nil
+					continue
+				}
+				pendingLeft = append(pendingLeft, le)
+				if !flushPending() {
+					return
+				}
+			case re, ok := <-right:
+				if !ok {
+					rightOpen = false
+					right = nil
+					if !flushPending() {
+						return
+					}
+					continue
+				}
+				if re.Time.After(rightMax) {
+					rightMax = re.Time
+				}
+				rightByKey[re.Key] = append(rightByKey[re.Key], re)
+				if !flushPending() {
+					return
+				}
+				gcRight()
+			case <-ctx.Done():
+				return
+			}
+		}
+		flushPending()
+	}()
+	return out
+}

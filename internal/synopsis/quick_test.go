@@ -1,0 +1,112 @@
+package synopsis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/model"
+)
+
+// trackFromWalk builds a trajectory from a bounded random walk encoded in
+// the fuzz input: each byte contributes a small course change.
+func trackFromWalk(turns []byte) *model.Trajectory {
+	tr := &model.Trajectory{MMSI: 1}
+	pos := geo.Point{Lat: 40, Lon: 5}
+	course := 45.0
+	at := time.Date(2017, 3, 21, 0, 0, 0, 0, time.UTC)
+	for _, b := range turns {
+		course = geo.NormalizeBearing(course + float64(int(b%21)-10))
+		tr.Points = append(tr.Points, model.VesselState{
+			MMSI: 1, At: at, Pos: pos, SpeedKn: 12, CourseDeg: course,
+		})
+		pos = geo.Project(pos, geo.Velocity{SpeedMS: 12 * geo.Knot, CourseDg: course}, 10)
+		at = at.Add(10 * time.Second)
+	}
+	return tr
+}
+
+// TestQuickCompressorInvariants property-checks every compressor on
+// arbitrary bounded random walks: output is a subset, endpoints are
+// preserved, output is time-ordered, and the ratio is in [0, 1).
+func TestQuickCompressorInvariants(t *testing.T) {
+	compressors := []Compressor{
+		DouglasPeucker{ToleranceM: 80},
+		DeadReckoning{ToleranceM: 80, MaxGap: 5 * time.Minute},
+		SquishE{Capacity: 20},
+		Uniform{Every: 7},
+	}
+	f := func(turns []byte) bool {
+		if len(turns) > 400 {
+			turns = turns[:400]
+		}
+		tr := trackFromWalk(turns)
+		// Index original timestamps for the subset check.
+		orig := map[int64]geo.Point{}
+		for _, p := range tr.Points {
+			orig[p.At.UnixNano()] = p.Pos
+		}
+		for _, c := range compressors {
+			comp := c.Compress(tr)
+			if tr.Len() == 0 {
+				if comp.Len() != 0 {
+					return false
+				}
+				continue
+			}
+			if comp.Len() == 0 || comp.Len() > tr.Len() {
+				return false
+			}
+			// Endpoints preserved.
+			if comp.Points[0].At != tr.Points[0].At ||
+				comp.Points[comp.Len()-1].At != tr.Points[tr.Len()-1].At {
+				return false
+			}
+			for i, p := range comp.Points {
+				// Subset: every kept point existed in the original.
+				if pos, ok := orig[p.At.UnixNano()]; !ok || pos != p.Pos {
+					return false
+				}
+				// Time-ordered.
+				if i > 0 && p.At.Before(comp.Points[i-1].At) {
+					return false
+				}
+			}
+			rep := Evaluate(tr, comp, c.Name())
+			if rep.Ratio < 0 || rep.Ratio >= 1.0000001 {
+				return false
+			}
+			if math.IsNaN(rep.RMSESEDM) || math.IsInf(rep.RMSESEDM, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDouglasPeuckerBound property-checks the DP error guarantee:
+// every original point lies within tolerance (plus spherical slack) of the
+// reconstruction, for arbitrary walks and tolerances.
+func TestQuickDouglasPeuckerBound(t *testing.T) {
+	f := func(turns []byte, tolRaw uint16) bool {
+		if len(turns) > 300 {
+			turns = turns[:300]
+		}
+		tol := 20 + float64(tolRaw%500)
+		tr := trackFromWalk(turns)
+		if tr.Len() < 3 {
+			return true
+		}
+		comp := DouglasPeucker{ToleranceM: tol}.Compress(tr)
+		rep := Evaluate(tr, comp, "dp")
+		return rep.MaxSEDM <= tol*1.05+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,117 @@
+package tstore
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/ais"
+	"repro/internal/geo"
+	"repro/internal/model"
+)
+
+// TestQuickPersistenceRoundTrip property-checks WriteTo/Load over randomly
+// generated stores: every structural property (vessel set, per-vessel
+// counts, point identity up to quantisation) must survive the disk format.
+func TestQuickPersistenceRoundTrip(t *testing.T) {
+	f := func(seeds []uint16, latRaw, lonRaw float64) bool {
+		if len(seeds) == 0 {
+			return true
+		}
+		if len(seeds) > 60 {
+			seeds = seeds[:60]
+		}
+		lat := math.Mod(math.Abs(latRaw), 80)
+		lon := math.Mod(math.Abs(lonRaw), 170)
+		st := New()
+		base := time.Date(2017, 3, 21, 0, 0, 0, 0, time.UTC)
+		for i, sd := range seeds {
+			st.Append(model.VesselState{
+				MMSI:      uint32(201000000 + int(sd)%7),
+				At:        base.Add(time.Duration(i) * 13 * time.Second),
+				Pos:       geo.Point{Lat: lat - float64(sd%100)*0.01, Lon: lon - float64(sd%90)*0.01},
+				SpeedKn:   float64(sd%300) / 10,
+				CourseDeg: float64(sd % 3600) / 10,
+				Status:    ais.NavStatus(sd % 9),
+			})
+		}
+		var buf bytes.Buffer
+		if _, err := st.WriteTo(&buf); err != nil {
+			return false
+		}
+		st2 := New()
+		n, err := st2.Load(&buf)
+		if err != nil || n != st.Len() {
+			return false
+		}
+		if st2.VesselCount() != st.VesselCount() {
+			return false
+		}
+		for _, m := range st.MMSIs() {
+			a, b := st.Trajectory(m), st2.Trajectory(m)
+			if a.Len() != b.Len() {
+				return false
+			}
+			for i := range a.Points {
+				pa, pb := a.Points[i], b.Points[i]
+				if !pa.At.Equal(pb.At) || pa.Pos != pb.Pos || pa.Status != pb.Status {
+					return false
+				}
+				if math.Abs(pa.SpeedKn-pb.SpeedKn) > 0.006 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTimeRangeInvariants property-checks TimeRange against the full
+// trajectory: results are exactly the points inside the window, in order.
+func TestQuickTimeRangeInvariants(t *testing.T) {
+	f := func(offsets []uint8, fromSec, spanSec uint16) bool {
+		if len(offsets) == 0 {
+			return true
+		}
+		st := New()
+		base := time.Date(2017, 3, 21, 0, 0, 0, 0, time.UTC)
+		for _, off := range offsets {
+			st.Append(model.VesselState{
+				MMSI: 1, At: base.Add(time.Duration(off) * time.Second),
+				Pos: geo.Point{Lat: 40, Lon: 5},
+			})
+		}
+		from := base.Add(time.Duration(fromSec%300) * time.Second)
+		to := from.Add(time.Duration(spanSec%300) * time.Second)
+		got := st.TimeRange(1, from, to)
+		// Count expected from the full trajectory.
+		want := 0
+		for _, p := range st.Trajectory(1).Points {
+			if !p.At.Before(from) && !p.At.After(to) {
+				want++
+			}
+		}
+		if len(got) != want {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].At.Before(got[i-1].At) {
+				return false
+			}
+		}
+		for _, p := range got {
+			if p.At.Before(from) || p.At.After(to) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

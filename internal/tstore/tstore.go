@@ -1,0 +1,452 @@
+// Package tstore is the moving-object store of the infrastructure (§2.3):
+// an append-optimised archive of vessel trajectories supporting
+// time-range, space-time-range and k-nearest-vessel queries, a live layer
+// holding the current fleet picture under a grid index, and a compact
+// binary snapshot format for persistence. It is safe for concurrent use.
+package tstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/ais"
+	"repro/internal/geo"
+	"repro/internal/index"
+	"repro/internal/model"
+)
+
+// Store archives trajectories keyed by vessel.
+type Store struct {
+	mu      sync.RWMutex
+	vessels map[uint32]*series
+	total   int
+}
+
+// series holds one vessel's points, kept sorted by time. AIS streams are
+// near-ordered, so the common append cost is O(1) with a short
+// insertion-sort tail for stragglers.
+type series struct {
+	points []model.VesselState
+}
+
+func (s *series) insert(st model.VesselState) {
+	s.points = append(s.points, st)
+	for i := len(s.points) - 1; i > 0 && s.points[i].At.Before(s.points[i-1].At); i-- {
+		s.points[i], s.points[i-1] = s.points[i-1], s.points[i]
+	}
+}
+
+// rangeIdx returns the half-open index range of points in [from, to].
+func (s *series) rangeIdx(from, to time.Time) (lo, hi int) {
+	lo = sort.Search(len(s.points), func(i int) bool { return !s.points[i].At.Before(from) })
+	hi = sort.Search(len(s.points), func(i int) bool { return s.points[i].At.After(to) })
+	return lo, hi
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{vessels: make(map[uint32]*series)}
+}
+
+// Append inserts one state sample.
+func (st *Store) Append(s model.VesselState) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ser, ok := st.vessels[s.MMSI]
+	if !ok {
+		ser = &series{}
+		st.vessels[s.MMSI] = ser
+	}
+	ser.insert(s)
+	st.total++
+}
+
+// AppendAll inserts a batch of samples.
+func (st *Store) AppendAll(states []model.VesselState) {
+	for _, s := range states {
+		st.Append(s)
+	}
+}
+
+// Len returns the total number of stored points.
+func (st *Store) Len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.total
+}
+
+// VesselCount returns the number of distinct vessels.
+func (st *Store) VesselCount() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.vessels)
+}
+
+// MMSIs returns the sorted vessel identifiers present.
+func (st *Store) MMSIs() []uint32 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]uint32, 0, len(st.vessels))
+	for m := range st.vessels {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Trajectory returns a copy of the vessel's full trajectory (nil points if
+// unknown vessel).
+func (st *Store) Trajectory(mmsi uint32) *model.Trajectory {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	tr := &model.Trajectory{MMSI: mmsi}
+	if ser, ok := st.vessels[mmsi]; ok {
+		tr.Points = append(tr.Points, ser.points...)
+	}
+	return tr
+}
+
+// TimeRange returns the vessel's samples in [from, to].
+func (st *Store) TimeRange(mmsi uint32, from, to time.Time) []model.VesselState {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	ser, ok := st.vessels[mmsi]
+	if !ok {
+		return nil
+	}
+	lo, hi := ser.rangeIdx(from, to)
+	out := make([]model.VesselState, hi-lo)
+	copy(out, ser.points[lo:hi])
+	return out
+}
+
+// SpaceTime returns all samples inside the box during [from, to], ordered
+// by (MMSI, time). It scans per-vessel time ranges, which is the right
+// plan when the time window is selective; use SpatialSnapshot for
+// space-selective archival queries.
+func (st *Store) SpaceTime(r geo.Rect, from, to time.Time) []model.VesselState {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var out []model.VesselState
+	mmsis := make([]uint32, 0, len(st.vessels))
+	for m := range st.vessels {
+		mmsis = append(mmsis, m)
+	}
+	sort.Slice(mmsis, func(i, j int) bool { return mmsis[i] < mmsis[j] })
+	for _, m := range mmsis {
+		ser := st.vessels[m]
+		lo, hi := ser.rangeIdx(from, to)
+		for _, p := range ser.points[lo:hi] {
+			if r.Contains(p.Pos) {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// Snapshot is an immutable spatial view over the archive at build time:
+// an R-tree whose item IDs encode (vessel, point) so results map back to
+// full states.
+type Snapshot struct {
+	rt     *index.RTree
+	states []model.VesselState
+}
+
+// SpatialSnapshot builds a snapshot over all points currently stored.
+func (st *Store) SpatialSnapshot() *Snapshot {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	states := make([]model.VesselState, 0, st.total)
+	mmsis := make([]uint32, 0, len(st.vessels))
+	for m := range st.vessels {
+		mmsis = append(mmsis, m)
+	}
+	sort.Slice(mmsis, func(i, j int) bool { return mmsis[i] < mmsis[j] })
+	for _, m := range mmsis {
+		states = append(states, st.vessels[m].points...)
+	}
+	items := make([]index.Item, len(states))
+	for i, s := range states {
+		items[i] = index.Item{Pos: s.Pos, ID: uint64(i)}
+	}
+	return &Snapshot{rt: index.BuildRTree(items), states: states}
+}
+
+// Len returns the number of points in the snapshot.
+func (sn *Snapshot) Len() int { return len(sn.states) }
+
+// Search returns the states inside the box during [from, to].
+func (sn *Snapshot) Search(r geo.Rect, from, to time.Time) []model.VesselState {
+	var out []model.VesselState
+	for _, it := range sn.rt.Search(r, nil) {
+		s := sn.states[it.ID]
+		if !s.At.Before(from) && !s.At.After(to) {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MMSI != out[j].MMSI {
+			return out[i].MMSI < out[j].MMSI
+		}
+		return out[i].At.Before(out[j].At)
+	})
+	return out
+}
+
+// NearestVessels returns up to k distinct vessels with a sample within tol
+// of the instant `at`, ordered by the distance of that sample to p.
+func (sn *Snapshot) NearestVessels(p geo.Point, at time.Time, tol time.Duration, k int) []model.VesselState {
+	// Over-fetch from the R-tree and filter by time and vessel
+	// distinctness until k vessels are found.
+	fetch := k * 8
+	if fetch < 32 {
+		fetch = 32
+	}
+	var out []model.VesselState
+	seen := map[uint32]bool{}
+	for {
+		out = out[:0]
+		for m := range seen {
+			delete(seen, m)
+		}
+		for _, it := range sn.rt.Nearest(p, fetch) {
+			s := sn.states[it.ID]
+			dt := s.At.Sub(at)
+			if dt < 0 {
+				dt = -dt
+			}
+			if dt > tol || seen[s.MMSI] {
+				continue
+			}
+			seen[s.MMSI] = true
+			out = append(out, s)
+			if len(out) == k {
+				return out
+			}
+		}
+		if fetch >= sn.Len() {
+			return out
+		}
+		fetch *= 4
+	}
+}
+
+// --- live layer ---------------------------------------------------------------
+
+// Live maintains the current picture: the latest state per vessel under a
+// grid index for range and proximity queries over "now".
+type Live struct {
+	mu     sync.RWMutex
+	latest map[uint32]model.VesselState
+	grid   *index.GridIndex
+}
+
+// NewLive returns an empty live layer with the given index cell size.
+func NewLive(cellDeg float64) *Live {
+	return &Live{
+		latest: make(map[uint32]model.VesselState),
+		grid:   index.NewGridIndex(cellDeg),
+	}
+}
+
+// Update replaces the vessel's current state.
+func (l *Live) Update(s model.VesselState) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if prev, ok := l.latest[s.MMSI]; ok {
+		l.grid.Remove(prev.Pos, uint64(s.MMSI))
+	}
+	l.latest[s.MMSI] = s
+	l.grid.Insert(index.Item{Pos: s.Pos, ID: uint64(s.MMSI)})
+}
+
+// Get returns the vessel's current state.
+func (l *Live) Get(mmsi uint32) (model.VesselState, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	s, ok := l.latest[mmsi]
+	return s, ok
+}
+
+// Count returns the number of tracked vessels.
+func (l *Live) Count() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.latest)
+}
+
+// InRect returns the current states inside the box, ordered by MMSI.
+func (l *Live) InRect(r geo.Rect) []model.VesselState {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []model.VesselState
+	for _, it := range l.grid.Search(r, nil) {
+		out = append(out, l.latest[uint32(it.ID)])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].MMSI < out[j].MMSI })
+	return out
+}
+
+// Nearest returns the k vessels currently closest to p.
+func (l *Live) Nearest(p geo.Point, k int) []model.VesselState {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []model.VesselState
+	for _, it := range l.grid.Nearest(p, k) {
+		out = append(out, l.latest[uint32(it.ID)])
+	}
+	return out
+}
+
+// Stale returns vessels whose latest report is older than maxAge relative
+// to now — the live layer's view of "possibly gone dark".
+func (l *Live) Stale(now time.Time, maxAge time.Duration) []model.VesselState {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []model.VesselState
+	for _, s := range l.latest {
+		if now.Sub(s.At) > maxAge {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].MMSI < out[j].MMSI })
+	return out
+}
+
+// --- persistence ----------------------------------------------------------------
+
+const (
+	snapshotMagic   = 0x4D415254 // "MART"
+	snapshotVersion = 1
+)
+
+// WriteTo serialises the archive in a compact binary layout. It returns
+// the number of bytes written.
+func (st *Store) WriteTo(w io.Writer) (int64, error) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if err := write(uint32(snapshotMagic)); err != nil {
+		return n, err
+	}
+	if err := write(uint16(snapshotVersion)); err != nil {
+		return n, err
+	}
+	if err := write(uint32(len(st.vessels))); err != nil {
+		return n, err
+	}
+	mmsis := make([]uint32, 0, len(st.vessels))
+	for m := range st.vessels {
+		mmsis = append(mmsis, m)
+	}
+	sort.Slice(mmsis, func(i, j int) bool { return mmsis[i] < mmsis[j] })
+	for _, m := range mmsis {
+		ser := st.vessels[m]
+		if err := write(m); err != nil {
+			return n, err
+		}
+		if err := write(uint32(len(ser.points))); err != nil {
+			return n, err
+		}
+		for _, p := range ser.points {
+			rec := diskRecord{
+				UnixNano:  p.At.UnixNano(),
+				Lat:       p.Pos.Lat,
+				Lon:       p.Pos.Lon,
+				SpeedCKn:  uint16(math.Round(clampF(p.SpeedKn, 0, 655.35) * 100)),
+				CourseCDg: uint16(math.Round(clampF(p.CourseDeg, 0, 655.35) * 100)),
+				Status:    uint8(p.Status),
+			}
+			if err := write(rec); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, bw.Flush()
+}
+
+// diskRecord is the on-disk point layout: 27 bytes per point.
+type diskRecord struct {
+	UnixNano  int64
+	Lat, Lon  float64
+	SpeedCKn  uint16 // centi-knots
+	CourseCDg uint16 // centi-degrees
+	Status    uint8
+}
+
+// Load deserialises an archive produced by WriteTo into the store
+// (merging with existing contents). It returns the number of points read.
+// (Named Load rather than ReadFrom to avoid colliding with io.ReaderFrom's
+// contract, which counts bytes, not points.)
+func (st *Store) Load(r io.Reader) (int, error) {
+	br := bufio.NewReader(r)
+	var magic uint32
+	var version uint16
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return 0, fmt.Errorf("tstore: reading magic: %w", err)
+	}
+	if magic != snapshotMagic {
+		return 0, fmt.Errorf("tstore: bad magic %08x", magic)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return 0, err
+	}
+	if version != snapshotVersion {
+		return 0, fmt.Errorf("tstore: unsupported version %d", version)
+	}
+	var nVessels uint32
+	if err := binary.Read(br, binary.LittleEndian, &nVessels); err != nil {
+		return 0, err
+	}
+	total := 0
+	for v := uint32(0); v < nVessels; v++ {
+		var mmsi, nPoints uint32
+		if err := binary.Read(br, binary.LittleEndian, &mmsi); err != nil {
+			return total, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &nPoints); err != nil {
+			return total, err
+		}
+		for i := uint32(0); i < nPoints; i++ {
+			var rec diskRecord
+			if err := binary.Read(br, binary.LittleEndian, &rec); err != nil {
+				return total, fmt.Errorf("tstore: point %d of vessel %d: %w", i, mmsi, err)
+			}
+			st.Append(model.VesselState{
+				MMSI:      mmsi,
+				At:        time.Unix(0, rec.UnixNano).UTC(),
+				Pos:       geo.Point{Lat: rec.Lat, Lon: rec.Lon},
+				SpeedKn:   float64(rec.SpeedCKn) / 100,
+				CourseDeg: float64(rec.CourseCDg) / 100,
+				Status:    ais.NavStatus(rec.Status),
+			})
+			total++
+		}
+	}
+	return total, nil
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

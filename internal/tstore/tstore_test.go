@@ -1,0 +1,297 @@
+package tstore
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ais"
+	"repro/internal/geo"
+	"repro/internal/model"
+)
+
+func t0() time.Time { return time.Date(2017, 3, 21, 0, 0, 0, 0, time.UTC) }
+
+func sample(mmsi uint32, sec int, lat, lon float64) model.VesselState {
+	return model.VesselState{
+		MMSI: mmsi, At: t0().Add(time.Duration(sec) * time.Second),
+		Pos: geo.Point{Lat: lat, Lon: lon}, SpeedKn: 10, CourseDeg: 90,
+		Status: ais.StatusUnderWayEngine,
+	}
+}
+
+func populated(rng *rand.Rand, vessels, pointsPer int) *Store {
+	st := New()
+	for v := 0; v < vessels; v++ {
+		mmsi := uint32(201000000 + v)
+		lat := 35 + rng.Float64()*8
+		lon := rng.Float64() * 20
+		for i := 0; i < pointsPer; i++ {
+			st.Append(sample(mmsi, i*10, lat+float64(i)*0.001, lon))
+		}
+	}
+	return st
+}
+
+func TestAppendAndTrajectory(t *testing.T) {
+	st := New()
+	st.Append(sample(1, 10, 40, 5))
+	st.Append(sample(1, 30, 40.01, 5))
+	st.Append(sample(1, 20, 40.005, 5)) // out of order
+	st.Append(sample(2, 5, 41, 6))
+
+	if st.Len() != 4 || st.VesselCount() != 2 {
+		t.Fatalf("len=%d vessels=%d", st.Len(), st.VesselCount())
+	}
+	tr := st.Trajectory(1)
+	if tr.Len() != 3 {
+		t.Fatalf("trajectory len %d", tr.Len())
+	}
+	for i := 1; i < tr.Len(); i++ {
+		if tr.Points[i].At.Before(tr.Points[i-1].At) {
+			t.Fatal("out-of-order append not repaired")
+		}
+	}
+	if got := st.Trajectory(99); got.Len() != 0 {
+		t.Error("unknown vessel should have empty trajectory")
+	}
+	// The returned trajectory must be a copy: mutating it must not corrupt
+	// the store.
+	tr.Points[0].Pos.Lat = -77
+	if st.Trajectory(1).Points[0].Pos.Lat == -77 {
+		t.Error("Trajectory should return a copy")
+	}
+}
+
+func TestTimeRange(t *testing.T) {
+	st := New()
+	for i := 0; i < 100; i++ {
+		st.Append(sample(1, i*10, 40, 5))
+	}
+	got := st.TimeRange(1, t0().Add(100*time.Second), t0().Add(200*time.Second))
+	if len(got) != 11 {
+		t.Fatalf("time range returned %d, want 11", len(got))
+	}
+	for _, p := range got {
+		if p.At.Before(t0().Add(100*time.Second)) || p.At.After(t0().Add(200*time.Second)) {
+			t.Fatal("point outside requested range")
+		}
+	}
+	if got := st.TimeRange(1, t0().Add(time.Hour), t0().Add(2*time.Hour)); len(got) != 0 {
+		t.Error("empty range expected")
+	}
+}
+
+func TestSpaceTimeMatchesSnapshot(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	st := populated(rng, 50, 60)
+	sn := st.SpatialSnapshot()
+	if sn.Len() != st.Len() {
+		t.Fatalf("snapshot len %d != store %d", sn.Len(), st.Len())
+	}
+	for trial := 0; trial < 20; trial++ {
+		c := geo.Point{Lat: 35 + rng.Float64()*8, Lon: rng.Float64() * 20}
+		r := geo.RectAround(c, 100000)
+		from := t0().Add(time.Duration(rng.Intn(300)) * time.Second)
+		to := from.Add(time.Duration(rng.Intn(300)) * time.Second)
+		a := st.SpaceTime(r, from, to)
+		b := sn.Search(r, from, to)
+		if len(a) != len(b) {
+			t.Fatalf("trial %d: SpaceTime %d vs Snapshot %d", trial, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].MMSI != b[i].MMSI || !a[i].At.Equal(b[i].At) {
+				t.Fatalf("trial %d: result %d differs", trial, i)
+			}
+		}
+	}
+}
+
+func TestNearestVessels(t *testing.T) {
+	st := New()
+	// Three vessels at increasing distance from the query point, all at t0.
+	st.Append(sample(1, 0, 40.0, 5.0))
+	st.Append(sample(2, 0, 40.1, 5.0))
+	st.Append(sample(3, 0, 40.5, 5.0))
+	// A fourth very close but far in time.
+	st.Append(sample(4, 7200, 40.0, 5.001))
+	sn := st.SpatialSnapshot()
+	got := sn.NearestVessels(geo.Point{Lat: 40, Lon: 5}, t0(), time.Minute, 2)
+	if len(got) != 2 {
+		t.Fatalf("got %d vessels", len(got))
+	}
+	if got[0].MMSI != 1 || got[1].MMSI != 2 {
+		t.Errorf("wrong order: %d, %d", got[0].MMSI, got[1].MMSI)
+	}
+	for _, s := range got {
+		if s.MMSI == 4 {
+			t.Error("time-filtered vessel leaked into results")
+		}
+	}
+}
+
+func TestLiveLayer(t *testing.T) {
+	l := NewLive(0.5)
+	l.Update(sample(1, 0, 40, 5))
+	l.Update(sample(2, 0, 41, 6))
+	l.Update(sample(1, 60, 40.5, 5.5)) // moves vessel 1
+
+	if l.Count() != 2 {
+		t.Fatalf("count %d", l.Count())
+	}
+	s, ok := l.Get(1)
+	if !ok || s.Pos.Lat != 40.5 {
+		t.Errorf("latest state not updated: %+v", s)
+	}
+	// The old position must no longer be indexed.
+	old := l.InRect(geo.RectAround(geo.Point{Lat: 40, Lon: 5}, 10000))
+	for _, v := range old {
+		if v.MMSI == 1 {
+			t.Error("stale position still indexed")
+		}
+	}
+	got := l.InRect(geo.RectAround(geo.Point{Lat: 40.5, Lon: 5.5}, 10000))
+	if len(got) != 1 || got[0].MMSI != 1 {
+		t.Errorf("new position not indexed: %+v", got)
+	}
+	nn := l.Nearest(geo.Point{Lat: 41.01, Lon: 6.01}, 1)
+	if len(nn) != 1 || nn[0].MMSI != 2 {
+		t.Errorf("nearest wrong: %+v", nn)
+	}
+}
+
+func TestLiveStale(t *testing.T) {
+	l := NewLive(0.5)
+	l.Update(sample(1, 0, 40, 5))
+	l.Update(sample(2, 3600, 41, 6))
+	now := t0().Add(2 * time.Hour)
+	stale := l.Stale(now, 90*time.Minute)
+	if len(stale) != 1 || stale[0].MMSI != 1 {
+		t.Errorf("stale detection wrong: %+v", stale)
+	}
+}
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	st := populated(rng, 20, 50)
+	var buf bytes.Buffer
+	if _, err := st.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st2 := New()
+	n, err := st2.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != st.Len() {
+		t.Fatalf("read %d points, want %d", n, st.Len())
+	}
+	for _, mmsi := range st.MMSIs() {
+		a := st.Trajectory(mmsi)
+		b := st2.Trajectory(mmsi)
+		if a.Len() != b.Len() {
+			t.Fatalf("vessel %d: %d vs %d points", mmsi, a.Len(), b.Len())
+		}
+		for i := range a.Points {
+			pa, pb := a.Points[i], b.Points[i]
+			if !pa.At.Equal(pb.At) || pa.Pos != pb.Pos || pa.Status != pb.Status {
+				t.Fatalf("vessel %d point %d differs: %+v vs %+v", mmsi, i, pa, pb)
+			}
+			// Speed/course survive at centi-unit precision.
+			if diff := pa.SpeedKn - pb.SpeedKn; diff > 0.006 || diff < -0.006 {
+				t.Fatalf("speed lost precision: %f vs %f", pa.SpeedKn, pb.SpeedKn)
+			}
+		}
+	}
+}
+
+func TestReadFromRejectsGarbage(t *testing.T) {
+	st := New()
+	if _, err := st.Load(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Error("garbage input must error")
+	}
+	if _, err := st.Load(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input must error")
+	}
+}
+
+func TestConcurrentAppendAndQuery(t *testing.T) {
+	st := New()
+	l := NewLive(0.5)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				s := sample(uint32(201000000+w), i*10, 40+float64(w)*0.1, 5)
+				st.Append(s)
+				l.Update(s)
+				if i%50 == 0 {
+					_ = st.TimeRange(uint32(201000000+w), t0(), t0().Add(time.Hour))
+					_ = l.InRect(geo.RectAround(geo.Point{Lat: 40, Lon: 5}, 100000))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st.Len() != 8*500 {
+		t.Fatalf("lost appends: %d", st.Len())
+	}
+	if l.Count() != 8 {
+		t.Fatalf("live count %d", l.Count())
+	}
+}
+
+func TestMMSIsSorted(t *testing.T) {
+	st := New()
+	for _, m := range []uint32{5, 1, 9, 3} {
+		st.Append(sample(m, 0, 40, 5))
+	}
+	got := st.MMSIs()
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatal("MMSIs not sorted")
+		}
+	}
+}
+
+func BenchmarkAppend(b *testing.B) {
+	st := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st.Append(sample(uint32(201000000+i%500), i, 40, 5))
+	}
+}
+
+func BenchmarkTimeRange(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	st := populated(rng, 100, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = st.TimeRange(201000050, t0().Add(100*time.Second), t0().Add(500*time.Second))
+	}
+}
+
+func BenchmarkSnapshotSearch(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	st := populated(rng, 100, 1000)
+	sn := st.SpatialSnapshot()
+	r := geo.RectAround(geo.Point{Lat: 39, Lon: 10}, 100000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sn.Search(r, t0(), t0().Add(time.Hour))
+	}
+}
+
+func BenchmarkLiveUpdate(b *testing.B) {
+	l := NewLive(0.25)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Update(sample(uint32(201000000+i%2000), i, 40+float64(i%100)*0.01, 5))
+	}
+}

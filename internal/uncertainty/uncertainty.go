@@ -1,0 +1,459 @@
+// Package uncertainty implements the three uncertainty calculi the paper's
+// §4 asks a maritime decision-support system to support side by side —
+// Bayesian probability, Dempster–Shafer evidence theory and possibility
+// theory — plus reliability discounting and a second-order (Beta) model of
+// source quality. Experiment E10 compares their decisions under
+// increasing inter-source conflict, including the classic Zadeh paradox
+// configuration where naive Dempster combination goes pathological.
+package uncertainty
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Hypothesis is an element of the frame of discernment (e.g. a vessel
+// class: "cargo", "fishing", "smuggler").
+type Hypothesis string
+
+// Frame is an ordered set of mutually exclusive hypotheses.
+type Frame []Hypothesis
+
+// Index returns the position of h in the frame, or -1.
+func (f Frame) Index(h Hypothesis) int {
+	for i, x := range f {
+		if x == h {
+			return i
+		}
+	}
+	return -1
+}
+
+// --- Bayesian probability -----------------------------------------------------
+
+// Dist is a discrete probability distribution over a frame.
+type Dist struct {
+	Frame Frame
+	P     []float64
+}
+
+// UniformDist returns the maximum-entropy distribution.
+func UniformDist(f Frame) Dist {
+	p := make([]float64, len(f))
+	for i := range p {
+		p[i] = 1 / float64(len(f))
+	}
+	return Dist{Frame: f, P: p}
+}
+
+// NewDist builds a distribution from hypothesis→probability pairs,
+// normalising; missing hypotheses get zero.
+func NewDist(f Frame, probs map[Hypothesis]float64) Dist {
+	d := Dist{Frame: f, P: make([]float64, len(f))}
+	var sum float64
+	for i, h := range f {
+		d.P[i] = probs[h]
+		sum += d.P[i]
+	}
+	if sum > 0 {
+		for i := range d.P {
+			d.P[i] /= sum
+		}
+	}
+	return d
+}
+
+// BayesUpdate multiplies the prior by a likelihood vector (one entry per
+// hypothesis) and renormalises. A zero normaliser (total contradiction)
+// returns the uniform distribution and false.
+func (d Dist) BayesUpdate(likelihood []float64) (Dist, bool) {
+	out := Dist{Frame: d.Frame, P: make([]float64, len(d.P))}
+	var z float64
+	for i := range d.P {
+		out.P[i] = d.P[i] * likelihood[i]
+		z += out.P[i]
+	}
+	if z <= 0 {
+		return UniformDist(d.Frame), false
+	}
+	for i := range out.P {
+		out.P[i] /= z
+	}
+	return out, true
+}
+
+// MAP returns the maximum a-posteriori hypothesis and its probability.
+func (d Dist) MAP() (Hypothesis, float64) {
+	best, bestP := -1, -1.0
+	for i, p := range d.P {
+		if p > bestP {
+			best, bestP = i, p
+		}
+	}
+	if best < 0 {
+		return "", 0
+	}
+	return d.Frame[best], bestP
+}
+
+// Entropy returns the Shannon entropy in bits.
+func (d Dist) Entropy() float64 {
+	var h float64
+	for _, p := range d.P {
+		if p > 0 {
+			h -= p * math.Log2(p)
+		}
+	}
+	return h
+}
+
+// --- Dempster–Shafer evidence theory -------------------------------------------
+
+// Set is a subset of the frame encoded as a bitmask (bit i = hypothesis i
+// of the frame). The empty set is 0; the full frame is (1<<n)-1.
+type Set uint64
+
+// SetOf builds a Set from hypotheses.
+func SetOf(f Frame, hs ...Hypothesis) Set {
+	var s Set
+	for _, h := range hs {
+		if i := f.Index(h); i >= 0 {
+			s |= 1 << uint(i)
+		}
+	}
+	return s
+}
+
+// Contains reports whether the set contains hypothesis index i.
+func (s Set) Contains(i int) bool { return s&(1<<uint(i)) != 0 }
+
+// Card returns the cardinality of the set.
+func (s Set) Card() int {
+	n := 0
+	for x := s; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// Format renders the set against a frame for debugging.
+func (s Set) Format(f Frame) string {
+	var parts []string
+	for i, h := range f {
+		if s.Contains(i) {
+			parts = append(parts, string(h))
+		}
+	}
+	if len(parts) == 0 {
+		return "∅"
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Mass is a Dempster–Shafer basic belief assignment: masses on subsets of
+// the frame summing to 1 (the empty set carries no mass).
+type Mass struct {
+	Frame Frame
+	M     map[Set]float64
+}
+
+// NewMass builds a normalised mass function from subset→mass pairs. Any
+// missing mass is assigned to the full frame (ignorance).
+func NewMass(f Frame, m map[Set]float64) Mass {
+	out := Mass{Frame: f, M: make(map[Set]float64, len(m)+1)}
+	var sum float64
+	for s, v := range m {
+		if s == 0 || v <= 0 {
+			continue
+		}
+		out.M[s] += v
+		sum += v
+	}
+	full := Set(1)<<uint(len(f)) - 1
+	switch {
+	case sum < 1:
+		out.M[full] += 1 - sum
+	case sum > 1:
+		for s := range out.M {
+			out.M[s] /= sum
+		}
+	}
+	return out
+}
+
+// Belief returns Bel(A): the total mass of subsets included in A.
+func (m Mass) Belief(a Set) float64 {
+	var b float64
+	for s, v := range m.M {
+		if s&^a == 0 { // s ⊆ a
+			b += v
+		}
+	}
+	return b
+}
+
+// Plausibility returns Pl(A): the total mass of subsets intersecting A.
+func (m Mass) Plausibility(a Set) float64 {
+	var p float64
+	for s, v := range m.M {
+		if s&a != 0 {
+			p += v
+		}
+	}
+	return p
+}
+
+// Conflict returns the mass assigned to the empty set when combining m and
+// o by unnormalised conjunction: the K of Dempster's rule.
+func (m Mass) Conflict(o Mass) float64 {
+	var k float64
+	for s1, v1 := range m.M {
+		for s2, v2 := range o.M {
+			if s1&s2 == 0 {
+				k += v1 * v2
+			}
+		}
+	}
+	return k
+}
+
+// CombineDempster applies Dempster's rule of combination (conjunctive,
+// conflict renormalised away). It fails when the sources fully contradict
+// (K = 1).
+func (m Mass) CombineDempster(o Mass) (Mass, error) {
+	out := Mass{Frame: m.Frame, M: make(map[Set]float64)}
+	var k float64
+	for s1, v1 := range m.M {
+		for s2, v2 := range o.M {
+			inter := s1 & s2
+			if inter == 0 {
+				k += v1 * v2
+				continue
+			}
+			out.M[inter] += v1 * v2
+		}
+	}
+	if k >= 1-1e-12 {
+		return Mass{}, fmt.Errorf("uncertainty: total conflict (K=%.6f), Dempster undefined", k)
+	}
+	norm := 1 - k
+	for s := range out.M {
+		out.M[s] /= norm
+	}
+	return out, nil
+}
+
+// CombineYager applies Yager's rule: conflict mass is transferred to the
+// full frame (ignorance) instead of being renormalised away, which keeps
+// high-conflict combinations honest.
+func (m Mass) CombineYager(o Mass) Mass {
+	out := Mass{Frame: m.Frame, M: make(map[Set]float64)}
+	var k float64
+	for s1, v1 := range m.M {
+		for s2, v2 := range o.M {
+			inter := s1 & s2
+			if inter == 0 {
+				k += v1 * v2
+				continue
+			}
+			out.M[inter] += v1 * v2
+		}
+	}
+	if k > 0 {
+		full := Set(1)<<uint(len(m.Frame)) - 1
+		out.M[full] += k
+	}
+	return out
+}
+
+// Discount applies Shafer's reliability discounting: masses are scaled by
+// the source reliability r∈[0,1] and the removed mass moves to the full
+// frame. r=1 trusts the source fully; r=0 reduces it to ignorance.
+func (m Mass) Discount(r float64) Mass {
+	if r < 0 {
+		r = 0
+	}
+	if r > 1 {
+		r = 1
+	}
+	out := Mass{Frame: m.Frame, M: make(map[Set]float64, len(m.M)+1)}
+	full := Set(1)<<uint(len(m.Frame)) - 1
+	for s, v := range m.M {
+		if s == full {
+			out.M[s] += v*r + (1 - r)
+		} else {
+			out.M[s] += v * r
+		}
+	}
+	if _, ok := out.M[full]; !ok {
+		out.M[full] = 1 - r
+	}
+	return out
+}
+
+// Pignistic returns the pignistic probability transform BetP: each mass is
+// spread uniformly over the singletons of its subset — the standard bridge
+// from belief functions to a decision-ready distribution.
+func (m Mass) Pignistic() Dist {
+	d := Dist{Frame: m.Frame, P: make([]float64, len(m.Frame))}
+	for s, v := range m.M {
+		c := s.Card()
+		if c == 0 {
+			continue
+		}
+		share := v / float64(c)
+		for i := range m.Frame {
+			if s.Contains(i) {
+				d.P[i] += share
+			}
+		}
+	}
+	return d
+}
+
+// --- possibility theory ----------------------------------------------------------
+
+// Possibility is a possibility distribution: π(h) ∈ [0,1] with max π = 1
+// for a normalised distribution.
+type Possibility struct {
+	Frame Frame
+	Pi    []float64
+}
+
+// NewPossibility builds a normalised possibility distribution (scaling so
+// the max is 1 when positive).
+func NewPossibility(f Frame, pi map[Hypothesis]float64) Possibility {
+	p := Possibility{Frame: f, Pi: make([]float64, len(f))}
+	maxv := 0.0
+	for i, h := range f {
+		p.Pi[i] = pi[h]
+		if p.Pi[i] > maxv {
+			maxv = p.Pi[i]
+		}
+	}
+	if maxv > 0 {
+		for i := range p.Pi {
+			p.Pi[i] /= maxv
+		}
+	}
+	return p
+}
+
+// PossibilityOf returns Π(A) = max over h∈A of π(h).
+func (p Possibility) PossibilityOf(a Set) float64 {
+	var m float64
+	for i := range p.Frame {
+		if a.Contains(i) && p.Pi[i] > m {
+			m = p.Pi[i]
+		}
+	}
+	return m
+}
+
+// NecessityOf returns N(A) = 1 − Π(Ā).
+func (p Possibility) NecessityOf(a Set) float64 {
+	full := Set(1)<<uint(len(p.Frame)) - 1
+	return 1 - p.PossibilityOf(full&^a)
+}
+
+// CombineMin is the conjunctive possibilistic fusion (idempotent): the
+// pointwise minimum, renormalised. The renormalisation degree h (max of
+// the min) measures conflict; h=0 means total conflict and the combination
+// fails.
+func (p Possibility) CombineMin(o Possibility) (Possibility, float64, error) {
+	out := Possibility{Frame: p.Frame, Pi: make([]float64, len(p.Pi))}
+	h := 0.0
+	for i := range p.Pi {
+		out.Pi[i] = math.Min(p.Pi[i], o.Pi[i])
+		if out.Pi[i] > h {
+			h = out.Pi[i]
+		}
+	}
+	if h == 0 {
+		return Possibility{}, 0, fmt.Errorf("uncertainty: possibilistic total conflict")
+	}
+	for i := range out.Pi {
+		out.Pi[i] /= h
+	}
+	return out, h, nil
+}
+
+// CombineMax is the disjunctive possibilistic fusion: pointwise maximum —
+// the cautious rule when one of the sources might be wrong.
+func (p Possibility) CombineMax(o Possibility) Possibility {
+	out := Possibility{Frame: p.Frame, Pi: make([]float64, len(p.Pi))}
+	for i := range p.Pi {
+		out.Pi[i] = math.Max(p.Pi[i], o.Pi[i])
+	}
+	return out
+}
+
+// Best returns the most possible hypothesis.
+func (p Possibility) Best() (Hypothesis, float64) {
+	best, bestV := -1, -1.0
+	for i, v := range p.Pi {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	if best < 0 {
+		return "", 0
+	}
+	return p.Frame[best], bestV
+}
+
+// --- second-order uncertainty ------------------------------------------------------
+
+// Beta is a Beta(α, β) distribution: the conjugate second-order model of
+// a source's reliability (the paper's "second-order uncertainty seems also
+// unavoidable"). Observe successes/failures; Mean is the point reliability
+// and Variance quantifies how well we know it.
+type Beta struct {
+	Alpha, Beta float64
+}
+
+// NewBeta returns the uninformative prior Beta(1,1).
+func NewBeta() Beta { return Beta{Alpha: 1, Beta: 1} }
+
+// Observe updates the distribution with successes s and failures f.
+func (b Beta) Observe(s, f float64) Beta {
+	return Beta{Alpha: b.Alpha + s, Beta: b.Beta + f}
+}
+
+// Mean returns E[p].
+func (b Beta) Mean() float64 { return b.Alpha / (b.Alpha + b.Beta) }
+
+// Variance returns Var[p].
+func (b Beta) Variance() float64 {
+	s := b.Alpha + b.Beta
+	return b.Alpha * b.Beta / (s * s * (s + 1))
+}
+
+// LowerBound returns a conservative reliability estimate: mean minus k
+// standard deviations, clamped to [0,1]. Decision layers discount by this
+// rather than the mean when acting cautiously.
+func (b Beta) LowerBound(k float64) float64 {
+	v := b.Mean() - k*math.Sqrt(b.Variance())
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// --- helpers -------------------------------------------------------------------------
+
+// Subsets lists the non-empty subsets with positive mass, sorted for
+// deterministic reports.
+func (m Mass) Subsets() []Set {
+	out := make([]Set, 0, len(m.M))
+	for s := range m.M {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

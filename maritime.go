@@ -1,0 +1,151 @@
+// Package maritime is the public facade of the library: a stable surface
+// over the integrated maritime data integration and analysis
+// infrastructure reproduced from Claramunt et al., "Maritime Data
+// Integration and Analysis: Recent Progress and Research Challenges"
+// (EDBT 2017).
+//
+// The facade re-exports the pieces an application composes:
+//
+//   - Pipeline — the Figure 2 infrastructure: ingest AIS, get quality
+//     assessment, synopses, storage, event recognition, forecasting and
+//     situation pictures (package internal/core).
+//   - Simulator — the synthetic world standing in for live feeds
+//     (package internal/sim).
+//   - The AIS codec, geodesy primitives and analytic building blocks.
+//
+// Quick start:
+//
+//	run, _ := maritime.Simulate(maritime.SimConfig{Seed: 1, NumVessels: 50, Duration: time.Hour})
+//	p := maritime.NewPipeline(maritime.PipelineConfig{Zones: run.Config.World.Zones})
+//	for i := range run.Positions {
+//	    obs := &run.Positions[i]
+//	    alerts := p.Ingest(obs.At, &obs.Report)
+//	    for _, a := range alerts {
+//	        fmt.Println(a)
+//	    }
+//	}
+package maritime
+
+import (
+	"repro/internal/ais"
+	"repro/internal/core"
+	"repro/internal/events"
+	"repro/internal/forecast"
+	"repro/internal/geo"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/synopsis"
+	"repro/internal/tstore"
+	"repro/internal/va"
+	"repro/internal/zones"
+)
+
+// Geodesy.
+type (
+	// Point is a geographic position in degrees.
+	Point = geo.Point
+	// Rect is a geographic bounding box.
+	Rect = geo.Rect
+	// Velocity is speed and course over ground.
+	Velocity = geo.Velocity
+)
+
+// AIS wire format.
+type (
+	// PositionReport is a decoded AIS position message (types 1–3, 18).
+	PositionReport = ais.PositionReport
+	// StaticVoyage is a decoded AIS type 5 message.
+	StaticVoyage = ais.StaticVoyage
+	// AISDecoder assembles and decodes NMEA AIVDM sentences.
+	AISDecoder = ais.Decoder
+)
+
+// NewAISDecoder returns a decoder for an NMEA sentence stream.
+func NewAISDecoder() *AISDecoder { return ais.NewDecoder() }
+
+// Pipeline: the paper's Figure 2 infrastructure.
+type (
+	// Pipeline is the integrated processing pipeline.
+	Pipeline = core.Pipeline
+	// PipelineConfig parameterises a pipeline.
+	PipelineConfig = core.Config
+	// ShardedPipeline scales ingest across cores by fleet sharding.
+	ShardedPipeline = core.Sharded
+	// Alert is one recognised event.
+	Alert = events.Alert
+)
+
+// NewPipeline builds the integrated pipeline.
+func NewPipeline(cfg PipelineConfig) *Pipeline { return core.New(cfg) }
+
+// NewShardedPipeline builds an n-way sharded pipeline.
+func NewShardedPipeline(cfg PipelineConfig, n int) *ShardedPipeline { return core.NewSharded(cfg, n) }
+
+// Simulation: the synthetic maritime world.
+type (
+	// SimConfig parameterises a simulation run.
+	SimConfig = sim.Config
+	// SimRun is a completed simulation with streams and ground truth.
+	SimRun = sim.Run
+	// World is the static stage (ports, routes, zones, stations).
+	World = sim.World
+)
+
+// Simulate executes a scenario.
+func Simulate(cfg SimConfig) (*SimRun, error) { return sim.Simulate(cfg) }
+
+// MediterraneanWorld builds the default regional stage.
+func MediterraneanWorld(seed int64) *World { return sim.MediterraneanWorld(seed) }
+
+// GlobalWorld builds the planetary stage of Figure 1.
+func GlobalWorld(seed int64) *World { return sim.GlobalWorld(seed) }
+
+// Storage.
+type (
+	// Store is the trajectory archive.
+	Store = tstore.Store
+	// Live is the current-picture layer.
+	Live = tstore.Live
+	// Trajectory is a vessel's time-ordered state sequence.
+	Trajectory = model.Trajectory
+	// VesselState is one timestamped kinematic sample.
+	VesselState = model.VesselState
+)
+
+// NewStore returns an empty trajectory archive.
+func NewStore() *Store { return tstore.New() }
+
+// Forecasting.
+type (
+	// Predictor forecasts future vessel positions.
+	Predictor = forecast.Predictor
+	// RouteModel is the patterns-of-life predictor.
+	RouteModel = forecast.RouteModel
+)
+
+// NewRouteModel returns an untrained patterns-of-life model.
+func NewRouteModel(cellDeg float64) *RouteModel { return forecast.NewRouteModel(cellDeg) }
+
+// Synopses.
+type (
+	// Compressor reduces trajectories to critical points.
+	Compressor = synopsis.Compressor
+	// CompressionReport quantifies a compression outcome.
+	CompressionReport = synopsis.Report
+)
+
+// Zones.
+type (
+	// Zone is a named geographic context area.
+	Zone = zones.Zone
+	// ZoneSet is a queryable zone collection.
+	ZoneSet = zones.ZoneSet
+)
+
+// Visual analytics.
+type (
+	// Situation is a computed operational picture.
+	Situation = va.Situation
+	// Density is a spatial histogram surface.
+	Density = va.Density
+)
