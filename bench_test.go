@@ -5,6 +5,8 @@
 package maritime
 
 import (
+	"context"
+	"sync"
 	"testing"
 	"time"
 
@@ -88,3 +90,64 @@ func BenchmarkE13_VA(b *testing.B) {
 		_ = experiments.E13(42)
 	}
 }
+
+// --- sharded ingest scaling (E14's benchmark form) ---------------------------------
+//
+// BenchmarkIngestSharded{1,2,4,8} replay the same dense synthetic feed
+// through the async ingest engine at increasing shard counts, so
+// `go test -bench=BenchmarkIngestSharded` measures the scaling curve
+// directly (ns/op is one full feed; the msg/s metric is derived). The
+// traffic is dense on purpose: pairwise-detection cost follows local
+// vessel density, and partitioning the fleet divides the density each
+// shard sees — the speedup source even on a single core.
+
+var (
+	ingestBenchOnce sync.Once
+	ingestBenchRun  *SimRun
+)
+
+func ingestBenchTraffic(b *testing.B) *SimRun {
+	b.Helper()
+	ingestBenchOnce.Do(func() {
+		cfg := SimConfig{Seed: 42, NumVessels: 2500, Duration: 20 * time.Minute, TickSec: 2}
+		cfg.DefaultAnomalyRates()
+		run, err := Simulate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ingestBenchRun = run
+	})
+	return ingestBenchRun
+}
+
+func benchmarkIngestSharded(b *testing.B, shards int) {
+	run := ingestBenchTraffic(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := NewIngestEngine(IngestConfig{
+			Pipeline: PipelineConfig{Zones: run.Config.World.Zones, SynopsisToleranceM: 60},
+			Shards:   shards,
+		})
+		e.Start(ctx)
+		drained := make(chan struct{})
+		go func() {
+			defer close(drained)
+			for range e.Alerts() {
+			}
+		}()
+		for j := range run.Positions {
+			o := &run.Positions[j]
+			e.Ingest(ctx, o.At, &o.Report)
+		}
+		e.Close()
+		<-drained
+	}
+	b.ReportMetric(float64(len(run.Positions))*float64(b.N)/b.Elapsed().Seconds(), "msg/s")
+}
+
+func BenchmarkIngestSharded1(b *testing.B) { benchmarkIngestSharded(b, 1) }
+func BenchmarkIngestSharded2(b *testing.B) { benchmarkIngestSharded(b, 2) }
+func BenchmarkIngestSharded4(b *testing.B) { benchmarkIngestSharded(b, 4) }
+func BenchmarkIngestSharded8(b *testing.B) { benchmarkIngestSharded(b, 8) }

@@ -1,5 +1,5 @@
 // Command benchrunner regenerates every experiment in DESIGN.md's index
-// (E1–E13) and prints the paper-style tables EXPERIMENTS.md records.
+// (E1–E14) and prints the paper-style tables EXPERIMENTS.md records.
 //
 // Usage:
 //
@@ -49,4 +49,5 @@ func main() {
 	run("E11", func() experiments.Table { return experiments.E11(*seed, 200000) })
 	run("E12", func() experiments.Table { return experiments.E12(*seed, 1000) })
 	run("E13", func() experiments.Table { return experiments.E13(*seed) })
+	run("E14", func() experiments.Table { return experiments.E14(*seed, []int{1, 2, 4, 8}) })
 }

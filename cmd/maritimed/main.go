@@ -3,73 +3,131 @@
 // AIVDM log — and prints alerts as they are recognised plus a final
 // situation board.
 //
+// Ingest is fully asynchronous: a reader goroutine stamps and fans lines
+// out to N parallel decode workers, decoded reports are partitioned by
+// MMSI across per-shard pipelines behind bounded queues (backpressure all
+// the way back to stdin), and merged alerts stream to stdout as they are
+// raised. See internal/ingest for the dataflow.
+//
 // Usage:
 //
-//	aisgen -vessels 200 -minutes 60 | maritimed
+//	aisgen -vessels 200 -minutes 60 | maritimed [-shards N] [-decoders N]
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
 	"time"
 
 	maritime "repro"
 	"repro/internal/ais"
+	"repro/internal/quality"
 	"repro/internal/sim"
 )
 
 func main() {
 	synopsisTol := flag.Float64("synopsis", 60, "synopsis tolerance in metres (0 = archive everything)")
 	minSeverity := flag.Int("severity", 2, "minimum alert severity to print")
+	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "pipeline shards")
+	decoders := flag.Int("decoders", 0, "NMEA decode workers (default = shards)")
 	flag.Parse()
 
 	world := sim.MediterraneanWorld(1)
-	p := maritime.NewPipeline(maritime.PipelineConfig{
-		Zones:              world.Zones,
-		SynopsisToleranceM: *synopsisTol,
+	engine := maritime.NewIngestEngine(maritime.IngestConfig{
+		Pipeline: maritime.PipelineConfig{
+			Zones:              world.Zones,
+			SynopsisToleranceM: *synopsisTol,
+		},
+		Shards:        *shards,
+		DecodeWorkers: *decoders,
 	})
-	dec := ais.NewDecoder()
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1<<16), 1<<16)
+	ctx := context.Background()
+	engine.Start(ctx)
 
+	// Static/voyage quality issues surface from decode workers; serialise
+	// them onto stdout.
+	var outMu sync.Mutex
+	onStatic := func(_ time.Time, _ *ais.StaticVoyage, issues []quality.Issue) {
+		if len(issues) == 0 {
+			return
+		}
+		outMu.Lock()
+		defer outMu.Unlock()
+		for _, issue := range issues {
+			fmt.Printf("[quality] vessel %d: %s (%s)\n", issue.MMSI, issue.Rule, issue.Note)
+		}
+	}
+	lines := make(chan maritime.IngestLine, 1024)
+	engine.StartLines(ctx, lines, onStatic)
+
+	// Alert printer: drains the merged alert stream until the engine has
+	// fully flushed; doubles as the completion barrier.
+	var latest time.Time
+	var latestMu sync.Mutex
+	printed := make(chan struct{})
+	go func() {
+		defer close(printed)
+		for ev := range engine.Alerts() {
+			latestMu.Lock()
+			if ev.Time.After(latest) {
+				latest = ev.Time
+			}
+			latestMu.Unlock()
+			if ev.Value.Severity >= *minSeverity {
+				outMu.Lock()
+				fmt.Println(ev.Value)
+				outMu.Unlock()
+			}
+		}
+	}()
+
+	// Reader: stamp lines in arrival order and feed the decode fan-out.
 	// NMEA has no timestamps; synthesise event time from arrival order at
 	// a nominal 10 Hz per vessel-interleaved stream (good enough for a
 	// demo over replayed logs; production feeds carry receiver timestamps).
 	at := time.Date(2017, 3, 21, 0, 0, 0, 0, time.UTC)
-	var latest time.Time
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<16), 1<<16)
 	n := 0
 	start := time.Now()
 	for sc.Scan() {
-		msg, err := dec.Decode(sc.Text())
-		if err != nil || msg == nil {
-			continue
-		}
 		n++
 		at = at.Add(100 * time.Millisecond)
-		latest = at
-		switch m := msg.(type) {
-		case *ais.PositionReport:
-			for _, a := range p.Ingest(at, m) {
-				if a.Severity >= *minSeverity {
-					fmt.Println(a)
-				}
-			}
-		case *ais.StaticVoyage:
-			for _, issue := range p.IngestStatic(at, m) {
-				fmt.Printf("[quality] vessel %d: %s (%s)\n", issue.MMSI, issue.Rule, issue.Note)
-			}
-		}
+		lines <- maritime.IngestLine{At: at, Text: sc.Text()}
 	}
+	close(lines)
+	<-printed // engine auto-closes once decode drains; alerts close last
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "maritimed: read:", err)
 		os.Exit(1)
 	}
+	end := at
+	if latest.After(end) {
+		end = latest
+	}
 	elapsed := time.Since(start)
-	snap := p.Metrics.Snapshot()
-	fmt.Printf("\n%d messages in %v (%.0f msg/s); archived %d (%.1f%% compression); %d alerts\n",
-		n, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds(),
-		snap.Archived, p.CompressionRatio()*100, snap.Alerts)
-	fmt.Print(p.Situation(latest, world.Bounds, 12, 48).Summary())
+	sharded := engine.Sharded()
+	snap := engine.Snapshot()
+	dm := engine.DecodeMetrics.Snapshot()
+	compression := sharded.CompressionRatio()
+	fmt.Printf("\n%d lines → %d messages in %v (%.0f msg/s over %d shards); "+
+		"archived %d (%.1f%% compression); %d alerts; %d undecodable\n",
+		n, dm.Out, elapsed.Round(time.Millisecond), float64(dm.Out)/elapsed.Seconds(),
+		len(sharded.Shards), snap.Archived, compression*100, snap.Alerts, dm.Dropped)
+
+	// Situation board over the merged live picture of every shard.
+	fmt.Printf("%d vessels live; per-shard ingest: ", sharded.LiveCount())
+	for i, p := range sharded.Shards {
+		if i > 0 {
+			fmt.Print(" ")
+		}
+		fmt.Print(p.Metrics.Ingested.Load())
+	}
+	fmt.Println()
+	fmt.Print(sharded.Situation(end, world.Bounds, 12, 48).Summary())
 }

@@ -26,6 +26,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/model"
 	"repro/internal/quality"
+	"repro/internal/stream"
 	"repro/internal/synopsis"
 	"repro/internal/tstore"
 	"repro/internal/va"
@@ -146,11 +147,38 @@ func New(cfg Config) *Pipeline {
 	}
 }
 
+// TimedReport pairs a position report with its receive timestamp — the
+// unit of batched ingest.
+type TimedReport struct {
+	At  time.Time
+	Rep *ais.PositionReport
+}
+
 // Ingest runs one position report through every stage and returns the
 // alerts it raised.
 func (p *Pipeline) Ingest(at time.Time, rep *ais.PositionReport) []events.Alert {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	return p.ingestLocked(at, rep)
+}
+
+// IngestBatch runs a batch of reports through the pipeline under a single
+// lock acquisition, amortising the per-call synchronisation overhead that
+// dominates when a high-rate feed is funnelled through Ingest one message
+// at a time. Reports are processed in slice order; the returned alerts are
+// the concatenation of the per-report alert slices.
+func (p *Pipeline) IngestBatch(batch []TimedReport) []events.Alert {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []events.Alert
+	for _, tr := range batch {
+		out = append(out, p.ingestLocked(tr.At, tr.Rep)...)
+	}
+	return out
+}
+
+// ingestLocked is the stage sequence of Ingest; p.mu must be held.
+func (p *Pipeline) ingestLocked(at time.Time, rep *ais.PositionReport) []events.Alert {
 	p.Metrics.Ingested.Add(1)
 	s := model.FromReport(at, rep)
 
@@ -323,6 +351,13 @@ func (p *Pipeline) CompressionRatio() float64 {
 // shard only (vessels of a pair usually co-locate in a shard only by
 // luck, so pairwise detectors should run on a dedicated shard count of 1
 // when cross-vessel recall matters more than throughput).
+//
+// Sharded is the shard container; its Ingest/IngestBatch route on the
+// caller's goroutine. The asynchronous, backpressure-aware ingest path —
+// decode workers, per-shard goroutines with bounded queues, merged alert
+// output — lives in internal/ingest, which drives a Sharded underneath.
+// Routing uses the same key hash as stream.Partition (stream.ShardOf), so
+// synchronous calls and the async engine agree on shard placement.
 type Sharded struct {
 	Shards []*Pipeline
 }
@@ -339,14 +374,42 @@ func NewSharded(cfg Config, n int) *Sharded {
 	return s
 }
 
+// ShardIndex returns the shard index responsible for the vessel — the
+// stream.Partition hash, shared with the internal/ingest engine.
+func (s *Sharded) ShardIndex(mmsi uint32) int {
+	return stream.ShardOf(uint64(mmsi), len(s.Shards))
+}
+
 // ShardFor returns the pipeline responsible for the vessel.
 func (s *Sharded) ShardFor(mmsi uint32) *Pipeline {
-	return s.Shards[int(mmsi)%len(s.Shards)]
+	return s.Shards[s.ShardIndex(mmsi)]
 }
 
 // Ingest routes the report to its shard.
 func (s *Sharded) Ingest(at time.Time, rep *ais.PositionReport) []events.Alert {
 	return s.ShardFor(rep.MMSI).Ingest(at, rep)
+}
+
+// IngestBatch groups the batch per shard (preserving slice order within
+// each group) and runs one IngestBatch per touched shard, so a caller
+// holding a burst of reports pays one lock acquisition per shard instead
+// of one per message.
+func (s *Sharded) IngestBatch(batch []TimedReport) []events.Alert {
+	if len(s.Shards) == 1 {
+		return s.Shards[0].IngestBatch(batch)
+	}
+	groups := make(map[int][]TimedReport, len(s.Shards))
+	for _, tr := range batch {
+		idx := s.ShardIndex(tr.Rep.MMSI)
+		groups[idx] = append(groups[idx], tr)
+	}
+	var out []events.Alert
+	for i := range s.Shards {
+		if g := groups[i]; len(g) > 0 {
+			out = append(out, s.Shards[i].IngestBatch(g)...)
+		}
+	}
+	return out
 }
 
 // Alerts merges all shards' alerts, time-ordered.
@@ -357,6 +420,47 @@ func (s *Sharded) Alerts() []events.Alert {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].At.Before(out[j].At) })
 	return out
+}
+
+// CompressionRatio reports the archive-side synopsis ratio across all
+// shards — the Pipeline.CompressionRatio definition over summed counters.
+func (s *Sharded) CompressionRatio() float64 {
+	var in, ar int64
+	for _, p := range s.Shards {
+		in += p.Metrics.Ingested.Load()
+		ar += p.Metrics.Archived.Load()
+	}
+	if in == 0 || s.Shards[0].cfg.SynopsisToleranceM == 0 {
+		return 0
+	}
+	return 1 - float64(ar)/float64(in)
+}
+
+// LiveCount sums the shards' live pictures.
+func (s *Sharded) LiveCount() int {
+	n := 0
+	for _, p := range s.Shards {
+		n += p.Live.Count()
+	}
+	return n
+}
+
+// Situation assembles the operational picture across every shard: the
+// merged live layer plus the combined alert board, aggregated exactly as
+// a single pipeline's Situation would be.
+func (s *Sharded) Situation(at time.Time, bounds geo.Rect, rows, cols int) *va.Situation {
+	var vessels []model.VesselState
+	for _, p := range s.Shards {
+		vessels = append(vessels, p.Live.InRect(bounds)...)
+	}
+	var alerts []va.SituationAlert
+	for _, a := range s.Alerts() {
+		alerts = append(alerts, va.SituationAlert{
+			At: a.At, Kind: string(a.Kind), MMSI: a.MMSI,
+			Where: a.Where, Severity: a.Severity, Note: a.Note,
+		})
+	}
+	return va.BuildSituation(at, bounds, vessels, alerts, rows, cols)
 }
 
 // Snapshot sums the shards' metrics.

@@ -9,6 +9,7 @@ import (
 	"repro/internal/events"
 	"repro/internal/geo"
 	"repro/internal/sim"
+	"repro/internal/stream"
 	"repro/internal/weather"
 )
 
@@ -219,11 +220,22 @@ func TestShardedMatchesSingleOnPerVesselMetrics(t *testing.T) {
 
 func TestShardedRouting(t *testing.T) {
 	s := NewSharded(Config{}, 3)
-	if s.ShardFor(3) == s.ShardFor(4) {
-		t.Error("consecutive MMSIs should land in different shards")
+	seen := map[int]bool{}
+	for mmsi := uint32(201000000); mmsi < 201000300; mmsi++ {
+		idx := s.ShardIndex(mmsi)
+		if idx != stream.ShardOf(uint64(mmsi), 3) {
+			t.Fatalf("ShardIndex(%d) = %d, disagrees with stream.ShardOf", mmsi, idx)
+		}
+		if s.ShardFor(mmsi) != s.Shards[idx] {
+			t.Fatalf("ShardFor(%d) inconsistent with ShardIndex", mmsi)
+		}
+		if s.ShardFor(mmsi) != s.ShardFor(mmsi) {
+			t.Fatalf("routing for %d not stable", mmsi)
+		}
+		seen[idx] = true
 	}
-	if s.ShardFor(3) != s.ShardFor(6) {
-		t.Error("same residue must map to the same shard")
+	if len(seen) != 3 {
+		t.Errorf("300 consecutive MMSIs hit only %d of 3 shards", len(seen))
 	}
 }
 

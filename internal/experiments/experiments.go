@@ -1,10 +1,12 @@
 // Package experiments implements the reproduction harness: one function
-// per experiment in DESIGN.md's index (E1–E13), each returning the
+// per experiment in DESIGN.md's index (E1–E14), each returning the
 // paper-style table rows that EXPERIMENTS.md records. Everything is
-// seeded and deterministic.
+// seeded and deterministic (E5/E14 wall-clock columns vary with the
+// hardware; counts do not).
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -16,6 +18,7 @@ import (
 	"repro/internal/fusion"
 	"repro/internal/geo"
 	"repro/internal/index"
+	"repro/internal/ingest"
 	"repro/internal/model"
 	"repro/internal/quality"
 	"repro/internal/registry"
@@ -377,7 +380,7 @@ func E5(seed int64, shards []int) Table {
 				go func(w int) {
 					for i := range run.Positions {
 						o := &run.Positions[i]
-						if int(o.Report.MMSI)%n == w {
+						if p.ShardIndex(o.Report.MMSI) == w {
 							p.Shards[w].Ingest(o.At, &o.Report)
 						}
 					}
@@ -399,6 +402,63 @@ func E5(seed int64, shards []int) Table {
 	t.Notes = append(t.Notes,
 		"the paper's 18M/day world feed averages ~208 msg/s; a single shard exceeds that by orders of magnitude, bursts included",
 		"sharding trades cross-shard pairwise detection for linear ingest scaling (see DESIGN.md)")
+	return t
+}
+
+// E14 measures the asynchronous sharded ingest engine (internal/ingest)
+// against the same replayed traffic: wall-clock throughput and speedup by
+// shard count, with the alert count as the fidelity check. Dense traffic
+// is the point — pairwise detection cost follows local vessel density, and
+// partitioning the fleet divides the density each shard's detectors see,
+// which is where the single-core speedup comes from (on multi-core
+// hardware the shard goroutines additionally run in parallel).
+func E14(seed int64, shards []int) Table {
+	cfg := sim.Config{Seed: seed, NumVessels: 2500, Duration: 20 * time.Minute, TickSec: 2}
+	cfg.DefaultAnomalyRates()
+	run, err := sim.Simulate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	t := Table{
+		ID: "E14", Title: "async sharded ingest engine (internal/ingest)",
+		Cols: []string{"shards", "msgs", "wall", "msg/s", "speedup", "alerts"},
+	}
+	ctx := context.Background()
+	base := 0.0
+	for _, n := range shards {
+		e := ingest.New(ingest.Config{
+			Pipeline: core.Config{Zones: run.Config.World.Zones, SynopsisToleranceM: 60},
+			Shards:   n,
+		})
+		e.Start(ctx)
+		alerts := 0
+		drained := make(chan struct{})
+		go func() {
+			defer close(drained)
+			for range e.Alerts() {
+				alerts++
+			}
+		}()
+		start := time.Now()
+		for i := range run.Positions {
+			o := &run.Positions[i]
+			e.Ingest(ctx, o.At, &o.Report)
+		}
+		e.Close()
+		<-drained
+		wall := time.Since(start)
+		rate := float64(len(run.Positions)) / wall.Seconds()
+		if base == 0 {
+			base = rate
+		}
+		t.Rows = append(t.Rows, []string{
+			f("%d", n), f("%d", len(run.Positions)), wall.Round(time.Millisecond).String(),
+			f("%.0f", rate), f("%.2fx", rate/base), f("%d", alerts),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"same alert multiset as sequential Pipeline.Ingest at 1 shard (pinned by internal/ingest tests); at n>1 pairwise detection is per-shard, the trade-off E5 records",
+		"bounded queues backpressure the submitter instead of growing; batched IngestBatch amortises the per-shard lock")
 	return t
 }
 

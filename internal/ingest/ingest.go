@@ -1,0 +1,439 @@
+// Package ingest is the asynchronous, backpressure-aware front door of the
+// integrated infrastructure: it turns the synchronous core.Pipeline into a
+// sharded dataflow that scales ingest across cores while keeping per-vessel
+// ordering intact.
+//
+// The wiring, built from the internal/stream primitives:
+//
+//	Ingest()/decode workers
+//	      │  (bounded channel — natural backpressure)
+//	stream.Partition by MMSI ── shard 0 ── core.Pipeline.IngestBatch ─┐
+//	      │                     shard 1 ── core.Pipeline.IngestBatch ─┤ stream.Merge
+//	      │                     …                                     │
+//	      └──────────────────── shard n ── core.Pipeline.IngestBatch ─┴─→ Alerts()
+//
+// Every channel is bounded, so a slow shard propagates backpressure to the
+// submitter instead of growing queues without limit; each shard worker
+// drains its queue into batches, amortising the pipeline lock across a
+// burst. Partitioning uses the same key hash as core.Sharded.ShardFor
+// (stream.ShardOf), so synchronous queries against the underlying shards
+// observe exactly the vessels the dataflow routed there, and per-vessel
+// processing order equals arrival order — the engine produces the same
+// alert multiset as a sequential Pipeline over the same input.
+//
+// An optional NMEA front-end (StartLines) adds parallel decode workers in
+// front of the partition stage; multi-fragment sentences are routed to a
+// consistent worker so fragment reassembly still sees every part.
+package ingest
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/ais"
+	"repro/internal/core"
+	"repro/internal/events"
+	"repro/internal/quality"
+	"repro/internal/stream"
+)
+
+// Config parameterises an Engine. The zero value is usable: every field
+// defaults to something sensible at New.
+type Config struct {
+	// Pipeline configures each shard's core.Pipeline.
+	Pipeline core.Config
+	// Shards is the number of pipeline shards (default runtime.GOMAXPROCS).
+	Shards int
+	// DecodeWorkers is the number of NMEA decode workers StartLines spawns
+	// (default Shards).
+	DecodeWorkers int
+	// ShardBuf bounds each shard's input queue; a full queue blocks the
+	// partitioner and, transitively, Ingest — backpressure (default 256).
+	ShardBuf int
+	// BatchSize caps how many queued reports a shard worker drains into one
+	// IngestBatch call (default 64).
+	BatchSize int
+	// AlertBuf bounds the merged alert channel (default 256).
+	AlertBuf int
+}
+
+func (c *Config) normalize() {
+	if c.Shards < 1 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.DecodeWorkers < 1 {
+		c.DecodeWorkers = c.Shards
+	}
+	if c.ShardBuf < 1 {
+		c.ShardBuf = 256
+	}
+	if c.BatchSize < 1 {
+		c.BatchSize = 64
+	}
+	if c.AlertBuf < 1 {
+		c.AlertBuf = 256
+	}
+}
+
+// Engine is the running dataflow. Build with New, wire with Start, submit
+// with Ingest (or StartLines for raw NMEA), read Alerts until closed.
+type Engine struct {
+	cfg     Config
+	sharded *core.Sharded
+
+	in     chan stream.Event[core.TimedReport]
+	shards []<-chan stream.Event[core.TimedReport]
+	alerts <-chan stream.Event[events.Alert]
+
+	// Metrics counts position reports: In on submission, Out when a shard
+	// worker has fully processed one, Dropped for reports refused because
+	// the submission context was cancelled.
+	Metrics stream.Metrics
+	// DecodeMetrics counts the NMEA front-end when StartLines is used: In
+	// per line, Out per decoded message, Dropped per undecodable line.
+	DecodeMetrics stream.Metrics
+
+	decodeStats ais.DecoderStats
+	statsMu     sync.Mutex
+
+	started   bool
+	closeOnce sync.Once
+	workers   sync.WaitGroup
+}
+
+// New builds an engine (and its sharded pipelines) without starting it.
+func New(cfg Config) *Engine {
+	cfg.normalize()
+	return &Engine{
+		cfg:     cfg,
+		sharded: core.NewSharded(cfg.Pipeline, cfg.Shards),
+	}
+}
+
+// Start wires the dataflow: partitioner, one worker per shard, merged
+// alert stream. It must be called exactly once, before Ingest.
+func (e *Engine) Start(ctx context.Context) {
+	if e.started {
+		panic("ingest: Start called twice")
+	}
+	e.started = true
+	e.in = make(chan stream.Event[core.TimedReport], e.cfg.ShardBuf)
+	e.shards = stream.Partition(ctx, e.in, e.cfg.Shards, e.cfg.ShardBuf)
+	outs := make([]<-chan stream.Event[events.Alert], e.cfg.Shards)
+	for i, part := range e.shards {
+		out := make(chan stream.Event[events.Alert], e.cfg.AlertBuf)
+		outs[i] = out
+		e.workers.Add(1)
+		go e.shardWorker(ctx, e.sharded.Shards[i], part, out)
+	}
+	e.alerts = stream.Merge(ctx, outs, e.cfg.AlertBuf)
+}
+
+// shardWorker drains one partition into batches and runs them through its
+// pipeline, forwarding raised alerts.
+func (e *Engine) shardWorker(ctx context.Context, p *core.Pipeline,
+	in <-chan stream.Event[core.TimedReport], out chan<- stream.Event[events.Alert]) {
+	defer e.workers.Done()
+	defer close(out)
+	batch := make([]core.TimedReport, 0, e.cfg.BatchSize)
+	for ev := range in {
+		batch = append(batch[:0], ev.Value)
+		// Opportunistically drain whatever queued behind it, up to the
+		// batch cap, without blocking: one lock for the whole burst.
+	drain:
+		for len(batch) < e.cfg.BatchSize {
+			select {
+			case more, ok := <-in:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, more.Value)
+			default:
+				break drain
+			}
+		}
+		alerts := p.IngestBatch(batch)
+		e.Metrics.Out.Add(int64(len(batch)))
+		for _, a := range alerts {
+			select {
+			case out <- stream.Event[events.Alert]{Time: a.At, Key: uint64(a.MMSI), Value: a}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}
+}
+
+// Ingest submits one decoded position report. It blocks when the dataflow
+// is saturated (backpressure) and reports false once the context is
+// cancelled. Calling Ingest after Close panics (send on closed channel),
+// as does calling it before Start.
+func (e *Engine) Ingest(ctx context.Context, at time.Time, rep *ais.PositionReport) bool {
+	if !e.started {
+		panic("ingest: Ingest before Start")
+	}
+	e.Metrics.In.Add(1)
+	select {
+	case e.in <- stream.Event[core.TimedReport]{
+		Time: at, Key: uint64(rep.MMSI), Value: core.TimedReport{At: at, Rep: rep},
+	}:
+		return true
+	case <-ctx.Done():
+		e.Metrics.Dropped.Add(1)
+		return false
+	}
+}
+
+// IngestStatic runs a static/voyage message through its shard's veracity
+// stage synchronously (static traffic is ~1/60 of position traffic; it
+// does not need the async path).
+func (e *Engine) IngestStatic(at time.Time, msg *ais.StaticVoyage) []quality.Issue {
+	return e.sharded.ShardFor(msg.MMSI).IngestStatic(at, msg)
+}
+
+// Alerts is the merged alert stream. It closes after Close (or StartLines
+// completion) once every in-flight report has been processed.
+func (e *Engine) Alerts() <-chan stream.Event[events.Alert] { return e.alerts }
+
+// Close stops intake. Queued reports keep flowing; the Alerts channel
+// closes once everything in flight has been processed, so "drain Alerts
+// until it closes" is the completion barrier. Safe to call more than once.
+// Close does not block on the shard workers — a caller that drains Alerts
+// only after Close would otherwise deadlock against a full alert buffer.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() { close(e.in) })
+}
+
+// Wait blocks until every shard worker has exited — i.e. all submitted
+// reports are processed and all alerts forwarded. Someone must be draining
+// Alerts (or the merge buffers must suffice) for Wait to return.
+func (e *Engine) Wait() { e.workers.Wait() }
+
+// Sharded exposes the underlying pipelines for synchronous queries —
+// situation pictures, forecasts, archive access. Quiesce (Close, or just
+// stop submitting) before deep reads if exact cut-off points matter.
+func (e *Engine) Sharded() *core.Sharded { return e.sharded }
+
+// Snapshot sums the per-shard pipeline metrics.
+func (e *Engine) Snapshot() core.Snapshot { return e.sharded.Snapshot() }
+
+// Depths reports the current per-shard input queue depth — the live
+// backpressure picture; a persistently full shard is the scaling
+// bottleneck (one hot vessel cluster hashing together).
+func (e *Engine) Depths() []int {
+	out := make([]int, len(e.shards))
+	for i, ch := range e.shards {
+		out[i] = len(ch)
+	}
+	return out
+}
+
+// Line is one raw NMEA sentence with its receive timestamp.
+type Line struct {
+	At   time.Time
+	Text string
+}
+
+// StartLines bolts the NMEA decode front-end onto a started engine: n
+// decode workers (each with its own fragment-reassembling decoder) consume
+// lines in parallel, a resequencer restores arrival order, decoded
+// position reports feed the dataflow and static messages go to onStatic
+// (which may be nil; it is called from the single resequencer goroutine,
+// never concurrently). When lines closes and everything drains, the
+// engine is Closed automatically, so the caller's lifecycle is: feed
+// lines → close(lines) → drain Alerts.
+//
+// Single-fragment sentences — the overwhelming bulk of AIS traffic — are
+// spread round-robin; multi-fragment sentences are routed by their
+// (message id, channel) linking key so reassembly sees every part in one
+// decoder. Every line carries a sequence number and every worker reports
+// a per-line outcome, so the resequencer emits messages in exactly the
+// order a single sequential decoder would have: per-vessel event-time
+// order — which the pipelines rely on — survives parallel decode, and a
+// replayed log produces the same alert multiset at any worker count.
+func (e *Engine) StartLines(ctx context.Context, lines <-chan Line,
+	onStatic func(at time.Time, msg *ais.StaticVoyage, issues []quality.Issue)) {
+	if !e.started {
+		panic("ingest: StartLines before Start")
+	}
+	n := e.cfg.DecodeWorkers
+	type seqLine struct {
+		seq  int64
+		line Line
+	}
+	type outcome struct {
+		seq int64
+		at  time.Time
+		msg any // nil: line consumed without completing a message
+	}
+	perWorker := make([]chan seqLine, n)
+	for i := range perWorker {
+		perWorker[i] = make(chan seqLine, e.cfg.ShardBuf)
+	}
+	results := make(chan outcome, n*e.cfg.ShardBuf)
+	var decoders sync.WaitGroup
+	decoders.Add(n)
+	for i := range perWorker {
+		go func(in <-chan seqLine) {
+			defer decoders.Done()
+			dec := ais.NewDecoder()
+			defer func() {
+				e.statsMu.Lock()
+				addDecoderStats(&e.decodeStats, dec.Stats)
+				e.statsMu.Unlock()
+			}()
+			for sl := range in {
+				msg, err := dec.Decode(sl.line.Text)
+				if err != nil {
+					e.DecodeMetrics.Dropped.Add(1)
+					msg = nil
+				}
+				select {
+				case results <- outcome{seq: sl.seq, at: sl.line.At, msg: msg}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}(perWorker[i])
+	}
+	// Distributor: stamp a sequence number, route with a cheap scan (no
+	// full parse), keep fragment groups on one decoder.
+	go func() {
+		defer func() {
+			for _, ch := range perWorker {
+				close(ch)
+			}
+		}()
+		var seq int64
+		rr := 0
+		for l := range lines {
+			e.DecodeMetrics.In.Add(1)
+			idx := rr % n
+			if key, multi := fragmentKey(l.Text); multi {
+				idx = stream.ShardOf(hashString(key), n)
+			} else {
+				rr++
+			}
+			select {
+			case perWorker[idx] <- seqLine{seq: seq, line: l}:
+			case <-ctx.Done():
+				return
+			}
+			seq++
+		}
+	}()
+	// Close the results channel once every worker is done.
+	go func() {
+		decoders.Wait()
+		close(results)
+	}()
+	// Resequencer: emit outcomes in line-arrival order, then quiesce the
+	// engine so Alerts closes.
+	go func() {
+		defer e.Close()
+		var next int64
+		held := make(map[int64]outcome)
+		emit := func(o outcome) bool {
+			if o.msg == nil {
+				return true
+			}
+			e.DecodeMetrics.Out.Add(1)
+			switch m := o.msg.(type) {
+			case *ais.PositionReport:
+				return e.Ingest(ctx, o.at, m)
+			case *ais.StaticVoyage:
+				issues := e.IngestStatic(o.at, m)
+				if onStatic != nil {
+					onStatic(o.at, m, issues)
+				}
+			}
+			return true
+		}
+		for o := range results {
+			if o.seq != next {
+				held[o.seq] = o
+				continue
+			}
+			if !emit(o) {
+				return
+			}
+			next++
+			for {
+				h, ok := held[next]
+				if !ok {
+					break
+				}
+				delete(held, next)
+				if !emit(h) {
+					return
+				}
+				next++
+			}
+		}
+	}()
+}
+
+// DecodeStats sums the decoder counters accumulated by finished decode
+// workers (complete after the Alerts channel closes).
+func (e *Engine) DecodeStats() ais.DecoderStats {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	return e.decodeStats
+}
+
+func addDecoderStats(dst *ais.DecoderStats, s ais.DecoderStats) {
+	dst.Sentences += s.Sentences
+	dst.Malformed += s.Malformed
+	dst.Messages += s.Messages
+	dst.Undecoded += s.Undecoded
+	dst.Incomplete += s.Incomplete
+}
+
+// fragmentKey extracts the fragment linking key (msgID/channel) from an
+// AIVDM/AIVDO line without a full parse, and whether the sentence is part
+// of a multi-fragment message. Malformed lines report single-fragment; the
+// decoder rejects them properly downstream.
+func fragmentKey(line string) (string, bool) {
+	// !AIVDM,<fragcount>,<fragnum>,<msgid>,<channel>,<payload>,<fill>*CS
+	i := strings.IndexByte(line, ',')
+	if i < 0 {
+		return "", false
+	}
+	rest := line[i+1:] // <fragcount>,...
+	if strings.HasPrefix(rest, "1,") {
+		return "", false // fragment count 1: self-contained sentence
+	}
+	// Skip <fragcount> and <fragnum>.
+	for field := 0; field < 2; field++ {
+		j := strings.IndexByte(rest, ',')
+		if j < 0 {
+			return "", false
+		}
+		rest = rest[j+1:]
+	}
+	// rest = <msgid>,<channel>,<payload>,… — the key is msgid+channel,
+	// exactly what the decoder groups pending fragments by.
+	j := strings.IndexByte(rest, ',')
+	if j < 0 {
+		return "", false
+	}
+	k := strings.IndexByte(rest[j+1:], ',')
+	if k < 0 {
+		return "", false
+	}
+	return rest[:j+1+k], true
+}
+
+// hashString is FNV-1a, inlined to keep the distributor allocation-free.
+func hashString(s string) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}

@@ -1,0 +1,408 @@
+package ingest
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ais"
+	"repro/internal/core"
+	"repro/internal/events"
+	"repro/internal/quality"
+	"repro/internal/sim"
+	"repro/internal/stream"
+)
+
+func simTraffic(t testing.TB, seed int64, vessels int, dur time.Duration) *sim.Run {
+	t.Helper()
+	cfg := sim.Config{Seed: seed, NumVessels: vessels, Duration: dur, TickSec: 2}
+	cfg.DefaultAnomalyRates()
+	run, err := sim.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+// alertKey flattens an alert into a comparable multiset element.
+func alertKey(a events.Alert) string {
+	return fmt.Sprintf("%s|%d|%d|%s|%d", a.Kind, a.MMSI, a.Other, a.At.Format(time.RFC3339Nano), a.Severity)
+}
+
+func sortedKeys(alerts []events.Alert) []string {
+	out := make([]string, len(alerts))
+	for i, a := range alerts {
+		out[i] = alertKey(a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func runEngine(t testing.TB, run *sim.Run, cfg Config) ([]events.Alert, *Engine) {
+	t.Helper()
+	e := New(cfg)
+	e.Start(context.Background())
+	var (
+		collected []events.Alert
+		done      = make(chan struct{})
+	)
+	go func() {
+		defer close(done)
+		for ev := range e.Alerts() {
+			collected = append(collected, ev.Value)
+		}
+	}()
+	ctx := context.Background()
+	for i := range run.Positions {
+		o := &run.Positions[i]
+		if !e.Ingest(ctx, o.At, &o.Report) {
+			t.Fatal("ingest refused mid-stream")
+		}
+	}
+	e.Close()
+	<-done
+	return collected, e
+}
+
+// The acceptance criterion: the async engine must produce the same alert
+// multiset as sequential Pipeline.Ingest over the same replayed input.
+// With one shard the comparison is against a single sequential pipeline.
+func TestEngineMatchesSequentialPipeline(t *testing.T) {
+	run := simTraffic(t, 42, 80, 45*time.Minute)
+	pcfg := core.Config{Zones: run.Config.World.Zones, SynopsisToleranceM: 60}
+
+	seq := core.New(pcfg)
+	var want []events.Alert
+	for i := range run.Positions {
+		o := &run.Positions[i]
+		want = append(want, seq.Ingest(o.At, &o.Report)...)
+	}
+
+	got, e := runEngine(t, run, Config{Pipeline: pcfg, Shards: 1, BatchSize: 32})
+	if len(got) == 0 {
+		t.Fatal("engine produced no alerts; scenario should raise some")
+	}
+	gk, wk := sortedKeys(got), sortedKeys(want)
+	if len(gk) != len(wk) {
+		t.Fatalf("alert multiset sizes differ: engine %d, sequential %d", len(gk), len(wk))
+	}
+	for i := range gk {
+		if gk[i] != wk[i] {
+			t.Fatalf("alert multisets diverge at %d: engine %q vs sequential %q", i, gk[i], wk[i])
+		}
+	}
+	if out := e.Metrics.Out.Load(); out != int64(len(run.Positions)) {
+		t.Errorf("Metrics.Out = %d, want %d", out, len(run.Positions))
+	}
+}
+
+// With n shards the engine must match the synchronous Sharded path — both
+// route by the same hash, and per-vessel order is preserved through the
+// partition, so per-shard pipelines see identical input sequences.
+func TestEngineMatchesSyncSharded(t *testing.T) {
+	run := simTraffic(t, 7, 80, 45*time.Minute)
+	pcfg := core.Config{Zones: run.Config.World.Zones, SynopsisToleranceM: 60}
+	const shards = 4
+
+	sync := core.NewSharded(pcfg, shards)
+	var want []events.Alert
+	for i := range run.Positions {
+		o := &run.Positions[i]
+		want = append(want, sync.Ingest(o.At, &o.Report)...)
+	}
+
+	got, e := runEngine(t, run, Config{Pipeline: pcfg, Shards: shards, BatchSize: 32})
+	gk, wk := sortedKeys(got), sortedKeys(want)
+	if len(gk) != len(wk) {
+		t.Fatalf("alert multiset sizes differ: engine %d, sync sharded %d", len(gk), len(wk))
+	}
+	for i := range gk {
+		if gk[i] != wk[i] {
+			t.Fatalf("alert multisets diverge at %d: engine %q vs sync %q", i, gk[i], wk[i])
+		}
+	}
+	// And per-shard ingest counts must agree shard by shard.
+	for i := range sync.Shards {
+		w := sync.Shards[i].Metrics.Ingested.Load()
+		g := e.Sharded().Shards[i].Metrics.Ingested.Load()
+		if w != g {
+			t.Errorf("shard %d ingested %d via engine, %d via sync", i, g, w)
+		}
+	}
+}
+
+// Batched ingest must be behaviour-preserving on its own, independent of
+// the dataflow.
+func TestIngestBatchMatchesIngest(t *testing.T) {
+	run := simTraffic(t, 11, 40, 30*time.Minute)
+	pcfg := core.Config{Zones: run.Config.World.Zones, SynopsisToleranceM: 60}
+
+	one := core.New(pcfg)
+	var want []events.Alert
+	for i := range run.Positions {
+		o := &run.Positions[i]
+		want = append(want, one.Ingest(o.At, &o.Report)...)
+	}
+
+	batched := core.New(pcfg)
+	var got []events.Alert
+	var batch []core.TimedReport
+	for i := range run.Positions {
+		o := &run.Positions[i]
+		batch = append(batch, core.TimedReport{At: o.At, Rep: &o.Report})
+		if len(batch) == 17 || i == len(run.Positions)-1 {
+			got = append(got, batched.IngestBatch(batch)...)
+			batch = batch[:0]
+		}
+	}
+	gk, wk := sortedKeys(got), sortedKeys(want)
+	if len(gk) != len(wk) {
+		t.Fatalf("batched alerts %d, per-call alerts %d", len(gk), len(wk))
+	}
+	for i := range gk {
+		if gk[i] != wk[i] {
+			t.Fatalf("batched ingest diverges at %d: %q vs %q", i, gk[i], wk[i])
+		}
+	}
+	if a, b := one.Metrics.Snapshot().Archived, batched.Metrics.Snapshot().Archived; a != b {
+		t.Errorf("archived differ: %d vs %d", a, b)
+	}
+}
+
+// The NMEA front-end: encode a simulated feed into AIVDM sentences
+// (multi-fragment type 5s included), push it through StartLines with
+// several decode workers, and check nothing is lost or double-counted.
+func TestStartLinesDecodesFullFeed(t *testing.T) {
+	run := simTraffic(t, 3, 40, 30*time.Minute)
+	pcfg := core.Config{Zones: run.Config.World.Zones, SynopsisToleranceM: 60}
+
+	at := time.Date(2017, 3, 21, 0, 0, 0, 0, time.UTC)
+	var feed []Line
+	addMsg := func(msg any, id int, ch string) {
+		lines, err := ais.EncodeSentences(msg, id, ch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range lines {
+			at = at.Add(10 * time.Millisecond)
+			feed = append(feed, Line{At: at, Text: l})
+		}
+	}
+	for i := range run.Positions {
+		addMsg(&run.Positions[i].Report, i, "A")
+	}
+	multiFragment := 0
+	for i := range run.Statics {
+		lines, _ := ais.EncodeSentences(&run.Statics[i].Msg, i, "B")
+		if len(lines) > 1 {
+			multiFragment++
+		}
+		addMsg(&run.Statics[i].Msg, i, "B")
+	}
+	if multiFragment == 0 {
+		t.Fatal("scenario produced no multi-fragment sentences; test loses its point")
+	}
+
+	e := New(Config{Pipeline: pcfg, Shards: 4, DecodeWorkers: 3})
+	ctx := context.Background()
+	e.Start(ctx)
+	var statics sync.WaitGroup
+	var staticMu sync.Mutex
+	staticSeen := 0
+	statics.Add(len(run.Statics))
+	onStatic := func(_ time.Time, _ *ais.StaticVoyage, _ []quality.Issue) {
+		staticMu.Lock()
+		staticSeen++
+		staticMu.Unlock()
+		statics.Done()
+	}
+	lines := make(chan Line, 64)
+	e.StartLines(ctx, lines, onStatic)
+	go func() {
+		for _, l := range feed {
+			lines <- l
+		}
+		close(lines)
+	}()
+	alerts := 0
+	for range e.Alerts() {
+		alerts++
+	}
+	statics.Wait()
+
+	dm := e.DecodeMetrics.Snapshot()
+	if dm.In != int64(len(feed)) {
+		t.Errorf("decode In = %d, want %d lines", dm.In, len(feed))
+	}
+	wantMsgs := int64(len(run.Positions) + len(run.Statics))
+	if dm.Out != wantMsgs {
+		t.Errorf("decode Out = %d, want %d messages", dm.Out, wantMsgs)
+	}
+	if dm.Dropped != 0 {
+		t.Errorf("decode Dropped = %d, want 0 on a clean feed", dm.Dropped)
+	}
+	if staticSeen != len(run.Statics) {
+		t.Errorf("static callback saw %d, want %d", staticSeen, len(run.Statics))
+	}
+	snap := e.Snapshot()
+	if snap.Ingested != int64(len(run.Positions)) {
+		t.Errorf("pipelines ingested %d, want %d", snap.Ingested, len(run.Positions))
+	}
+	if snap.StaticChecked != int64(len(run.Statics)) {
+		t.Errorf("pipelines checked %d statics, want %d", snap.StaticChecked, len(run.Statics))
+	}
+	st := e.DecodeStats()
+	if st.Messages != int(wantMsgs) || st.Malformed != 0 {
+		t.Errorf("decoder stats %+v, want %d messages, 0 malformed", st, wantMsgs)
+	}
+	if alerts == 0 {
+		t.Error("no alerts out of an anomaly-laden feed")
+	}
+}
+
+// Parallel decode must not reorder the feed: the resequencer restores
+// line-arrival order, so any decode worker count produces exactly the
+// pipeline results of a single sequential decoder — per-vessel event-time
+// order is what the kinematic checker, synopsis filter and dark detector
+// all assume.
+func TestStartLinesDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := simTraffic(t, 9, 50, 30*time.Minute)
+	pcfg := core.Config{Zones: run.Config.World.Zones, SynopsisToleranceM: 60}
+	at := time.Date(2017, 3, 21, 0, 0, 0, 0, time.UTC)
+	var feed []Line
+	for i := range run.Positions {
+		lines, err := ais.EncodeSentences(&run.Positions[i].Report, i, "A")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range lines {
+			at = at.Add(10 * time.Millisecond)
+			feed = append(feed, Line{At: at, Text: l})
+		}
+	}
+	var alertSets [][]string
+	var archived []int64
+	for _, workers := range []int{1, 4} {
+		e := New(Config{Pipeline: pcfg, Shards: 2, DecodeWorkers: workers})
+		ctx := context.Background()
+		e.Start(ctx)
+		lines := make(chan Line, 64)
+		e.StartLines(ctx, lines, nil)
+		go func() {
+			for _, l := range feed {
+				lines <- l
+			}
+			close(lines)
+		}()
+		var alerts []events.Alert
+		for ev := range e.Alerts() {
+			alerts = append(alerts, ev.Value)
+		}
+		alertSets = append(alertSets, sortedKeys(alerts))
+		archived = append(archived, e.Snapshot().Archived)
+	}
+	if archived[0] != archived[1] {
+		t.Errorf("archived counts differ across decode worker counts: %d vs %d", archived[0], archived[1])
+	}
+	if len(alertSets[0]) != len(alertSets[1]) {
+		t.Fatalf("alert multisets differ in size: %d vs %d", len(alertSets[0]), len(alertSets[1]))
+	}
+	for i := range alertSets[0] {
+		if alertSets[0][i] != alertSets[1][i] {
+			t.Fatalf("alert multisets diverge at %d: %q vs %q", i, alertSets[0][i], alertSets[1][i])
+		}
+	}
+}
+
+// Malformed lines must be dropped and counted, never wedging the dataflow.
+func TestStartLinesCountsMalformed(t *testing.T) {
+	e := New(Config{Shards: 2, DecodeWorkers: 2})
+	ctx := context.Background()
+	e.Start(ctx)
+	lines := make(chan Line, 8)
+	e.StartLines(ctx, lines, nil)
+	at := time.Date(2017, 3, 21, 0, 0, 0, 0, time.UTC)
+	lines <- Line{At: at, Text: "garbage"}
+	lines <- Line{At: at, Text: "!AIVDM,1,1,,A,xx*00"} // bad checksum
+	close(lines)
+	for range e.Alerts() {
+	}
+	dm := e.DecodeMetrics.Snapshot()
+	if dm.Dropped != 2 || dm.Out != 0 {
+		t.Errorf("decode metrics %+v, want 2 dropped, 0 out", dm)
+	}
+}
+
+func TestFragmentKey(t *testing.T) {
+	cases := []struct {
+		line  string
+		key   string
+		multi bool
+	}{
+		{"!AIVDM,1,1,,A,payload,0*00", "", false},
+		{"!AIVDM,2,1,3,B,payload,0*00", "3,B", true},
+		{"!AIVDM,2,2,3,B,rest,2*00", "3,B", true},
+		{"!AIVDM,12,7,5,A,payload,0*00", "5,A", true},
+		{"garbage", "", false},
+		{"!AIVDM,2,1", "", false},
+	}
+	for _, tc := range cases {
+		key, multi := fragmentKey(tc.line)
+		if key != tc.key || multi != tc.multi {
+			t.Errorf("fragmentKey(%q) = (%q, %v), want (%q, %v)", tc.line, key, multi, tc.key, tc.multi)
+		}
+	}
+}
+
+// Depths must report one entry per shard and only ever legal values; with
+// a tiny buffer the engine still completes under backpressure.
+func TestBackpressureTinyBuffers(t *testing.T) {
+	run := simTraffic(t, 5, 30, 20*time.Minute)
+	pcfg := core.Config{Zones: run.Config.World.Zones}
+	e := New(Config{Pipeline: pcfg, Shards: 3, ShardBuf: 1, BatchSize: 2, AlertBuf: 1})
+	e.Start(context.Background())
+	done := make(chan int)
+	go func() {
+		n := 0
+		for range e.Alerts() {
+			n++
+		}
+		done <- n
+	}()
+	ctx := context.Background()
+	for i := range run.Positions {
+		o := &run.Positions[i]
+		e.Ingest(ctx, o.At, &o.Report)
+		if i%1000 == 0 {
+			d := e.Depths()
+			if len(d) != 3 {
+				t.Fatalf("Depths() len = %d, want 3", len(d))
+			}
+			for s, v := range d {
+				if v < 0 || v > 1 {
+					t.Fatalf("shard %d depth %d out of [0,1]", s, v)
+				}
+			}
+		}
+	}
+	e.Close()
+	<-done
+	e.Wait()
+	if out := e.Metrics.Out.Load(); out != int64(len(run.Positions)) {
+		t.Errorf("processed %d, want %d", out, len(run.Positions))
+	}
+}
+
+// ShardOf consistency across layers is what makes engine-vs-sync
+// equivalence hold; pin it.
+func TestEnginePartitioningMatchesShardFor(t *testing.T) {
+	e := New(Config{Shards: 5})
+	for mmsi := uint32(200000000); mmsi < 200000200; mmsi++ {
+		if got, want := e.Sharded().ShardIndex(mmsi), stream.ShardOf(uint64(mmsi), 5); got != want {
+			t.Fatalf("ShardIndex(%d) = %d, stream.ShardOf = %d", mmsi, got, want)
+		}
+	}
+}

@@ -110,7 +110,12 @@ func KeyBy[T any](ctx context.Context, in <-chan Event[T], key func(T) uint64, b
 
 // Partition splits a stream into n substreams by key hash; events with the
 // same key always land in the same partition, preserving per-key order.
+// n <= 0 is clamped to a single partition rather than panicking on the
+// modulo.
 func Partition[T any](ctx context.Context, in <-chan Event[T], n, buf int) []<-chan Event[T] {
+	if n < 1 {
+		n = 1
+	}
 	outs := make([]chan Event[T], n)
 	ros := make([]<-chan Event[T], n)
 	for i := range outs {
@@ -162,7 +167,11 @@ func Merge[T any](ctx context.Context, ins []<-chan Event[T], buf int) <-chan Ev
 
 // Parallel applies f to each event in n workers and merges the results.
 // Per-key ordering is NOT preserved; use Partition+Map when it must be.
+// n <= 0 is clamped to one worker.
 func Parallel[T, U any](ctx context.Context, in <-chan Event[T], f func(T) U, n, buf int) <-chan Event[U] {
+	if n < 1 {
+		n = 1
+	}
 	parts := Partition(ctx, in, n, buf)
 	outs := make([]<-chan Event[U], n)
 	for i, p := range parts {
@@ -188,6 +197,17 @@ func Run[T any](ctx context.Context, src Source[T], buf int) <-chan Event[T] {
 		src(ctx, out)
 	}()
 	return out
+}
+
+// ShardOf returns the partition index Partition assigns to key among n
+// shards (n <= 0 treated as 1). Exported so out-of-band routing — e.g. a
+// caller pre-grouping a batch per shard — lands on the same partition the
+// dataflow would pick.
+func ShardOf(key uint64, n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return int(mix64(key) % uint64(n))
 }
 
 // mix64 is a SplitMix64 finaliser: a cheap, well-distributed hash for

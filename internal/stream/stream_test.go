@@ -212,7 +212,7 @@ func TestTumblingWindowCounts(t *testing.T) {
 	}
 	SortEventsByTime(events)
 	in := Run(ctx, FromSlice(events), 4)
-	wins := Collect(TumblingWindow(ctx, in, time.Minute, 0,
+	wins := Collect(TumblingWindow(ctx, in, time.Minute, 0, nil,
 		func() int { return 0 },
 		func(acc int, e Event[int]) int { return acc + e.Value },
 		4))
@@ -240,7 +240,7 @@ func TestTumblingWindowCounts(t *testing.T) {
 func TestTumblingWindowEmitsOnWatermark(t *testing.T) {
 	ctx := context.Background()
 	in := make(chan Event[int])
-	out := TumblingWindow(ctx, in, time.Minute, 0,
+	out := TumblingWindow(ctx, in, time.Minute, 0, nil,
 		func() int { return 0 },
 		func(acc int, e Event[int]) int { return acc + 1 },
 		4)
@@ -386,7 +386,7 @@ func BenchmarkTumblingWindow(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	in := Run(ctx, FromSlice(events), 1024)
-	out := TumblingWindow(ctx, in, time.Minute, 0,
+	out := TumblingWindow(ctx, in, time.Minute, 0, nil,
 		func() int { return 0 },
 		func(acc int, e Event[int]) int { return acc + 1 },
 		1024)

@@ -1,0 +1,179 @@
+package stream
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// Regression: Partition with n <= 0 used to panic with a divide-by-zero on
+// the key-hash modulo; it must clamp to a single partition instead.
+func TestPartitionClampsNonPositive(t *testing.T) {
+	for _, n := range []int{0, -3} {
+		ctx := context.Background()
+		in := Run(ctx, FromSlice(intEvents(1, 2, 3)), 4)
+		parts := Partition(ctx, in, n, 4)
+		if len(parts) != 1 {
+			t.Fatalf("Partition(n=%d): got %d partitions, want 1", n, len(parts))
+		}
+		if got := Collect(parts[0]); len(got) != 3 {
+			t.Errorf("Partition(n=%d): lost events, got %d want 3", n, len(got))
+		}
+	}
+}
+
+// Regression companion: Parallel routes through Partition and must clamp
+// the worker count the same way.
+func TestParallelClampsNonPositive(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		ctx := context.Background()
+		in := Run(ctx, FromSlice(intEvents(1, 2, 3, 4)), 4)
+		out := Parallel(ctx, in, func(v int) int { return v * 2 }, n, 4)
+		if got := Collect(out); len(got) != 4 {
+			t.Errorf("Parallel(n=%d): got %d events, want 4", n, len(got))
+		}
+	}
+}
+
+// Regression: a late event arriving after its window was flushed used to
+// silently re-open the bucket and emit a second aggregate for the same
+// (key, window). It must be dropped and counted instead.
+func TestTumblingWindowDropsLateDuplicate(t *testing.T) {
+	ctx := context.Background()
+	events := []Event[int]{
+		{Time: ts(5), Key: 1, Value: 5},
+		{Time: ts(15), Key: 1, Value: 15}, // watermark 15 flushes window [0,10)
+		{Time: ts(7), Key: 1, Value: 7},   // late: window [0,10) already emitted
+	}
+	var m Metrics
+	in := Run(ctx, FromSlice(events), 4)
+	wins := Collect(TumblingWindow(ctx, in, 10*time.Second, 0, &m,
+		func() int { return 0 },
+		func(acc int, e Event[int]) int { return acc + 1 },
+		4))
+	perWindow := map[int64]int{} // window start unix -> emissions
+	for _, w := range wins {
+		perWindow[w.Value.Start.Unix()]++
+	}
+	if len(wins) != 2 {
+		t.Fatalf("expected 2 windows, got %d: %+v", len(wins), wins)
+	}
+	for start, n := range perWindow {
+		if n != 1 {
+			t.Errorf("window starting %d emitted %d times, want 1", start, n)
+		}
+	}
+	s := m.Snapshot()
+	if s.Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1", s.Dropped)
+	}
+	if s.In != 3 || s.Out != 2 {
+		t.Errorf("metrics In=%d Out=%d, want In=3 Out=2", s.In, s.Out)
+	}
+}
+
+// Reorder watermark boundary: an event exactly AT the watermark is kept;
+// only events strictly behind it are dropped.
+func TestReorderWatermarkBoundary(t *testing.T) {
+	const delay = 10 * time.Second
+	watermark := ts(20).Add(-delay) // maxSeen 20 − delay
+	cases := []struct {
+		name     string
+		late     time.Time
+		wantKept bool
+	}{
+		{"exactly at watermark", watermark, true},
+		{"1ns before watermark", watermark.Add(-time.Nanosecond), false},
+		{"1s before watermark", watermark.Add(-time.Second), false},
+		{"1ns after watermark", watermark.Add(time.Nanosecond), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx := context.Background()
+			events := []Event[int]{
+				{Time: ts(0), Key: 1, Value: 0},
+				{Time: ts(20), Key: 1, Value: 20}, // advances maxSeen to 20
+				{Time: tc.late, Key: 1, Value: -1},
+			}
+			var m Metrics
+			in := Run(ctx, FromSlice(events), 4)
+			got := Collect(Reorder(ctx, in, delay, &m, 4))
+			kept := false
+			for _, e := range got {
+				if e.Value == -1 {
+					kept = true
+				}
+			}
+			if kept != tc.wantKept {
+				t.Errorf("Reorder kept=%v, want %v", kept, tc.wantKept)
+			}
+			wantDropped := int64(1)
+			if tc.wantKept {
+				wantDropped = 0
+			}
+			if m.Snapshot().Dropped != wantDropped {
+				t.Errorf("Dropped = %d, want %d", m.Snapshot().Dropped, wantDropped)
+			}
+		})
+	}
+}
+
+// TumblingWindow late-event boundary: a late event is dropped only when
+// its window has already been flushed (window end behind the watermark);
+// late events into still-open windows fold in, and — identically to
+// Reorder — an event exactly AT the watermark is kept, never dropped.
+func TestTumblingWindowLateBoundary(t *testing.T) {
+	const (
+		size  = 5 * time.Second
+		delay = 10 * time.Second
+	)
+	watermark := ts(20).Add(-delay) // maxSeen 20 − delay = ts(10)
+	cases := []struct {
+		name     string
+		late     time.Time
+		wantKept bool
+	}{
+		// Window [0,5) ends at 5 < watermark 10: flushed, so late
+		// arrivals into it are dropped.
+		{"into flushed window", ts(4), false},
+		{"1ns before flushed window end", ts(5).Add(-time.Nanosecond), false},
+		// Window [5,10) ends exactly at the watermark: not yet flushed
+		// (flush requires end strictly before watermark), so a late event
+		// behind the watermark still folds in — no data loss.
+		{"behind watermark, open window", ts(7), true},
+		// The shared boundary rule with Reorder: at-watermark is kept.
+		{"exactly at watermark", watermark, true},
+		{"1ns after watermark", watermark.Add(time.Nanosecond), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx := context.Background()
+			events := []Event[int]{
+				{Time: ts(20), Key: 1, Value: 20}, // maxSeen 20 up front
+				{Time: tc.late, Key: 1, Value: -1},
+			}
+			var m Metrics
+			in := Run(ctx, FromSlice(events), 4)
+			wins := Collect(TumblingWindow(ctx, in, size, delay, &m,
+				func() int { return 0 },
+				func(acc int, e Event[int]) int { return acc + 1 },
+				4))
+			kept := false
+			for _, w := range wins {
+				if !w.Value.Start.After(tc.late) && w.Value.Start.Add(size).After(tc.late) && w.Value.Count > 0 {
+					kept = true
+				}
+			}
+			if kept != tc.wantKept {
+				t.Errorf("late event kept=%v, want %v (windows: %+v)", kept, tc.wantKept, wins)
+			}
+			wantDropped := int64(1)
+			if tc.wantKept {
+				wantDropped = 0
+			}
+			if m.Snapshot().Dropped != wantDropped {
+				t.Errorf("Dropped = %d, want %d", m.Snapshot().Dropped, wantDropped)
+			}
+		})
+	}
+}

@@ -19,11 +19,20 @@ type Window[A any] struct {
 // window) when the watermark passes the window end. The input must be
 // (approximately) time-ordered — run Reorder first for disordered streams;
 // residual disorder up to `allowed` is tolerated before a window closes.
+//
+// A late event whose window has already been flushed (window end behind
+// the watermark maxSeen − allowed) is dropped and counted in m.Dropped:
+// folding it in would re-open the bucket and emit a duplicate aggregate
+// for the same (key, window). Late events whose window is still open are
+// folded in normally — no data loss inside the tolerated disorder — and
+// an event exactly AT the watermark is always kept, the same boundary
+// rule Reorder applies. m may be nil.
 func TumblingWindow[T, A any](
 	ctx context.Context,
 	in <-chan Event[T],
 	size time.Duration,
 	allowed time.Duration,
+	m *Metrics,
 	init func() A,
 	fold func(A, Event[T]) A,
 	buf int,
@@ -49,6 +58,9 @@ func TumblingWindow[T, A any](
 			}
 			select {
 			case out <- Event[Window[A]]{Time: w.End, Key: key, Value: w}:
+				if m != nil {
+					m.Out.Add(1)
+				}
 				return true
 			case <-ctx.Done():
 				return false
@@ -59,7 +71,7 @@ func TumblingWindow[T, A any](
 			watermark := maxSeen.Add(-allowed)
 			for key, buckets := range open {
 				for idx, b := range buckets {
-					if b.start.Add(size).Add(0).Before(watermark) {
+					if b.start.Add(size).Before(watermark) {
 						if !emit(key, idx, b) {
 							return false
 						}
@@ -74,10 +86,23 @@ func TumblingWindow[T, A any](
 		}
 
 		for e := range in {
+			if m != nil {
+				m.In.Add(1)
+			}
 			if e.Time.After(maxSeen) {
 				maxSeen = e.Time
 			}
 			idx := e.Time.UnixNano() / int64(size)
+			if end := time.Unix(0, idx*int64(size)).Add(size); end.Before(maxSeen.Add(-allowed)) {
+				// The event's window end is behind the watermark, so the
+				// bucket was already flushed (flushClosed uses the same
+				// comparison); folding would re-open it and duplicate the
+				// aggregate. Drop and count instead.
+				if m != nil {
+					m.Dropped.Add(1)
+				}
+				continue
+			}
 			buckets, ok := open[e.Key]
 			if !ok {
 				buckets = make(map[int64]*bucket)

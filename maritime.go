@@ -9,11 +9,21 @@
 //   - Pipeline — the Figure 2 infrastructure: ingest AIS, get quality
 //     assessment, synopses, storage, event recognition, forecasting and
 //     situation pictures (package internal/core).
+//   - IngestEngine — the asynchronous, backpressure-aware sharded front
+//     door over Pipeline for real AIS volumes (package internal/ingest).
 //   - Simulator — the synthetic world standing in for live feeds
 //     (package internal/sim).
 //   - The AIS codec, geodesy primitives and analytic building blocks.
 //
-// Quick start:
+// # Building
+//
+// The module is self-contained (no external dependencies):
+//
+//	go build ./...
+//	go test ./...
+//	go test -race ./...   # the ingest engine is concurrent; keep it clean
+//
+// # Quick start (synchronous)
 //
 //	run, _ := maritime.Simulate(maritime.SimConfig{Seed: 1, NumVessels: 50, Duration: time.Hour})
 //	p := maritime.NewPipeline(maritime.PipelineConfig{Zones: run.Config.World.Zones})
@@ -24,6 +34,36 @@
 //	        fmt.Println(a)
 //	    }
 //	}
+//
+// # Sharded ingest (asynchronous)
+//
+// For multi-core scaling, feed the same stream through the ingest engine:
+// reports are partitioned by MMSI across per-shard pipelines behind
+// bounded queues (a saturated shard backpressures the submitter), batches
+// amortise the pipeline lock, and alerts from all shards arrive merged on
+// one channel:
+//
+//	e := maritime.NewIngestEngine(maritime.IngestConfig{
+//	    Pipeline: maritime.PipelineConfig{Zones: run.Config.World.Zones},
+//	    Shards:   8,
+//	})
+//	ctx := context.Background()
+//	e.Start(ctx)
+//	go func() {
+//	    for i := range run.Positions {
+//	        obs := &run.Positions[i]
+//	        e.Ingest(ctx, obs.At, &obs.Report)
+//	    }
+//	    e.Close()
+//	}()
+//	for ev := range e.Alerts() { // closes once everything in flight drains
+//	    fmt.Println(ev.Value)
+//	}
+//
+// The engine produces the same alert multiset as the sequential Pipeline
+// over the same input (per-vessel order is preserved end to end); see
+// internal/ingest for the dataflow details and cmd/maritimed for a
+// complete NMEA-to-alerts daemon built on it.
 package maritime
 
 import (
@@ -32,6 +72,7 @@ import (
 	"repro/internal/events"
 	"repro/internal/forecast"
 	"repro/internal/geo"
+	"repro/internal/ingest"
 	"repro/internal/model"
 	"repro/internal/sim"
 	"repro/internal/synopsis"
@@ -80,6 +121,25 @@ func NewPipeline(cfg PipelineConfig) *Pipeline { return core.New(cfg) }
 
 // NewShardedPipeline builds an n-way sharded pipeline.
 func NewShardedPipeline(cfg PipelineConfig, n int) *ShardedPipeline { return core.NewSharded(cfg, n) }
+
+// Asynchronous ingest: the backpressure-aware sharded dataflow.
+type (
+	// IngestEngine is the async front door: decode workers → partition by
+	// MMSI → per-shard batched pipelines → merged alerts.
+	IngestEngine = ingest.Engine
+	// IngestConfig parameterises the engine (shards, buffers, batch size).
+	IngestConfig = ingest.Config
+	// IngestLine is one raw NMEA sentence with its receive timestamp, the
+	// input unit of the engine's decode front-end.
+	IngestLine = ingest.Line
+	// TimedReport pairs a position report with its receive time — the unit
+	// of batched ingest (Pipeline.IngestBatch, ShardedPipeline.IngestBatch).
+	TimedReport = core.TimedReport
+)
+
+// NewIngestEngine builds the async sharded ingest engine (call Start, then
+// Ingest or StartLines; drain Alerts until it closes).
+func NewIngestEngine(cfg IngestConfig) *IngestEngine { return ingest.New(cfg) }
 
 // Simulation: the synthetic maritime world.
 type (
