@@ -91,6 +91,12 @@ func BenchmarkE13_VA(b *testing.B) {
 	}
 }
 
+func BenchmarkE15_Persistence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E15(42)
+	}
+}
+
 // --- sharded ingest scaling (E14's benchmark form) ---------------------------------
 //
 // BenchmarkIngestSharded{1,2,4,8} replay the same dense synthetic feed

@@ -1,6 +1,9 @@
-// Command msaquery demonstrates archive queries against a stored
-// trajectory snapshot: build one with -write, then query it with -box,
-// -vessel or -knn. This is the §2.3 moving-object query surface as a CLI.
+// Command msaquery demonstrates archive queries against stored
+// trajectories: build a snapshot file with -write, then query it with
+// -read, or open a maritimed -data-dir archive directory directly with
+// -data (read-only snapshot + WAL recovery: nothing on disk is touched,
+// so it is safe while a daemon owns the directory). This is the §2.3
+// moving-object query surface as a CLI.
 //
 // Usage:
 //
@@ -8,6 +11,7 @@
 //	msaquery -read archive.bin -vessel 201000091
 //	msaquery -read archive.bin -box "42,4,44,9"
 //	msaquery -read archive.bin -knn "43.2,5.3" -k 5
+//	msaquery -data /var/lib/maritimed -vessel 201000091
 package main
 
 import (
@@ -21,12 +25,14 @@ import (
 	"repro/internal/geo"
 	"repro/internal/model"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/tstore"
 )
 
 func main() {
 	write := flag.String("write", "", "simulate traffic and write an archive to this path")
-	read := flag.String("read", "", "load an archive from this path")
+	read := flag.String("read", "", "load an archive snapshot file from this path")
+	data := flag.String("data", "", "open an archive directory (maritimed -data-dir) with WAL recovery")
 	vessels := flag.Int("vessels", 100, "fleet size for -write")
 	minutes := flag.Int("minutes", 120, "duration for -write")
 	vessel := flag.Uint("vessel", 0, "print this vessel's trajectory summary")
@@ -75,52 +81,75 @@ func main() {
 		if _, err := st.Load(f); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("archive: %d points, %d vessels\n", st.Len(), st.VesselCount())
-		switch {
-		case *vessel != 0:
-			tr := st.Trajectory(uint32(*vessel))
-			if tr.Len() == 0 {
-				log.Fatalf("vessel %d not in archive", *vessel)
-			}
-			fmt.Printf("vessel %d: %d points, %s → %s, %.1f km travelled\n",
-				*vessel, tr.Len(),
-				tr.Start().Format(time.RFC3339), tr.End().Format(time.RFC3339),
-				tr.Length()/1000)
-		case *box != "":
-			var r geo.Rect
-			if _, err := fmt.Sscanf(strings.ReplaceAll(*box, " ", ""), "%f,%f,%f,%f",
-				&r.MinLat, &r.MinLon, &r.MaxLat, &r.MaxLon); err != nil {
-				log.Fatalf("bad -box: %v", err)
-			}
-			sn := st.SpatialSnapshot()
-			hits := sn.Search(r, time.Time{}, time.Now().AddDate(10, 0, 0))
-			seen := map[uint32]bool{}
-			for _, h := range hits {
-				seen[h.MMSI] = true
-			}
-			fmt.Printf("box query: %d points from %d vessels\n", len(hits), len(seen))
-		case *knn != "":
-			var p geo.Point
-			if _, err := fmt.Sscanf(strings.ReplaceAll(*knn, " ", ""), "%f,%f", &p.Lat, &p.Lon); err != nil {
-				log.Fatalf("bad -knn: %v", err)
-			}
-			sn := st.SpatialSnapshot()
-			// Query at the archive's temporal midpoint.
-			var mid time.Time
-			if ms := st.MMSIs(); len(ms) > 0 {
-				tr := st.Trajectory(ms[0])
-				mid = tr.Start().Add(tr.Duration() / 2)
-			}
-			for i, s := range sn.NearestVessels(p, mid, 30*time.Minute, *k) {
-				fmt.Printf("%d. vessel %d at %s (%.1f km away, %s)\n",
-					i+1, s.MMSI, s.Pos, geo.Distance(p, s.Pos)/1000,
-					s.At.Format("15:04:05"))
-			}
-		default:
-			log.Fatal("with -read, pass one of -vessel, -box, -knn")
+		query(st, uint32(*vessel), *box, *knn, *k)
+
+	case *data != "":
+		// Read-only recovery: mutates nothing, takes no lock — safe to
+		// query a directory a running maritimed owns (replay stops at the
+		// writer's in-flight tail).
+		arch, err := store.OpenReadOnly(store.Config{Dir: *data})
+		if err != nil {
+			log.Fatal(err)
 		}
+		fmt.Printf("recovered %d records (%d snapshot + %d WAL over %d segments",
+			arch.Stats.Total(), arch.Stats.SnapshotPoints,
+			arch.Stats.WALRecords, arch.Stats.WALSegments)
+		if arch.Stats.TornBytes > 0 {
+			fmt.Printf("; skipped %d in-flight/torn tail bytes", arch.Stats.TornBytes)
+		}
+		fmt.Printf(") from %s\n", *data)
+		query(arch.Store, uint32(*vessel), *box, *knn, *k)
+
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// query runs one of the -vessel / -box / -knn queries against the store.
+func query(st *tstore.Store, vessel uint32, box, knn string, k int) {
+	fmt.Printf("archive: %d points, %d vessels\n", st.Len(), st.VesselCount())
+	switch {
+	case vessel != 0:
+		tr := st.Trajectory(vessel)
+		if tr.Len() == 0 {
+			log.Fatalf("vessel %d not in archive", vessel)
+		}
+		fmt.Printf("vessel %d: %d points, %s → %s, %.1f km travelled\n",
+			vessel, tr.Len(),
+			tr.Start().Format(time.RFC3339), tr.End().Format(time.RFC3339),
+			tr.Length()/1000)
+	case box != "":
+		var r geo.Rect
+		if _, err := fmt.Sscanf(strings.ReplaceAll(box, " ", ""), "%f,%f,%f,%f",
+			&r.MinLat, &r.MinLon, &r.MaxLat, &r.MaxLon); err != nil {
+			log.Fatalf("bad -box: %v", err)
+		}
+		sn := st.SpatialSnapshot()
+		hits := sn.Search(r, time.Time{}, time.Now().AddDate(10, 0, 0))
+		seen := map[uint32]bool{}
+		for _, h := range hits {
+			seen[h.MMSI] = true
+		}
+		fmt.Printf("box query: %d points from %d vessels\n", len(hits), len(seen))
+	case knn != "":
+		var p geo.Point
+		if _, err := fmt.Sscanf(strings.ReplaceAll(knn, " ", ""), "%f,%f", &p.Lat, &p.Lon); err != nil {
+			log.Fatalf("bad -knn: %v", err)
+		}
+		sn := st.SpatialSnapshot()
+		// Query at the archive's temporal midpoint.
+		var mid time.Time
+		if ms := st.MMSIs(); len(ms) > 0 {
+			tr := st.Trajectory(ms[0])
+			mid = tr.Start().Add(tr.Duration() / 2)
+		}
+		for i, s := range sn.NearestVessels(p, mid, 30*time.Minute, k) {
+			fmt.Printf("%d. vessel %d at %s (%.1f km away, %s)\n",
+				i+1, s.MMSI, s.Pos, geo.Distance(p, s.Pos)/1000,
+				s.At.Format("15:04:05"))
+		}
+	default:
+		log.Fatal("pass one of -vessel, -box, -knn")
 	}
 }

@@ -1,0 +1,43 @@
+package ais
+
+import (
+	"testing"
+)
+
+// Decode-path allocation benchmarks (the ROADMAP hot-path item): together
+// with BenchmarkDecodePosition (ais_test.go) — the single-fragment case
+// that is the overwhelming bulk of AIS traffic — this pins the allocs/op
+// that bound the single-worker decode ceiling the E14 submitter loop
+// shows. The multi-fragment case exercises payload reassembly and the
+// pending-fragment map. EXPERIMENTS.md records the before/after numbers.
+
+func benchSentences(b *testing.B, msg any) []string {
+	b.Helper()
+	lines, err := EncodeSentences(msg, 3, "A")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return lines
+}
+
+func BenchmarkDecodeMultiFragment(b *testing.B) {
+	lines := benchSentences(b, &StaticVoyage{
+		MMSI: 235098765, IMO: 9074729, CallSign: "GBXX7",
+		ShipName: "EVER GIVEN", ShipType: 70, Destination: "ROTTERDAM",
+		DimBow: 200, DimStern: 50, DimPort: 20, DimStarb: 20,
+		Draught: 12.5,
+	})
+	if len(lines) < 2 {
+		b.Fatalf("expected a multi-fragment message, got %d lines", len(lines))
+	}
+	d := NewDecoder()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, l := range lines {
+			if _, err := d.Decode(l); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -154,20 +154,27 @@ func armorPayload(bits []byte) (payload string, fill int) {
 // unarmorPayload converts an armored payload back into a bit string,
 // dropping the given number of fill bits from the end.
 func unarmorPayload(payload string, fill int) ([]byte, error) {
-	bits := make([]byte, 0, len(payload)*6)
+	return unarmorAppend(make([]byte, 0, len(payload)*6), []byte(payload), fill)
+}
+
+// unarmorAppend is the allocation-free core of unarmorPayload: it appends
+// the unarmored bits to dst (reusing its capacity) so a decoder can hold
+// one buffer across sentences.
+func unarmorAppend(dst []byte, payload []byte, fill int) ([]byte, error) {
+	base := len(dst)
 	for i := 0; i < len(payload); i++ {
 		v, ok := unarmorChar(payload[i])
 		if !ok {
-			return nil, fmt.Errorf("ais: invalid armor character %q at %d", payload[i], i)
+			return dst[:base], fmt.Errorf("ais: invalid armor character %q at %d", payload[i], i)
 		}
 		for j := 5; j >= 0; j-- {
-			bits = append(bits, v>>uint(j)&1)
+			dst = append(dst, v>>uint(j)&1)
 		}
 	}
-	if fill < 0 || fill > 5 || fill > len(bits) {
-		return nil, fmt.Errorf("ais: invalid fill bit count %d", fill)
+	if fill < 0 || fill > 5 || fill > len(dst)-base {
+		return dst[:base], fmt.Errorf("ais: invalid fill bit count %d", fill)
 	}
-	return bits[:len(bits)-fill], nil
+	return dst[:len(dst)-fill], nil
 }
 
 // armorChar maps a 6-bit value to its AIVDM payload character.

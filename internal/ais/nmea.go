@@ -49,10 +49,23 @@ func ParseSentence(line string) (Sentence, error) {
 	if got := Checksum(body); got != byte(want) {
 		return s, fmt.Errorf("ais: checksum mismatch: got %02X want %02X", got, byte(want))
 	}
-	fields := strings.Split(body, ",")
-	if len(fields) != 7 {
-		return s, fmt.Errorf("ais: expected 7 fields, got %d", len(fields))
+	// Split into exactly 7 comma-separated fields without allocating the
+	// slice strings.Split would (decode hot path).
+	var fields [7]string
+	n := 0
+	for n < 6 {
+		i := strings.IndexByte(body, ',')
+		if i < 0 {
+			break
+		}
+		fields[n] = body[:i]
+		body = body[i+1:]
+		n++
 	}
+	if n != 6 || strings.IndexByte(body, ',') >= 0 {
+		return s, fmt.Errorf("ais: expected 7 fields: %q", truncate(line, 32))
+	}
+	fields[6] = body
 	if fields[0] != "AIVDM" && fields[0] != "AIVDO" {
 		return s, fmt.Errorf("ais: unexpected talker %q", fields[0])
 	}
@@ -118,8 +131,18 @@ func EncodeSentences(msg any, msgID int, channel string) ([]string, error) {
 // Decoder assembles AIVDM sentences (including multi-fragment messages)
 // into decoded AIS messages. It is not safe for concurrent use; create one
 // per input stream.
+//
+// The decoder reuses its unarmor and payload-assembly buffers and recycles
+// fragment-map entries across messages, so the steady-state Decode cost is
+// the one allocation of the decoded message itself (see the allocs/op
+// benchmarks in bench_test.go).
 type Decoder struct {
 	pending map[string][]Sentence // msgID+channel -> fragments received so far
+
+	single   [1]Sentence  // scratch for the single-fragment fast path
+	payload  []byte       // reused multi-fragment payload assembly buffer
+	bits     []byte       // reused unarmored-bit buffer
+	fragFree [][]Sentence // recycled fragment slices from completed groups
 
 	// Stats counts decoding outcomes since creation.
 	Stats DecoderStats
@@ -150,37 +173,60 @@ func (d *Decoder) Decode(line string) (any, error) {
 	}
 	d.Stats.Sentences++
 	if s.FragCount == 1 {
-		return d.finish([]Sentence{s})
+		d.single[0] = s
+		return d.finish(d.single[:1])
 	}
 	key := s.MsgID + "/" + s.Channel
-	frags := append(d.pending[key], s)
+	frags, ok := d.pending[key]
+	if !ok && len(d.fragFree) > 0 {
+		frags = d.fragFree[len(d.fragFree)-1]
+		d.fragFree = d.fragFree[:len(d.fragFree)-1]
+	}
+	frags = append(frags, s)
 	if len(frags) < s.FragCount {
 		d.pending[key] = frags
 		return nil, nil
 	}
 	delete(d.pending, key)
-	// Order fragments by fragment number.
-	ordered := make([]Sentence, s.FragCount)
+	defer d.recycle(frags)
+	// Check the fragment set is a permutation of 1..FragCount and sort it
+	// into fragment-number order in place.
 	for _, f := range frags {
-		if f.FragNum < 1 || f.FragNum > s.FragCount || ordered[f.FragNum-1].Payload != "" {
+		if f.FragNum < 1 || f.FragNum > s.FragCount {
 			d.Stats.Undecoded++
 			return nil, fmt.Errorf("ais: inconsistent fragment set for %q", key)
 		}
-		ordered[f.FragNum-1] = f
 	}
-	return d.finish(ordered)
+	for i := 0; i < len(frags); i++ {
+		for frags[i].FragNum != i+1 {
+			j := frags[i].FragNum - 1
+			if frags[j].FragNum == frags[i].FragNum {
+				d.Stats.Undecoded++
+				return nil, fmt.Errorf("ais: inconsistent fragment set for %q", key)
+			}
+			frags[i], frags[j] = frags[j], frags[i]
+		}
+	}
+	return d.finish(frags)
+}
+
+// recycle returns a completed fragment group's slice to the free list so
+// the next multi-fragment message reuses its backing array.
+func (d *Decoder) recycle(frags []Sentence) {
+	for i := range frags {
+		frags[i] = Sentence{} // drop string references
+	}
+	d.fragFree = append(d.fragFree, frags[:0])
 }
 
 func (d *Decoder) finish(frags []Sentence) (any, error) {
-	var payload strings.Builder
-	fill := 0
-	for i, f := range frags {
-		payload.WriteString(f.Payload)
-		if i == len(frags)-1 {
-			fill = f.FillBits
-		}
+	fill := frags[len(frags)-1].FillBits
+	d.payload = d.payload[:0]
+	for _, f := range frags {
+		d.payload = append(d.payload, f.Payload...)
 	}
-	bits, err := unarmorPayload(payload.String(), fill)
+	bits, err := unarmorAppend(d.bits[:0], d.payload, fill)
+	d.bits = bits[:0]
 	if err != nil {
 		d.Stats.Undecoded++
 		return nil, err

@@ -24,6 +24,14 @@
 // An optional NMEA front-end (StartLines) adds parallel decode workers in
 // front of the partition stage; multi-fragment sentences are routed to a
 // consistent worker so fragment reassembly still sees every part.
+//
+// An optional persistence back-end (Config.Backend, package
+// internal/store) adds an asynchronous flush stage behind the shard
+// stores: archived records queue into a bounded buffer that one flush
+// goroutine drains into batched, checksummed WAL appends, so disk latency
+// never sits on the ingest path yet saturation still backpressures. The
+// stage drains and syncs when the dataflow completes (Wait), and a
+// recovered archive re-enters the engine through Resume.
 package ingest
 
 import (
@@ -37,7 +45,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/events"
 	"repro/internal/quality"
+	"repro/internal/store"
 	"repro/internal/stream"
+	"repro/internal/tstore"
 )
 
 // Config parameterises an Engine. The zero value is usable: every field
@@ -58,6 +68,17 @@ type Config struct {
 	BatchSize int
 	// AlertBuf bounds the merged alert channel (default 256).
 	AlertBuf int
+	// Backend, when non-nil, persists every archived record through an
+	// asynchronous batched flush stage: each shard's trajectory store
+	// forwards its post-synopsis appends into a shared bounded queue that
+	// a flush goroutine drains into Backend.Append calls. A full queue
+	// backpressures the shard workers like every other stage. The engine
+	// closes the flush stage (drain + final sync) when the dataflow
+	// drains, but the Backend itself belongs to the caller.
+	Backend store.Backend
+	// Flush parameterises the flush stage (queue bound, batch size,
+	// periodic fsync) when Backend is set.
+	Flush store.FlushConfig
 }
 
 func (c *Config) normalize() {
@@ -99,6 +120,9 @@ type Engine struct {
 	decodeStats ais.DecoderStats
 	statsMu     sync.Mutex
 
+	flusher   *store.Flusher
+	flushDone chan struct{}
+
 	started   bool
 	closeOnce sync.Once
 	workers   sync.WaitGroup
@@ -114,12 +138,20 @@ func New(cfg Config) *Engine {
 }
 
 // Start wires the dataflow: partitioner, one worker per shard, merged
-// alert stream. It must be called exactly once, before Ingest.
+// alert stream, and — when a Backend is configured — the persistence
+// flush stage attached to every shard's archive store. It must be called
+// exactly once, before Ingest.
 func (e *Engine) Start(ctx context.Context) {
 	if e.started {
 		panic("ingest: Start called twice")
 	}
 	e.started = true
+	if e.cfg.Backend != nil {
+		e.flusher = store.NewFlusher(e.cfg.Backend, e.cfg.Flush)
+		for _, p := range e.sharded.Shards {
+			p.Store.Attach(e.flusher)
+		}
+	}
 	e.in = make(chan stream.Event[core.TimedReport], e.cfg.ShardBuf)
 	e.shards = stream.Partition(ctx, e.in, e.cfg.Shards, e.cfg.ShardBuf)
 	outs := make([]<-chan stream.Event[events.Alert], e.cfg.Shards)
@@ -130,6 +162,43 @@ func (e *Engine) Start(ctx context.Context) {
 		go e.shardWorker(ctx, e.sharded.Shards[i], part, out)
 	}
 	e.alerts = stream.Merge(ctx, outs, e.cfg.AlertBuf)
+	// Quiesce the flush stage once every shard worker has exited: drain
+	// the queue, final-sync the backend. Wait blocks on this, so "drain
+	// Alerts, then Wait" guarantees the persisted state covers every
+	// processed report.
+	e.flushDone = make(chan struct{})
+	go func() {
+		defer close(e.flushDone)
+		e.workers.Wait()
+		if e.flusher != nil {
+			e.flusher.Close()
+		}
+	}()
+}
+
+// Resume preloads a recovered archive (store.Open) into the engine's
+// shards before Start: each vessel's trajectory lands in its owning
+// shard's store and its newest state seeds that shard's live picture. It
+// returns the number of points loaded. Resumed points are not re-persisted
+// (the flush stage attaches at Start) and do not count in pipeline
+// metrics; detector and synopsis state restarts fresh — only the stored
+// picture resumes, matching what the WAL can know.
+func (e *Engine) Resume(st *tstore.Store) int {
+	if e.started {
+		panic("ingest: Resume after Start")
+	}
+	n := 0
+	for _, mmsi := range st.MMSIs() {
+		tr := st.Trajectory(mmsi)
+		if len(tr.Points) == 0 {
+			continue
+		}
+		p := e.sharded.ShardFor(mmsi)
+		p.Store.AppendAll(tr.Points)
+		p.Live.Update(tr.Points[len(tr.Points)-1])
+		n += len(tr.Points)
+	}
+	return n
 }
 
 // shardWorker drains one partition into batches and runs them through its
@@ -208,9 +277,54 @@ func (e *Engine) Close() {
 }
 
 // Wait blocks until every shard worker has exited — i.e. all submitted
-// reports are processed and all alerts forwarded. Someone must be draining
-// Alerts (or the merge buffers must suffice) for Wait to return.
-func (e *Engine) Wait() { e.workers.Wait() }
+// reports are processed and all alerts forwarded — and, when a Backend is
+// configured, until the flush stage has drained and final-synced it.
+// Someone must be draining Alerts (or the merge buffers must suffice) for
+// Wait to return.
+func (e *Engine) Wait() {
+	e.workers.Wait()
+	if e.flushDone != nil {
+		<-e.flushDone
+	}
+}
+
+// FlushMetrics snapshots the persistence stage counters: In = records
+// enqueued by the shard stores, Out = records the backend accepted,
+// Dropped = records refused or failed. Zero when no Backend is configured.
+func (e *Engine) FlushMetrics() stream.MetricsSnapshot {
+	if e.flusher == nil {
+		return stream.MetricsSnapshot{}
+	}
+	return e.flusher.Metrics.Snapshot()
+}
+
+// FlushDepth reports the persistence queue depth (0 without a Backend) —
+// the flush-side analogue of Depths.
+func (e *Engine) FlushDepth() int {
+	if e.flusher == nil {
+		return 0
+	}
+	return e.flusher.Depth()
+}
+
+// FlushErr returns the first error the persistence stage has seen —
+// from the flush goroutine's backend writes, or parked by a shard store
+// whose forwarding into the queue was refused (nil without a Backend).
+// Complete after Wait.
+func (e *Engine) FlushErr() error {
+	if e.flusher == nil {
+		return nil
+	}
+	if err := e.flusher.Err(); err != nil {
+		return err
+	}
+	for _, p := range e.sharded.Shards {
+		if err := p.Store.SinkErr(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // Sharded exposes the underlying pipelines for synchronous queries —
 // situation pictures, forecasts, archive access. Quiesce (Close, or just

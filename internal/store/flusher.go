@@ -1,0 +1,197 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/stream"
+)
+
+// FlushConfig parameterises the asynchronous flush stage between an
+// ingesting store and a Backend. The zero value is usable.
+type FlushConfig struct {
+	// Queue bounds the number of records pending flush; a full queue
+	// blocks the appender — backpressure, consistent with every other
+	// stage of the ingest dataflow (default 8192).
+	Queue int
+	// Batch caps how many records go into one Backend.Append call
+	// (default 512).
+	Batch int
+	// SyncEvery adds a periodic Backend.Sync on top of the backend's own
+	// policy, bounding how much acknowledged-but-unsynced data a crash
+	// can lose (0 disables; the backend policy still applies).
+	SyncEvery time.Duration
+}
+
+func (c *FlushConfig) normalize() {
+	if c.Queue < 1 {
+		c.Queue = 8192
+	}
+	if c.Batch < 1 {
+		c.Batch = 512
+	}
+}
+
+// Flusher decouples ingest latency from storage latency: Append enqueues
+// into a bounded buffer and returns; a single background goroutine drains
+// the buffer into batched Backend.Append calls under the fsync policy.
+// It implements tstore.Sink, so it attaches directly to an ingesting
+// store. Close drains, syncs and stops the stage (the Backend itself
+// stays open).
+type Flusher struct {
+	// Metrics counts records through the stage: In on enqueue, Out when
+	// the backend accepted them, Dropped for records refused (stage
+	// closed) or failed at the backend.
+	Metrics stream.Metrics
+
+	b   Backend
+	cfg FlushConfig
+
+	mu      sync.Mutex
+	notFull *sync.Cond
+	kick    chan struct{}
+	pending []model.VesselState
+	err     error
+	closing bool
+
+	done chan struct{}
+}
+
+// NewFlusher starts a flush stage over the backend.
+func NewFlusher(b Backend, cfg FlushConfig) *Flusher {
+	cfg.normalize()
+	f := &Flusher{
+		b:    b,
+		cfg:  cfg,
+		kick: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	f.notFull = sync.NewCond(&f.mu)
+	go f.run()
+	return f
+}
+
+// Append enqueues the records for flushing, blocking while the queue is
+// full. It never blocks on the disk itself. Safe for concurrent use.
+func (f *Flusher) Append(recs ...model.VesselState) error {
+	f.mu.Lock()
+	for len(f.pending) >= f.cfg.Queue && !f.closing {
+		f.notFull.Wait()
+	}
+	if f.closing {
+		f.mu.Unlock()
+		f.Metrics.Dropped.Add(int64(len(recs)))
+		return fmt.Errorf("store: append to closed flusher")
+	}
+	f.pending = append(f.pending, recs...)
+	// Count In before releasing the lock so a concurrent metrics
+	// snapshot never observes Out ahead of In.
+	f.Metrics.In.Add(int64(len(recs)))
+	f.mu.Unlock()
+	select {
+	case f.kick <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// run is the flush goroutine: swap out the pending buffer, write it in
+// batches, repeat until closed and drained. With SyncEvery set, idle
+// periods are covered by a timer so the last written batch never sits
+// unsynced longer than the configured bound.
+func (f *Flusher) run() {
+	defer close(f.done)
+	var buf []model.VesselState
+	lastSync := time.Now()
+	dirty := false // records written to the backend since the last sync
+	for {
+		f.mu.Lock()
+		for len(f.pending) == 0 && !f.closing {
+			f.mu.Unlock()
+			if f.cfg.SyncEvery > 0 && dirty {
+				t := time.NewTimer(f.cfg.SyncEvery - time.Since(lastSync))
+				select {
+				case <-f.kick:
+					t.Stop()
+				case <-t.C:
+					f.setErr(f.b.Sync())
+					dirty, lastSync = false, time.Now()
+				}
+			} else {
+				<-f.kick
+			}
+			f.mu.Lock()
+		}
+		if len(f.pending) == 0 && f.closing {
+			f.mu.Unlock()
+			f.setErr(f.b.Sync()) // final durability point
+			return
+		}
+		buf, f.pending = f.pending, buf[:0]
+		f.notFull.Broadcast()
+		f.mu.Unlock()
+
+		for lo := 0; lo < len(buf); lo += f.cfg.Batch {
+			hi := lo + f.cfg.Batch
+			if hi > len(buf) {
+				hi = len(buf)
+			}
+			if err := f.b.Append(buf[lo:hi]); err != nil {
+				f.setErr(err)
+				f.Metrics.Dropped.Add(int64(hi - lo))
+			} else {
+				f.Metrics.Out.Add(int64(hi - lo))
+			}
+		}
+		dirty = true
+		if f.cfg.SyncEvery > 0 && time.Since(lastSync) >= f.cfg.SyncEvery {
+			f.setErr(f.b.Sync())
+			dirty, lastSync = false, time.Now()
+		}
+	}
+}
+
+func (f *Flusher) setErr(err error) {
+	if err == nil {
+		return
+	}
+	f.mu.Lock()
+	if f.err == nil {
+		f.err = err
+	}
+	f.mu.Unlock()
+}
+
+// Err returns the first backend error the stage has seen.
+func (f *Flusher) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+// Depth returns the current queue depth (records pending flush).
+func (f *Flusher) Depth() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.pending)
+}
+
+// Close drains the queue, syncs the backend and stops the stage. Further
+// Appends fail (counted as Dropped). It returns the first error seen,
+// including the final sync. Safe to call more than once.
+func (f *Flusher) Close() error {
+	f.mu.Lock()
+	if !f.closing {
+		f.closing = true
+		f.notFull.Broadcast()
+		select {
+		case f.kick <- struct{}{}:
+		default:
+		}
+	}
+	f.mu.Unlock()
+	<-f.done
+	return f.Err()
+}

@@ -1,0 +1,22 @@
+//go:build !unix
+
+package store
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// acquireLock on platforms without flock merely touches Dir/LOCK and
+// provides no inter-process exclusion — double-writer protection is
+// advisory-only there. The WAL itself stays safe against crashes of a
+// single writer; run one writer per archive directory.
+func acquireLock(dir string) (*os.File, error) {
+	return os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+}
+
+func releaseLock(f *os.File) {
+	if f != nil {
+		f.Close()
+	}
+}

@@ -1,0 +1,34 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// acquireLock takes the archive directory's exclusive writer lock: a
+// non-blocking flock on Dir/LOCK. flock is advisory, crash-safe (the
+// kernel drops it with the process, so no stale-lockfile recovery is
+// needed) and inherited across forks — exactly the single-writer fence
+// the WAL wants.
+func acquireLock(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: archive %s is locked by another process (%w)", dir, err)
+	}
+	return f, nil
+}
+
+func releaseLock(f *os.File) {
+	if f != nil {
+		syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		f.Close()
+	}
+}

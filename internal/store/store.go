@@ -1,0 +1,585 @@
+// Package store is the persistence subsystem of the infrastructure: it
+// makes the trajectory archive and the live maritime picture survive
+// process restarts, the top ROADMAP open item toward exceeding-RAM
+// archives and multi-backend scaling.
+//
+// The design is a classic write-ahead log with snapshots:
+//
+//   - Appended records land in an append-only segmented WAL
+//     (length-prefixed, CRC32C-checksummed frames; fixed-cap segments
+//     with rotation — see wal.go for the layout).
+//   - Compaction folds sealed segments into a compact snapshot in the
+//     existing tstore WriteTo/Load encoding, bounding recovery time and
+//     disk usage; the snapshot file name records the newest segment it
+//     covers, so a crash between snapshot rename and segment deletion
+//     cannot double-count.
+//   - Open recovers by loading the newest snapshot and replaying the WAL
+//     tail, truncating torn writes at the last valid record — the state
+//     after a kill -9 mid-ingest is exactly the persisted prefix.
+//
+// Backends implement the minimal Backend interface so the rest of the
+// stack (tstore attachment points, the ingest flush stage, the CLIs) is
+// storage-agnostic: Mem keeps records in memory (tests, ephemeral runs),
+// Disk is the durable WAL+snapshot implementation. The asynchronous
+// Flusher (flusher.go) decouples ingest latency from disk latency.
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/tstore"
+)
+
+// Backend is the pluggable persistence target for appended vessel states.
+// Implementations must be safe for concurrent use.
+type Backend interface {
+	// Append persists a batch of records per the backend's sync policy.
+	Append(recs []model.VesselState) error
+	// Sync forces buffered appends down to durable storage.
+	Sync() error
+	// Close flushes, syncs and releases the backend.
+	Close() error
+}
+
+// --- in-memory backend --------------------------------------------------------------
+
+// Mem is the in-memory Backend: records accumulate in an ordinary slice.
+// It exists for tests, benchmarks (the zero-durability baseline) and
+// ephemeral runs that still want the flush-stage wiring.
+type Mem struct {
+	mu     sync.Mutex
+	recs   []model.VesselState
+	closed bool
+}
+
+// NewMem returns an empty in-memory backend.
+func NewMem() *Mem { return &Mem{} }
+
+// Append stores the batch.
+func (m *Mem) Append(recs []model.VesselState) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return fmt.Errorf("store: append to closed Mem backend")
+	}
+	m.recs = append(m.recs, recs...)
+	return nil
+}
+
+// Sync is a no-op: memory is as durable as Mem gets.
+func (m *Mem) Sync() error { return nil }
+
+// Close marks the backend closed; further appends fail.
+func (m *Mem) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return nil
+}
+
+// Len returns the number of records appended so far.
+func (m *Mem) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.recs)
+}
+
+// States returns a copy of the appended records in append order.
+func (m *Mem) States() []model.VesselState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]model.VesselState(nil), m.recs...)
+}
+
+// --- disk backend --------------------------------------------------------------------
+
+// SyncPolicy selects when the disk backend calls fsync.
+type SyncPolicy int
+
+const (
+	// SyncRotate (the default) fsyncs when a segment seals and on
+	// Sync/Close — at most one segment of recent records is exposed to an
+	// OS crash; a process crash alone loses only unflushed buffers.
+	SyncRotate SyncPolicy = iota
+	// SyncAlways fsyncs after every Append batch: maximum durability,
+	// disk-latency-bound ingest.
+	SyncAlways
+	// SyncNever leaves flushing entirely to the OS page cache.
+	SyncNever
+)
+
+// Config parameterises a disk archive. The zero value of every field but
+// Dir is usable.
+type Config struct {
+	// Dir is the archive directory (created if absent). Required.
+	Dir string
+	// SegmentBytes caps a WAL segment before rotation (default 4 MiB).
+	SegmentBytes int64
+	// Sync is the fsync policy (default SyncRotate).
+	Sync SyncPolicy
+	// CompactEvery folds sealed segments into the snapshot once this many
+	// have accumulated (default 8; negative disables auto-compaction).
+	CompactEvery int
+	// LiveCellDeg is the grid cell size of the live layer Archive.Live
+	// rebuilds (default 0.25°, matching core.Pipeline).
+	LiveCellDeg float64
+}
+
+func (c *Config) normalize() {
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = 4 << 20
+	}
+	if c.CompactEvery == 0 {
+		c.CompactEvery = 8
+	}
+	if c.LiveCellDeg <= 0 {
+		c.LiveCellDeg = 0.25
+	}
+}
+
+// Disk is the durable Backend: a segmented WAL plus snapshot compaction
+// in an archive directory. Build one with Open, which also recovers the
+// persisted state.
+type Disk struct {
+	cfg Config
+
+	mu       sync.Mutex
+	seg      *os.File
+	bw       *bufio.Writer
+	seq      uint64 // active segment sequence number
+	segBytes int64  // bytes written to the active segment
+	sealed   []uint64
+	snapSeq  uint64   // newest segment folded into the snapshot (0 = none)
+	frame    []byte   // reusable frame-encoding scratch
+	lock     *os.File // flock-held LOCK file; released on Close
+	closed   bool
+}
+
+func segPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%08d.log", seq))
+}
+
+func snapPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("snap-%08d.bin", seq))
+}
+
+// Append frames the batch into the active segment, rotating when the
+// segment cap is reached. Durability follows the Sync policy.
+func (d *Disk) Append(recs []model.VesselState) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return fmt.Errorf("store: append to closed archive %s", d.cfg.Dir)
+	}
+	for i := range recs {
+		if d.segBytes >= d.cfg.SegmentBytes {
+			if err := d.rotateLocked(); err != nil {
+				return err
+			}
+		}
+		d.frame = appendFrame(d.frame[:0], recs[i])
+		if _, err := d.bw.Write(d.frame); err != nil {
+			return err
+		}
+		d.segBytes += int64(len(d.frame))
+	}
+	if d.cfg.Sync == SyncAlways {
+		return d.syncLocked()
+	}
+	return nil
+}
+
+// Sync flushes buffered frames and fsyncs the active segment.
+func (d *Disk) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	return d.syncLocked()
+}
+
+func (d *Disk) syncLocked() error {
+	if err := d.bw.Flush(); err != nil {
+		return err
+	}
+	return d.seg.Sync()
+}
+
+func (d *Disk) flushLocked() error {
+	if err := d.bw.Flush(); err != nil {
+		return err
+	}
+	if d.cfg.Sync != SyncNever {
+		return d.seg.Sync()
+	}
+	return nil
+}
+
+// rotateLocked seals the active segment and opens the next one,
+// compacting if enough sealed segments have accumulated.
+func (d *Disk) rotateLocked() error {
+	if err := d.flushLocked(); err != nil {
+		return err
+	}
+	if err := d.seg.Close(); err != nil {
+		return err
+	}
+	d.sealed = append(d.sealed, d.seq)
+	if err := d.openSegmentLocked(d.seq + 1); err != nil {
+		return err
+	}
+	if d.cfg.CompactEvery > 0 && len(d.sealed) >= d.cfg.CompactEvery {
+		return d.compactLocked()
+	}
+	return nil
+}
+
+func (d *Disk) openSegmentLocked(seq uint64) error {
+	f, err := os.OpenFile(segPath(d.cfg.Dir, seq), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if d.cfg.Sync != SyncNever {
+		if err := syncDir(d.cfg.Dir); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	d.seg = f
+	d.seq = seq
+	d.bw = bufio.NewWriterSize(f, 1<<16)
+	d.segBytes = segHeaderSize
+	return writeSegmentHeader(d.bw)
+}
+
+// Compact folds the sealed WAL segments into a fresh snapshot (tstore
+// WriteTo encoding) and deletes them. Appends block for the duration; run
+// it from a maintenance path, or let rotation trigger it (CompactEvery).
+func (d *Disk) Compact() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return fmt.Errorf("store: compact on closed archive %s", d.cfg.Dir)
+	}
+	return d.compactLocked()
+}
+
+func (d *Disk) compactLocked() error {
+	if len(d.sealed) == 0 {
+		return nil
+	}
+	folded := tstore.New()
+	if d.snapSeq > 0 {
+		if err := loadSnapshot(snapPath(d.cfg.Dir, d.snapSeq), folded); err != nil {
+			return err
+		}
+	}
+	for _, seq := range d.sealed {
+		if _, _, err := replaySegment(segPath(d.cfg.Dir, seq), tornError, folded.Append); err != nil {
+			return err
+		}
+	}
+	newSeq := d.sealed[len(d.sealed)-1]
+	if err := writeSnapshot(snapPath(d.cfg.Dir, newSeq), folded); err != nil {
+		return err
+	}
+	// The snapshot rename must reach the directory before the covered
+	// files are unlinked — otherwise a power cut could persist the
+	// deletions but not the rename, losing the compacted data.
+	if err := syncDir(d.cfg.Dir); err != nil {
+		return err
+	}
+	// Now everything the snapshot covers can go. A crash anywhere below
+	// re-deletes on the next Open (covered files are ignored by
+	// recovery).
+	if d.snapSeq > 0 {
+		os.Remove(snapPath(d.cfg.Dir, d.snapSeq))
+	}
+	for _, seq := range d.sealed {
+		os.Remove(segPath(d.cfg.Dir, seq))
+	}
+	d.snapSeq = newSeq
+	d.sealed = d.sealed[:0]
+	return syncDir(d.cfg.Dir)
+}
+
+// syncDir fsyncs the archive directory so renames, creations and
+// deletions are ordered against a power loss.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Close flushes and fsyncs the active segment, releases the directory
+// lock and retires the backend.
+func (d *Disk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	defer releaseLock(d.lock)
+	if err := d.syncLocked(); err != nil {
+		d.seg.Close()
+		return err
+	}
+	return d.seg.Close()
+}
+
+// Dir returns the archive directory.
+func (d *Disk) Dir() string { return d.cfg.Dir }
+
+// SealedSegments returns the sequence numbers of sealed, uncompacted
+// segments (diagnostics).
+func (d *Disk) SealedSegments() []uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]uint64(nil), d.sealed...)
+}
+
+func writeSnapshot(path string, st *tstore.Store) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := st.WriteTo(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func loadSnapshot(path string, into *tstore.Store) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := into.Load(f); err != nil {
+		return fmt.Errorf("store: loading snapshot %s: %w", path, err)
+	}
+	return nil
+}
+
+// --- open / recovery ----------------------------------------------------------------
+
+// RecoverStats describes what Open found on disk.
+type RecoverStats struct {
+	SnapshotPoints int   // points loaded from the newest snapshot
+	WALRecords     int   // records replayed from WAL segments
+	WALSegments    int   // segments replayed
+	TornBytes      int64 // bytes truncated off the newest segment's torn tail
+}
+
+// Total returns the recovered point count.
+func (r RecoverStats) Total() int { return r.SnapshotPoints + r.WALRecords }
+
+// Archive is an opened on-disk archive: the recovered store plus (for
+// writable opens) the disk backend positioned to continue appending.
+type Archive struct {
+	// Store holds the recovered trajectory archive. Records appended to
+	// the backend after Open are NOT mirrored into it automatically —
+	// attach the backend (or a Flusher over it) to the live store doing
+	// the ingesting (tstore.Store.Attach).
+	Store *tstore.Store
+	// Backend is the disk backend, ready for appends. Nil when the
+	// archive was opened with OpenReadOnly.
+	Backend *Disk
+	// Stats describes the recovery.
+	Stats RecoverStats
+	// ReadOnly reports whether this archive came from OpenReadOnly.
+	ReadOnly bool
+
+	cfg Config
+}
+
+// Open opens (creating if needed) the archive directory, recovers the
+// persisted state — newest snapshot plus WAL tail, with torn trailing
+// records truncated — and returns the recovered store with the backend
+// ready to continue appending into a fresh segment. The directory is
+// locked (flock on Dir/LOCK) for the lifetime of the backend, so a
+// second writer — or a crashed writer's survivor racing a restart —
+// fails fast instead of corrupting the WAL.
+func Open(cfg Config) (*Archive, error) {
+	return open(cfg, false)
+}
+
+// OpenReadOnly recovers the persisted state without mutating the
+// directory in any way: no torn-tail truncation, no stale-file cleanup,
+// no new segment, no lock. It is safe to run against a directory a live
+// writer owns — replay simply stops at the writer's in-flight tail
+// (counted in Stats.TornBytes). The returned Archive has a nil Backend;
+// Close is a no-op. Point-in-time caveat: a concurrent compaction can
+// delete a segment between the directory scan and its replay, which
+// surfaces as an open error — just retry.
+func OpenReadOnly(cfg Config) (*Archive, error) {
+	return open(cfg, true)
+}
+
+func open(cfg Config, readOnly bool) (*Archive, error) {
+	cfg.normalize()
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("store: Config.Dir is required")
+	}
+	var lock *os.File
+	if readOnly {
+		// Read-only must not create anything — a missing directory is an
+		// error, not an empty archive.
+		if fi, err := os.Stat(cfg.Dir); err != nil {
+			return nil, err
+		} else if !fi.IsDir() {
+			return nil, fmt.Errorf("store: %s is not a directory", cfg.Dir)
+		}
+	} else {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, err
+		}
+		var err error
+		if lock, err = acquireLock(cfg.Dir); err != nil {
+			return nil, err
+		}
+		// Every mutation below happens under the directory lock.
+	}
+	entries, err := os.ReadDir(cfg.Dir)
+	if err != nil {
+		releaseLock(lock)
+		return nil, err
+	}
+	var segs []uint64
+	var snaps []uint64
+	for _, e := range entries {
+		name := e.Name()
+		var seq uint64
+		switch {
+		case len(name) == len("wal-00000000.log") && name[:4] == "wal-":
+			if _, err := fmt.Sscanf(name, "wal-%08d.log", &seq); err == nil {
+				segs = append(segs, seq)
+			}
+		case len(name) == len("snap-00000000.bin") && name[:5] == "snap-":
+			if _, err := fmt.Sscanf(name, "snap-%08d.bin", &seq); err == nil {
+				snaps = append(snaps, seq)
+			}
+		case filepath.Ext(name) == ".tmp" && !readOnly:
+			// Leftover from a crashed compaction; never referenced.
+			os.Remove(filepath.Join(cfg.Dir, name))
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+
+	st := tstore.New()
+	var stats RecoverStats
+	var snapSeq uint64
+	if len(snaps) > 0 {
+		snapSeq = snaps[len(snaps)-1]
+		if err := loadSnapshot(snapPath(cfg.Dir, snapSeq), st); err != nil {
+			releaseLock(lock)
+			return nil, err
+		}
+		stats.SnapshotPoints = st.Len()
+		// Older snapshots and covered segments are leftovers of a crashed
+		// compaction — the newest snapshot subsumes them.
+		if !readOnly {
+			for _, s := range snaps[:len(snaps)-1] {
+				os.Remove(snapPath(cfg.Dir, s))
+			}
+		}
+	}
+	maxSeq := snapSeq
+	var sealed []uint64
+	for i, seq := range segs {
+		if seq <= snapSeq {
+			if !readOnly {
+				os.Remove(segPath(cfg.Dir, seq))
+			}
+			continue
+		}
+		// Only the newest segment can legitimately be mid-write: readers
+		// skip its tail, writers repair it. A tear anywhere else is real
+		// corruption for both.
+		mode := tornError
+		if i == len(segs)-1 {
+			if readOnly {
+				mode = tornIgnore
+			} else {
+				mode = tornTruncate
+			}
+		}
+		path := segPath(cfg.Dir, seq)
+		n, torn, err := replaySegment(path, mode, st.Append)
+		if err != nil {
+			releaseLock(lock)
+			return nil, err
+		}
+		stats.WALRecords += n
+		stats.WALSegments++
+		stats.TornBytes += torn
+		// A segment torn before its header flushed is removed outright;
+		// only files still on disk become sealed (compaction input).
+		if _, err := os.Stat(path); err == nil {
+			sealed = append(sealed, seq)
+		}
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+	}
+
+	if readOnly {
+		return &Archive{Store: st, Stats: stats, ReadOnly: true, cfg: cfg}, nil
+	}
+	d := &Disk{cfg: cfg, sealed: sealed, snapSeq: snapSeq, lock: lock}
+	if err := d.openSegmentLocked(maxSeq + 1); err != nil {
+		releaseLock(lock)
+		return nil, err
+	}
+	return &Archive{Store: st, Backend: d, Stats: stats, cfg: cfg}, nil
+}
+
+// Live rebuilds the live-picture layer from the recovered archive: each
+// vessel's newest persisted state under the grid index. With a synopsis
+// filter upstream this is the latest archived (not latest received)
+// state — exactly what the persisted picture can know.
+func (a *Archive) Live() *tstore.Live {
+	l := tstore.NewLive(a.cfg.LiveCellDeg)
+	for _, mmsi := range a.Store.MMSIs() {
+		tr := a.Store.Trajectory(mmsi)
+		if n := len(tr.Points); n > 0 {
+			l.Update(tr.Points[n-1])
+		}
+	}
+	return l
+}
+
+// Close closes the backend (a no-op for read-only archives).
+func (a *Archive) Close() error {
+	if a.Backend == nil {
+		return nil
+	}
+	return a.Backend.Close()
+}

@@ -21,11 +21,22 @@ import (
 	"repro/internal/model"
 )
 
+// Sink receives the records appended to a Store (or the updates applied
+// to a Live) — the hook a persistence backend attaches to. The canonical
+// implementation is internal/store's Flusher, which queues records for an
+// asynchronous write-ahead log; implementations must be safe for
+// concurrent use when the owning store is used concurrently.
+type Sink interface {
+	Append(recs ...model.VesselState) error
+}
+
 // Store archives trajectories keyed by vessel.
 type Store struct {
 	mu      sync.RWMutex
 	vessels map[uint32]*series
 	total   int
+	sink    Sink
+	sinkErr error
 }
 
 // series holds one vessel's points, kept sorted by time. AIS streams are
@@ -54,10 +65,38 @@ func New() *Store {
 	return &Store{vessels: make(map[uint32]*series)}
 }
 
+// Attach installs a persistence sink: every record appended from now on
+// is forwarded to it after insertion (nil detaches). Attach before
+// feeding the store — records appended earlier are not replayed into the
+// sink. Forwarding errors are retained for SinkErr rather than failing
+// the append; the in-memory insert always happens. The sink is called
+// with the store lock held, so a blocking sink (a full flush queue)
+// backpressures appends — attach an asynchronous stage (store.Flusher),
+// not a raw disk writer, when ingest latency matters.
+func (st *Store) Attach(s Sink) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sink = s
+}
+
+// SinkErr returns the first error the attached sink reported.
+func (st *Store) SinkErr() error {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.sinkErr
+}
+
 // Append inserts one state sample.
 func (st *Store) Append(s model.VesselState) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	st.insertLocked(s)
+	if st.sink != nil {
+		st.forwardLocked(s)
+	}
+}
+
+func (st *Store) insertLocked(s model.VesselState) {
 	ser, ok := st.vessels[s.MMSI]
 	if !ok {
 		ser = &series{}
@@ -67,10 +106,22 @@ func (st *Store) Append(s model.VesselState) {
 	st.total++
 }
 
-// AppendAll inserts a batch of samples.
+func (st *Store) forwardLocked(recs ...model.VesselState) {
+	if err := st.sink.Append(recs...); err != nil && st.sinkErr == nil {
+		st.sinkErr = err
+	}
+}
+
+// AppendAll inserts a batch of samples, forwarding the whole batch to the
+// attached sink in one call.
 func (st *Store) AppendAll(states []model.VesselState) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	for _, s := range states {
-		st.Append(s)
+		st.insertLocked(s)
+	}
+	if st.sink != nil && len(states) > 0 {
+		st.forwardLocked(states...)
 	}
 }
 
@@ -243,9 +294,11 @@ func (sn *Snapshot) NearestVessels(p geo.Point, at time.Time, tol time.Duration,
 // Live maintains the current picture: the latest state per vessel under a
 // grid index for range and proximity queries over "now".
 type Live struct {
-	mu     sync.RWMutex
-	latest map[uint32]model.VesselState
-	grid   *index.GridIndex
+	mu      sync.RWMutex
+	latest  map[uint32]model.VesselState
+	grid    *index.GridIndex
+	sink    Sink
+	sinkErr error
 }
 
 // NewLive returns an empty live layer with the given index cell size.
@@ -254,6 +307,23 @@ func NewLive(cellDeg float64) *Live {
 		latest: make(map[uint32]model.VesselState),
 		grid:   index.NewGridIndex(cellDeg),
 	}
+}
+
+// Attach installs a persistence sink receiving every subsequent Update —
+// a full-rate journal of the live picture, unlike the Store's
+// post-synopsis archive stream (nil detaches). Same contract as
+// Store.Attach: errors park in SinkErr, a blocking sink backpressures.
+func (l *Live) Attach(s Sink) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sink = s
+}
+
+// SinkErr returns the first error the attached sink reported.
+func (l *Live) SinkErr() error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.sinkErr
 }
 
 // Update replaces the vessel's current state.
@@ -265,6 +335,11 @@ func (l *Live) Update(s model.VesselState) {
 	}
 	l.latest[s.MMSI] = s
 	l.grid.Insert(index.Item{Pos: s.Pos, ID: uint64(s.MMSI)})
+	if l.sink != nil {
+		if err := l.sink.Append(s); err != nil && l.sinkErr == nil {
+			l.sinkErr = err
+		}
+	}
 }
 
 // Get returns the vessel's current state.
@@ -389,9 +464,16 @@ type diskRecord struct {
 	Status    uint8
 }
 
-// Load deserialises an archive produced by WriteTo into the store
-// (merging with existing contents). It returns the number of points read.
-// (Named Load rather than ReadFrom to avoid colliding with io.ReaderFrom's
+// Load deserialises an archive produced by WriteTo into the store. Its
+// semantics are APPEND-MERGE, not replace: every loaded point is inserted
+// into per-vessel time order alongside whatever the store already holds,
+// existing points are never removed or overwritten, and loading the same
+// archive twice therefore duplicates every point (Len doubles). Load into
+// a fresh New() store for replace semantics; TestLoadMergesIntoNonEmpty
+// pins this contract. Loaded points are forwarded to an attached Sink
+// like any other append — load before Attach to avoid re-persisting an
+// archive you just read. It returns the number of points read. (Named
+// Load rather than ReadFrom to avoid colliding with io.ReaderFrom's
 // contract, which counts bytes, not points.)
 func (st *Store) Load(r io.Reader) (int, error) {
 	br := bufio.NewReader(r)

@@ -295,3 +295,103 @@ func BenchmarkLiveUpdate(b *testing.B) {
 		l.Update(sample(uint32(201000000+i%2000), i, 40+float64(i%100)*0.01, 5))
 	}
 }
+
+// TestLoadMergesIntoNonEmpty pins Load's append-merge contract: loading
+// into a non-empty store inserts alongside existing points in per-vessel
+// time order, never replacing, and a double Load duplicates every point.
+func TestLoadMergesIntoNonEmpty(t *testing.T) {
+	src := New()
+	src.Append(sample(1, 10, 40, 5))
+	src.Append(sample(1, 30, 40.1, 5))
+	src.Append(sample(2, 20, 41, 6))
+	var buf bytes.Buffer
+	if _, err := src.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	encoded := buf.Bytes()
+
+	dst := New()
+	dst.Append(sample(1, 20, 39, 4)) // interleaves between the loaded 10s and 30s points
+	dst.Append(sample(3, 5, 42, 7))  // vessel absent from the archive
+	n, err := dst.Load(bytes.NewReader(encoded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("Load returned %d points, want 3", n)
+	}
+	if dst.Len() != 5 || dst.VesselCount() != 3 {
+		t.Fatalf("after merge: Len=%d VesselCount=%d, want 5 and 3", dst.Len(), dst.VesselCount())
+	}
+	tr := dst.Trajectory(1)
+	if len(tr.Points) != 3 {
+		t.Fatalf("vessel 1 has %d points, want 3 (merged)", len(tr.Points))
+	}
+	for i := 1; i < len(tr.Points); i++ {
+		if tr.Points[i].At.Before(tr.Points[i-1].At) {
+			t.Fatalf("vessel 1 points out of time order after merge: %v", tr.Points)
+		}
+	}
+	if tr.Points[1].Pos.Lat != 39 {
+		t.Fatalf("pre-existing point not preserved in order: %v", tr.Points)
+	}
+
+	// Loading the same archive again duplicates every archived point.
+	if _, err := dst.Load(bytes.NewReader(encoded)); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != 8 {
+		t.Fatalf("after double load: Len=%d, want 8 (duplicates appended)", dst.Len())
+	}
+	if got := len(dst.Trajectory(1).Points); got != 5 {
+		t.Fatalf("vessel 1 has %d points after double load, want 5", got)
+	}
+}
+
+// sinkRecorder is a test Sink capturing forwarded records.
+type sinkRecorder struct {
+	mu   sync.Mutex
+	recs []model.VesselState
+	err  error
+}
+
+func (r *sinkRecorder) Append(recs ...model.VesselState) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.recs = append(r.recs, recs...)
+	return r.err
+}
+
+func TestStoreAttachForwards(t *testing.T) {
+	st := New()
+	st.Append(sample(1, 0, 40, 5)) // before Attach: not forwarded
+	rec := &sinkRecorder{}
+	st.Attach(rec)
+	st.Append(sample(1, 10, 40.1, 5))
+	st.AppendAll([]model.VesselState{sample(2, 20, 41, 6), sample(2, 30, 41.1, 6)})
+	if len(rec.recs) != 3 {
+		t.Fatalf("sink saw %d records, want 3", len(rec.recs))
+	}
+	if st.SinkErr() != nil {
+		t.Fatalf("unexpected sink error: %v", st.SinkErr())
+	}
+	st.Attach(nil)
+	st.Append(sample(1, 40, 40.2, 5))
+	if len(rec.recs) != 3 {
+		t.Fatalf("detached sink still saw appends: %d records", len(rec.recs))
+	}
+}
+
+func TestLiveAttachForwards(t *testing.T) {
+	l := NewLive(0.25)
+	rec := &sinkRecorder{}
+	l.Attach(rec)
+	l.Update(sample(1, 0, 40, 5))
+	l.Update(sample(1, 10, 40.1, 5))
+	if len(rec.recs) != 2 {
+		t.Fatalf("sink saw %d updates, want 2", len(rec.recs))
+	}
+	if l.SinkErr() != nil {
+		t.Fatalf("unexpected sink error: %v", l.SinkErr())
+	}
+}

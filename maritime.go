@@ -64,6 +64,34 @@
 // over the same input (per-vessel order is preserved end to end); see
 // internal/ingest for the dataflow details and cmd/maritimed for a
 // complete NMEA-to-alerts daemon built on it.
+//
+// # Persistence (durable archive)
+//
+// By default everything is in-memory. To make the archive survive
+// restarts, open an archive directory and hand its backend to the
+// engine: archived records stream through an asynchronous flush stage
+// into a segmented, CRC32C-checksummed write-ahead log that is
+// periodically compacted into snapshots. On the next start, OpenArchive
+// recovers the persisted state (snapshot + WAL tail, truncating torn
+// trailing writes at the last valid record) and Resume seeds the engine
+// with it:
+//
+//	arch, err := maritime.OpenArchive(maritime.StoreConfig{Dir: "/var/lib/maritimed"})
+//	if err != nil { ... }
+//	e := maritime.NewIngestEngine(maritime.IngestConfig{
+//	    Pipeline: maritime.PipelineConfig{Zones: run.Config.World.Zones},
+//	    Backend:  arch.Backend, // async batched flush; queue bound + fsync policy in Flush
+//	})
+//	fmt.Printf("recovered %d records\n", e.Resume(arch.Store))
+//	e.Start(ctx)
+//	// ... feed it, drain Alerts ...
+//	e.Wait()     // flush queue drained, backend synced
+//	arch.Close() // archive is durable
+//
+// The same Backend interface has an in-memory implementation (NewMem)
+// for tests, and any store can attach a flush stage directly via
+// Store.Attach — see internal/store for the subsystem and cmd/maritimed
+// (-data-dir) for the resume-on-restart daemon built on it.
 package maritime
 
 import (
@@ -75,6 +103,7 @@ import (
 	"repro/internal/ingest"
 	"repro/internal/model"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/synopsis"
 	"repro/internal/tstore"
 	"repro/internal/va"
@@ -170,10 +199,63 @@ type (
 	Trajectory = model.Trajectory
 	// VesselState is one timestamped kinematic sample.
 	VesselState = model.VesselState
+	// StoreSink receives appended records — the hook persistence attaches
+	// to (Store.Attach / Live.Attach).
+	StoreSink = tstore.Sink
 )
 
 // NewStore returns an empty trajectory archive.
 func NewStore() *Store { return tstore.New() }
+
+// Persistence: the durable archive subsystem (segmented WAL + snapshots).
+type (
+	// StoreBackend is the pluggable persistence target for vessel states.
+	StoreBackend = store.Backend
+	// StoreConfig parameterises an on-disk archive (directory, segment
+	// cap, fsync policy, compaction cadence).
+	StoreConfig = store.Config
+	// SyncPolicy selects when the disk backend fsyncs.
+	SyncPolicy = store.SyncPolicy
+	// Archive is an opened on-disk archive: recovered store + backend.
+	Archive = store.Archive
+	// RecoverStats describes what OpenArchive found on disk.
+	RecoverStats = store.RecoverStats
+	// DiskBackend is the durable WAL+snapshot backend.
+	DiskBackend = store.Disk
+	// MemBackend is the in-memory backend (tests, ephemeral runs).
+	MemBackend = store.Mem
+	// FlushConfig parameterises the asynchronous flush stage between an
+	// ingesting store and a backend.
+	FlushConfig = store.FlushConfig
+	// Flusher is the asynchronous flush stage; it implements StoreSink.
+	Flusher = store.Flusher
+)
+
+// Fsync policies for StoreConfig.Sync.
+const (
+	SyncRotate = store.SyncRotate
+	SyncAlways = store.SyncAlways
+	SyncNever  = store.SyncNever
+)
+
+// OpenArchive opens (creating if needed) an archive directory and
+// recovers the persisted state: newest snapshot plus WAL tail, with torn
+// trailing records truncated at the last valid record. The directory is
+// flock-protected: a second concurrent writer fails fast.
+func OpenArchive(cfg StoreConfig) (*Archive, error) { return store.Open(cfg) }
+
+// OpenArchiveReadOnly recovers the persisted state without mutating the
+// directory or taking the writer lock — safe against a directory a live
+// daemon owns (replay stops at the writer's in-flight tail).
+func OpenArchiveReadOnly(cfg StoreConfig) (*Archive, error) { return store.OpenReadOnly(cfg) }
+
+// NewMem returns an in-memory storage backend.
+func NewMem() *MemBackend { return store.NewMem() }
+
+// NewFlusher starts an asynchronous flush stage over a backend; attach
+// it to a Store (or Live) to persist its appends without putting disk
+// latency on the ingest path.
+func NewFlusher(b StoreBackend, cfg FlushConfig) *Flusher { return store.NewFlusher(b, cfg) }
 
 // Forecasting.
 type (
