@@ -17,9 +17,16 @@
 // it. Kill it mid-ingest and restart: the picture continues from exactly
 // what reached disk.
 //
+// With -http the daemon serves the unified query surface while it
+// ingests: POST a QueryRequest to /v1/query (or use the per-kind GET
+// routes — /v1/trajectory, /v1/spacetime, /v1/nearest, /v1/live,
+// /v1/situation, /v1/alerts, /v1/stats) and read the live picture, the
+// accumulated archive, situation boards and alert history as JSON, from
+// any host, mid-ingest. cmd/msaquery -http is the CLI client.
+//
 // Usage:
 //
-//	aisgen -vessels 200 -minutes 60 | maritimed [-shards N] [-decoders N] [-data-dir DIR] [-fsync MODE]
+//	aisgen -vessels 200 -minutes 60 | maritimed [-shards N] [-decoders N] [-data-dir DIR] [-fsync MODE] [-http ADDR]
 package main
 
 import (
@@ -27,6 +34,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"sync"
@@ -45,6 +54,7 @@ func main() {
 	decoders := flag.Int("decoders", 0, "NMEA decode workers (default = shards)")
 	dataDir := flag.String("data-dir", "", "persist the archive in this directory (WAL + snapshots) and resume on restart")
 	fsync := flag.String("fsync", "rotate", "fsync policy with -data-dir: rotate, always or never")
+	httpAddr := flag.String("http", "", "serve the query API on this address (e.g. :8080) while ingesting")
 	flag.Parse()
 
 	world := sim.MediterraneanWorld(1)
@@ -88,6 +98,25 @@ func main() {
 	}
 	ctx := context.Background()
 	engine.Start(ctx)
+
+	// Query API: the unified read surface over the ingesting shards,
+	// served concurrently with ingest (reads see each shard's consistent
+	// current state).
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "maritimed: query API listen:", err)
+			os.Exit(1)
+		}
+		httpSrv = &http.Server{Handler: maritime.NewQueryServer(engine)}
+		go func() {
+			if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "maritimed: query API:", err)
+			}
+		}()
+		fmt.Printf("[query] serving /v1 on %s\n", ln.Addr())
+	}
 
 	// Static/voyage quality issues surface from decode workers; serialise
 	// them onto stdout.
@@ -181,5 +210,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "maritimed: closing archive:", err)
 		}
 		fmt.Printf("[archive] persisted %d records to %s (%d dropped)\n", fm.Out, *dataDir, fm.Dropped)
+	}
+
+	if httpSrv != nil {
+		shutCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "maritimed: query API shutdown:", err)
+		}
 	}
 }

@@ -1,29 +1,37 @@
-// Command msaquery demonstrates archive queries against stored
-// trajectories: build a snapshot file with -write, then query it with
-// -read, or open a maritimed -data-dir archive directory directly with
-// -data (read-only snapshot + WAL recovery: nothing on disk is touched,
-// so it is safe while a daemon owns the directory). This is the §2.3
-// moving-object query surface as a CLI.
+// Command msaquery is the CLI of the unified query surface (§2.3 moving
+// object queries, internal/query): the same typed requests a program
+// issues in-process, pointed at a snapshot file (-read), an archive
+// directory a daemon owns (-data; read-only recovery, nothing on disk is
+// touched), or a running maritimed's query API (-http). -write still
+// simulates traffic into a snapshot file for the other modes to read.
 //
 // Usage:
 //
 //	msaquery -write archive.bin -vessels 100 -minutes 120
 //	msaquery -read archive.bin -vessel 201000091
 //	msaquery -read archive.bin -box "42,4,44,9"
-//	msaquery -read archive.bin -knn "43.2,5.3" -k 5
-//	msaquery -data /var/lib/maritimed -vessel 201000091
+//	msaquery -data /var/lib/maritimed -knn "43.2,5.3" -k 5
+//	msaquery -http localhost:8080 -live "42,4,44,9"
+//	msaquery -http localhost:8080 -situation "42,4,44,9"
+//	msaquery -data /var/lib/maritimed -stats -json
+//
+// Exactly one query flag (-vessel, -box, -knn, -live, -situation,
+// -alerts, -stats) runs per invocation; -from/-to/-at bound time where
+// the kind supports it, and -json dumps the raw Result encoding instead
+// of the human summary.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
-	"strings"
 	"time"
 
 	"repro/internal/geo"
 	"repro/internal/model"
+	"repro/internal/query"
 	"repro/internal/sim"
 	"repro/internal/store"
 	"repro/internal/tstore"
@@ -32,124 +40,326 @@ import (
 func main() {
 	write := flag.String("write", "", "simulate traffic and write an archive to this path")
 	read := flag.String("read", "", "load an archive snapshot file from this path")
-	data := flag.String("data", "", "open an archive directory (maritimed -data-dir) with WAL recovery")
+	data := flag.String("data", "", "open an archive directory (maritimed -data-dir) with read-only WAL recovery")
+	httpAddr := flag.String("http", "", "query a running maritimed -http daemon at this address")
 	vessels := flag.Int("vessels", 100, "fleet size for -write")
 	minutes := flag.Int("minutes", 120, "duration for -write")
-	vessel := flag.Uint("vessel", 0, "print this vessel's trajectory summary")
+
+	vessel := flag.Uint("vessel", 0, "trajectory query: print this vessel's summary")
 	box := flag.String("box", "", "space-time query: minLat,minLon,maxLat,maxLon")
 	knn := flag.String("knn", "", "nearest-vessel query: lat,lon")
 	k := flag.Int("k", 5, "number of neighbours for -knn")
+	live := flag.String("live", "", "live-picture query: minLat,minLon,maxLat,maxLon")
+	situation := flag.String("situation", "", "situation query: minLat,minLon,maxLat,maxLon")
+	alerts := flag.Bool("alerts", false, "alert-history query")
+	severity := flag.Int("severity", 0, "minimum severity for -alerts / -situation")
+	stats := flag.Bool("stats", false, "store statistics query")
+	from := flag.String("from", "", "lower time bound, RFC 3339")
+	to := flag.String("to", "", "upper time bound, RFC 3339")
+	at := flag.String("at", "", "reference instant for -knn, RFC 3339 (default: any time)")
+	tol := flag.Duration("tol", 0, "time tolerance around -at for -knn (default 30m when -at is set)")
+	limit := flag.Int("limit", 0, "cap returned states/alerts (0 = unlimited)")
+	asJSON := flag.Bool("json", false, "print the raw Result JSON instead of a summary")
 	flag.Parse()
 
-	switch {
-	case *write != "":
-		run, err := sim.Simulate(sim.Config{
-			Seed: 1, NumVessels: *vessels,
-			Duration: time.Duration(*minutes) * time.Minute, TickSec: 2,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		st := tstore.New()
-		for mmsi, pts := range run.Truth {
-			for _, p := range pts {
-				st.Append(model.VesselState{
-					MMSI: mmsi, At: p.At, Pos: p.Pos,
-					SpeedKn: p.SpeedKn, CourseDeg: p.CourseDeg,
-				})
-			}
-		}
-		f, err := os.Create(*write)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-		n, err := st.WriteTo(f)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("wrote %d points (%d vessels, %d bytes) to %s\n",
-			st.Len(), st.VesselCount(), n, *write)
+	if *write != "" {
+		writeArchive(*write, *vessels, *minutes)
+		return
+	}
 
-	case *read != "":
-		f, err := os.Open(*read)
-		if err != nil {
+	req, err := buildRequest(reqFlags{
+		vessel: uint32(*vessel), box: *box, knn: *knn, k: *k,
+		live: *live, situation: *situation, alerts: *alerts, stats: *stats,
+		severity: *severity, from: *from, to: *to, at: *at, tol: *tol, limit: *limit,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	exec, describe, err := openExecutor(*read, *data, *httpAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if describe != "" {
+		fmt.Println(describe)
+	}
+	res, err := exec.Query(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
 			log.Fatal(err)
+		}
+		return
+	}
+	printResult(req, res)
+}
+
+// reqFlags collects the raw query flags for translation into a Request.
+type reqFlags struct {
+	vessel          uint32
+	box, knn        string
+	k               int
+	live, situation string
+	alerts, stats   bool
+	severity        int
+	from, to, at    string
+	tol             time.Duration
+	limit           int
+}
+
+// buildRequest translates the flags into exactly one validated Request.
+func buildRequest(f reqFlags) (query.Request, error) {
+	req := query.Request{MinSeverity: f.severity, Limit: f.limit}
+	modes := 0
+	switch {
+	case f.vessel != 0:
+		modes++
+		req.Kind = query.KindTrajectory
+		req.MMSI = f.vessel
+	}
+	if f.box != "" {
+		modes++
+		b, err := query.ParseBox(f.box)
+		if err != nil {
+			return req, fmt.Errorf("bad -box: %w", err)
+		}
+		req.Kind = query.KindSpaceTime
+		req.Box = &b
+	}
+	if f.knn != "" {
+		modes++
+		p, err := query.ParsePoint(f.knn)
+		if err != nil {
+			return req, fmt.Errorf("bad -knn: %w", err)
+		}
+		req.Kind = query.KindNearest
+		req.Lat, req.Lon = p.Lat, p.Lon
+		req.K = f.k
+		req.Tol = query.Duration(f.tol)
+	}
+	if f.live != "" {
+		modes++
+		b, err := query.ParseBox(f.live)
+		if err != nil {
+			return req, fmt.Errorf("bad -live: %w", err)
+		}
+		req.Kind = query.KindLivePicture
+		req.Box = &b
+	}
+	if f.situation != "" {
+		modes++
+		b, err := query.ParseBox(f.situation)
+		if err != nil {
+			return req, fmt.Errorf("bad -situation: %w", err)
+		}
+		req.Kind = query.KindSituation
+		req.Box = &b
+	}
+	if f.alerts {
+		modes++
+		req.Kind = query.KindAlertHistory
+	}
+	if f.stats {
+		modes++
+		req.Kind = query.KindStats
+	}
+	if modes != 1 {
+		return req, fmt.Errorf("pass exactly one of -vessel, -box, -knn, -live, -situation, -alerts, -stats (got %d)", modes)
+	}
+	var err error
+	if req.From, err = parseTime(f.from, "-from"); err != nil {
+		return req, err
+	}
+	if req.To, err = parseTime(f.to, "-to"); err != nil {
+		return req, err
+	}
+	if req.At, err = parseTime(f.at, "-at"); err != nil {
+		return req, err
+	}
+	return req, req.Validate()
+}
+
+func parseTime(s, flagName string) (time.Time, error) {
+	if s == "" {
+		return time.Time{}, nil
+	}
+	t, err := time.Parse(time.RFC3339, s)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("bad %s (want RFC 3339): %w", flagName, err)
+	}
+	return t, nil
+}
+
+// openExecutor builds the query executor for the selected mode: a local
+// engine over a loaded snapshot or recovered directory, or a client of a
+// running daemon. The description line reports what was opened (empty
+// for remote, which describes itself via -stats).
+func openExecutor(read, data, httpAddr string) (query.Executor, string, error) {
+	picked := 0
+	for _, s := range []string{read, data, httpAddr} {
+		if s != "" {
+			picked++
+		}
+	}
+	if picked != 1 {
+		return nil, "", fmt.Errorf("pass exactly one of -read, -data, -http (or -write)")
+	}
+	switch {
+	case httpAddr != "":
+		return query.NewClient(httpAddr), "", nil
+	case read != "":
+		f, err := os.Open(read)
+		if err != nil {
+			return nil, "", err
 		}
 		defer f.Close()
 		st := tstore.New()
 		if _, err := st.Load(f); err != nil {
-			log.Fatal(err)
+			return nil, "", err
 		}
-		query(st, uint32(*vessel), *box, *knn, *k)
-
-	case *data != "":
+		desc := fmt.Sprintf("archive %s: %d points, %d vessels", read, st.Len(), st.VesselCount())
+		return query.NewEngine(query.NewStoreSource("archive", st)), desc, nil
+	default:
 		// Read-only recovery: mutates nothing, takes no lock — safe to
-		// query a directory a running maritimed owns (replay stops at the
-		// writer's in-flight tail).
-		arch, err := store.OpenReadOnly(store.Config{Dir: *data})
+		// query a directory a running maritimed owns (replay stops at
+		// the writer's in-flight tail).
+		arch, err := store.OpenReadOnly(store.Config{Dir: data})
 		if err != nil {
-			log.Fatal(err)
+			return nil, "", err
 		}
-		fmt.Printf("recovered %d records (%d snapshot + %d WAL over %d segments",
+		desc := fmt.Sprintf("recovered %d records (%d snapshot + %d WAL over %d segments",
 			arch.Stats.Total(), arch.Stats.SnapshotPoints,
 			arch.Stats.WALRecords, arch.Stats.WALSegments)
 		if arch.Stats.TornBytes > 0 {
-			fmt.Printf("; skipped %d in-flight/torn tail bytes", arch.Stats.TornBytes)
+			desc += fmt.Sprintf("; skipped %d in-flight/torn tail bytes", arch.Stats.TornBytes)
 		}
-		fmt.Printf(") from %s\n", *data)
-		query(arch.Store, uint32(*vessel), *box, *knn, *k)
-
-	default:
-		flag.Usage()
-		os.Exit(2)
+		desc += fmt.Sprintf(") from %s", data)
+		return query.NewEngine(query.NewStoreSource("archive", arch.Store)), desc, nil
 	}
 }
 
-// query runs one of the -vessel / -box / -knn queries against the store.
-func query(st *tstore.Store, vessel uint32, box, knn string, k int) {
-	fmt.Printf("archive: %d points, %d vessels\n", st.Len(), st.VesselCount())
-	switch {
-	case vessel != 0:
-		tr := st.Trajectory(vessel)
-		if tr.Len() == 0 {
-			log.Fatalf("vessel %d not in archive", vessel)
+// printResult renders the human summary for each kind.
+func printResult(req query.Request, res *query.Result) {
+	switch res.Kind {
+	case query.KindTrajectory:
+		if res.Count == 0 {
+			log.Fatalf("vessel %d not found", req.MMSI)
 		}
+		tr := &model.Trajectory{MMSI: req.MMSI, Points: res.ModelStates()}
 		fmt.Printf("vessel %d: %d points, %s → %s, %.1f km travelled\n",
-			vessel, tr.Len(),
+			req.MMSI, tr.Len(),
 			tr.Start().Format(time.RFC3339), tr.End().Format(time.RFC3339),
 			tr.Length()/1000)
-	case box != "":
-		var r geo.Rect
-		if _, err := fmt.Sscanf(strings.ReplaceAll(box, " ", ""), "%f,%f,%f,%f",
-			&r.MinLat, &r.MinLon, &r.MaxLat, &r.MaxLon); err != nil {
-			log.Fatalf("bad -box: %v", err)
-		}
-		sn := st.SpatialSnapshot()
-		hits := sn.Search(r, time.Time{}, time.Now().AddDate(10, 0, 0))
+	case query.KindSpaceTime:
 		seen := map[uint32]bool{}
-		for _, h := range hits {
-			seen[h.MMSI] = true
+		for _, s := range res.States {
+			seen[s.MMSI] = true
 		}
-		fmt.Printf("box query: %d points from %d vessels\n", len(hits), len(seen))
-	case knn != "":
-		var p geo.Point
-		if _, err := fmt.Sscanf(strings.ReplaceAll(knn, " ", ""), "%f,%f", &p.Lat, &p.Lon); err != nil {
-			log.Fatalf("bad -knn: %v", err)
-		}
-		sn := st.SpatialSnapshot()
-		// Query at the archive's temporal midpoint.
-		var mid time.Time
-		if ms := st.MMSIs(); len(ms) > 0 {
-			tr := st.Trajectory(ms[0])
-			mid = tr.Start().Add(tr.Duration() / 2)
-		}
-		for i, s := range sn.NearestVessels(p, mid, 30*time.Minute, k) {
+		fmt.Printf("box query: %d points from %d vessels\n", res.Count, len(seen))
+	case query.KindNearest:
+		p := geo.Point{Lat: req.Lat, Lon: req.Lon}
+		for i, s := range res.States {
+			sp := geo.Point{Lat: s.Lat, Lon: s.Lon}
 			fmt.Printf("%d. vessel %d at %s (%.1f km away, %s)\n",
-				i+1, s.MMSI, s.Pos, geo.Distance(p, s.Pos)/1000,
-				s.At.Format("15:04:05"))
+				i+1, s.MMSI, sp, geo.Distance(p, sp)/1000, s.At.Format("15:04:05"))
 		}
-	default:
-		log.Fatal("pass one of -vessel, -box, -knn")
+	case query.KindLivePicture:
+		fmt.Printf("live picture: %d vessels\n", res.Count)
+		for _, s := range res.States {
+			fmt.Printf("  vessel %-9d %8.4f,%9.4f  %5.1f kn  %s\n",
+				s.MMSI, s.Lat, s.Lon, s.SpeedKn, s.At.Format("15:04:05"))
+		}
+	case query.KindSituation:
+		sit := res.Situation
+		fmt.Printf("SITUATION %s — %d vessels, %d alerts\n",
+			sit.At.Format("2006-01-02 15:04:05"), len(sit.Vessels), len(sit.Alerts))
+		renderDensity(sit)
+		n := len(sit.Alerts)
+		if n > 8 {
+			n = 8
+		}
+		for _, a := range sit.Alerts[:n] {
+			fmt.Printf("  [sev%d] %-18s vessel %-9d %s\n", a.Severity, a.Kind, a.MMSI, a.Note)
+		}
+	case query.KindAlertHistory:
+		fmt.Printf("%d alerts\n", res.Count)
+		for _, a := range res.Alerts {
+			fmt.Printf("  [%s] sev%d %-18s vessel %d: %s\n",
+				a.At.Format("15:04:05"), a.Severity, a.Kind, a.MMSI, a.Note)
+		}
+	case query.KindStats:
+		st := res.Stats
+		fmt.Printf("%d points, %d vessels, %d live, %d alerts\n",
+			st.Points, st.Vessels, st.Live, st.Alerts)
+		for _, s := range st.Sources {
+			fmt.Printf("  source %-8s %8d points  %6d vessels  %6d live  %6d alerts\n",
+				s.Name, s.Points, s.Vessels, s.Live, s.Alerts)
+		}
 	}
+	if res.Truncated {
+		fmt.Printf("(truncated to -limit %d of %d)\n", req.Limit, res.Count)
+	}
+}
+
+// renderDensity draws the situation's density surface the way va.Density
+// renders it (north up, light-to-heavy ASCII ramp).
+func renderDensity(sit *query.Situation) {
+	ramp := []byte(" .:-=+*#%@")
+	maxBin := 0
+	for _, c := range sit.Density {
+		if c > maxBin {
+			maxBin = c
+		}
+	}
+	for r := sit.Rows - 1; r >= 0; r-- {
+		row := make([]byte, sit.Cols)
+		for c := 0; c < sit.Cols; c++ {
+			v := sit.Density[r*sit.Cols+c]
+			if maxBin == 0 || v == 0 {
+				row[c] = ramp[0]
+				continue
+			}
+			idx := 1 + v*(len(ramp)-2)/maxBin
+			if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			row[c] = ramp[idx]
+		}
+		fmt.Println(string(row))
+	}
+}
+
+// writeArchive simulates traffic and writes a snapshot file (-write).
+func writeArchive(path string, vessels, minutes int) {
+	run, err := sim.Simulate(sim.Config{
+		Seed: 1, NumVessels: vessels,
+		Duration: time.Duration(minutes) * time.Minute, TickSec: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := tstore.New()
+	for mmsi, pts := range run.Truth {
+		for _, p := range pts {
+			st.Append(model.VesselState{
+				MMSI: mmsi, At: p.At, Pos: p.Pos,
+				SpeedKn: p.SpeedKn, CourseDeg: p.CourseDeg,
+			})
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	n, err := st.WriteTo(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d points (%d vessels, %d bytes) to %s\n",
+		st.Len(), st.VesselCount(), n, path)
 }

@@ -11,6 +11,7 @@
 package ais
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"strings"
@@ -49,11 +50,15 @@ func (w *bitWriter) writeString(s string, n int) {
 
 func (w *bitWriter) len() int { return len(w.bits) }
 
-// bitReader unpacks big-endian bit fields.
+// bitReader unpacks big-endian bit fields. When intern is set (the
+// Decoder's steady-state path), decoded text fields are resolved through
+// its zero-copy string table instead of allocating a fresh string per
+// field.
 type bitReader struct {
-	bits []byte
-	pos  int
-	err  error
+	bits   []byte
+	pos    int
+	err    error
+	intern *stringTable
 }
 
 var errShortPayload = errors.New("ais: payload too short")
@@ -86,21 +91,67 @@ func (r *bitReader) readInt(n int) int64 {
 }
 
 // readString reads an n-character 6-bit ASCII field, trimming the trailing
-// '@' padding and surrounding spaces as receivers conventionally do.
+// '@' padding and surrounding spaces as receivers conventionally do. The
+// characters are assembled in a scratch buffer; with an intern table the
+// result is the table's shared copy (ship names, call signs and
+// destinations repeat across a vessel's six-minute static rebroadcasts,
+// so the steady-state cost is a map lookup, not an allocation).
 func (r *bitReader) readString(n int) string {
-	var sb strings.Builder
+	var buf []byte
+	if r.intern != nil {
+		buf = r.intern.scratch[:0]
+	} else {
+		buf = make([]byte, 0, n)
+	}
 	for i := 0; i < n; i++ {
 		v := r.readUint(6)
 		if r.err != nil {
 			return ""
 		}
-		sb.WriteByte(sixbitToChar(byte(v)))
+		buf = append(buf, sixbitToChar(byte(v)))
 	}
-	s := sb.String()
-	if i := strings.IndexByte(s, '@'); i >= 0 {
-		s = s[:i]
+	if r.intern != nil {
+		r.intern.scratch = buf[:0]
 	}
-	return strings.TrimRight(s, " ")
+	if i := bytes.IndexByte(buf, '@'); i >= 0 {
+		buf = buf[:i]
+	}
+	for len(buf) > 0 && buf[len(buf)-1] == ' ' {
+		buf = buf[:len(buf)-1]
+	}
+	if r.intern != nil {
+		return r.intern.lookup(buf)
+	}
+	return string(buf)
+}
+
+// stringTableCap bounds the intern table so a feed of never-repeating
+// text fields (hostile or corrupt input) cannot grow it without limit;
+// past the cap, lookups that miss simply allocate like the untabled path.
+const stringTableCap = 4096
+
+// stringTable interns decoded 6-bit text fields. The map is keyed by the
+// strings it stores, and lookup converts its []byte argument without
+// allocating (the compiler's map[string]x with string(b) key
+// optimisation), so a repeated field costs zero allocations.
+type stringTable struct {
+	m       map[string]string
+	scratch []byte
+}
+
+// lookup returns the shared copy of b, adding one if the table has room.
+func (t *stringTable) lookup(b []byte) string {
+	if s, ok := t.m[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	if t.m == nil {
+		t.m = make(map[string]string)
+	}
+	if len(t.m) < stringTableCap {
+		t.m[s] = s
+	}
+	return s
 }
 
 func (r *bitReader) remaining() int { return len(r.bits) - r.pos }

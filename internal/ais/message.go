@@ -411,7 +411,14 @@ func decodeStaticB(r *bitReader) (*StaticB, error) {
 // DecodePayload decodes an unarmored AIS bit payload into one of the
 // supported message structs.
 func DecodePayload(bits []byte) (any, error) {
-	r := &bitReader{bits: bits}
+	return decodePayloadWith(bits, nil)
+}
+
+// decodePayloadWith is DecodePayload with an optional intern table for
+// decoded text fields — the Decoder passes its own so repeated static
+// rebroadcasts share string storage.
+func decodePayloadWith(bits []byte, interned *stringTable) (any, error) {
+	r := &bitReader{bits: bits, intern: interned}
 	t := MessageType(r.readUint(6))
 	r.readUint(2) // repeat indicator
 	if r.err != nil {

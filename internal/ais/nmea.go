@@ -132,10 +132,12 @@ func EncodeSentences(msg any, msgID int, channel string) ([]string, error) {
 // into decoded AIS messages. It is not safe for concurrent use; create one
 // per input stream.
 //
-// The decoder reuses its unarmor and payload-assembly buffers and recycles
-// fragment-map entries across messages, so the steady-state Decode cost is
-// the one allocation of the decoded message itself (see the allocs/op
-// benchmarks in bench_test.go).
+// The decoder reuses its unarmor and payload-assembly buffers, recycles
+// fragment-map entries across messages and interns decoded text fields
+// (ship names, call signs, destinations) through a zero-copy string
+// table, so the steady-state Decode cost is the one allocation of the
+// decoded message itself (see the allocs/op benchmarks in bench_test.go
+// and the pin in ais_test.go).
 type Decoder struct {
 	pending map[string][]Sentence // msgID+channel -> fragments received so far
 
@@ -143,6 +145,7 @@ type Decoder struct {
 	payload  []byte       // reused multi-fragment payload assembly buffer
 	bits     []byte       // reused unarmored-bit buffer
 	fragFree [][]Sentence // recycled fragment slices from completed groups
+	interned stringTable  // shared copies of decoded text fields
 
 	// Stats counts decoding outcomes since creation.
 	Stats DecoderStats
@@ -231,7 +234,7 @@ func (d *Decoder) finish(frags []Sentence) (any, error) {
 		d.Stats.Undecoded++
 		return nil, err
 	}
-	msg, err := DecodePayload(bits)
+	msg, err := decodePayloadWith(bits, &d.interned)
 	if err != nil {
 		d.Stats.Undecoded++
 		return nil, err

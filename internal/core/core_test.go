@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/sim"
 	"repro/internal/stream"
+	"repro/internal/va"
 	"repro/internal/weather"
 )
 
@@ -215,6 +217,85 @@ func TestShardedMatchesSingleOnPerVesselMetrics(t *testing.T) {
 	// Per-vessel stages are shard-independent: archived counts match.
 	if ss.Archived != hs.Archived {
 		t.Errorf("archived differ: %d vs %d", ss.Archived, hs.Archived)
+	}
+}
+
+// TestShardedSituationMatchesSinglePipeline pins the Sharded.Situation
+// merge: over the same input, the sharded operational picture — density
+// grid, live vessel set, per-vessel alert board — equals a single
+// pipeline's. Pairwise detectors are shard-local by design (DESIGN.md
+// trade-off), so the comparison runs the per-vessel detector battery
+// only; the grid and vessel equality below is what the merge must
+// guarantee regardless.
+func TestShardedSituationMatchesSinglePipeline(t *testing.T) {
+	simCfg := sim.Config{Seed: 23, NumVessels: 50, Duration: 30 * time.Minute, TickSec: 2}
+	simCfg.DefaultAnomalyRates()
+	run := runScenario(t, simCfg)
+
+	cfg := Config{Zones: run.Config.World.Zones}
+	single := New(cfg)
+	for _, shards := range []int{2, 4, 7} {
+		sharded := NewSharded(cfg, shards)
+		for i := range run.Positions {
+			obs := &run.Positions[i]
+			if shards == 2 { // feed the single pipeline once
+				single.Ingest(obs.At, &obs.Report)
+			}
+			sharded.Ingest(obs.At, &obs.Report)
+		}
+		at := run.Positions[len(run.Positions)-1].At
+		bounds := run.Config.World.Bounds
+		want := single.Situation(at, bounds, 10, 30)
+		got := sharded.Situation(at, bounds, 10, 30)
+
+		if got.Density.Total != want.Density.Total || got.Density.MaxBin != want.Density.MaxBin {
+			t.Fatalf("%d shards: density total/max %d/%d, want %d/%d",
+				shards, got.Density.Total, got.Density.MaxBin, want.Density.Total, want.Density.MaxBin)
+		}
+		for i := range want.Density.Counts {
+			if got.Density.Counts[i] != want.Density.Counts[i] {
+				t.Fatalf("%d shards: density bin %d = %d, want %d",
+					shards, i, got.Density.Counts[i], want.Density.Counts[i])
+			}
+		}
+		if len(got.Vessels) != len(want.Vessels) {
+			t.Fatalf("%d shards: %d vessels, want %d", shards, len(got.Vessels), len(want.Vessels))
+		}
+		wantVessels := map[uint32]time.Time{}
+		for _, v := range want.Vessels {
+			wantVessels[v.MMSI] = v.At
+		}
+		for _, v := range got.Vessels {
+			at, ok := wantVessels[v.MMSI]
+			if !ok || !at.Equal(v.At) {
+				t.Fatalf("%d shards: vessel %d state diverges from single pipeline", shards, v.MMSI)
+			}
+		}
+		// Per-vessel alerts are shard-independent; compare them as a
+		// multiset, ignoring the shard-local pairwise kinds.
+		pairwise := map[string]bool{
+			string(events.KindRendezvous):    true,
+			string(events.KindCollisionRisk): true,
+		}
+		count := func(alerts []va.SituationAlert) map[string]int {
+			m := map[string]int{}
+			for _, a := range alerts {
+				if pairwise[a.Kind] {
+					continue
+				}
+				m[fmt.Sprintf("%s|%s|%d", a.Kind, a.At.Format(time.RFC3339Nano), a.MMSI)]++
+			}
+			return m
+		}
+		gc, wc := count(got.Alerts), count(want.Alerts)
+		if len(gc) != len(wc) {
+			t.Fatalf("%d shards: %d distinct per-vessel alerts, want %d", shards, len(gc), len(wc))
+		}
+		for k, n := range wc {
+			if gc[k] != n {
+				t.Fatalf("%d shards: alert %s count %d, want %d", shards, k, gc[k], n)
+			}
+		}
 	}
 }
 

@@ -1,8 +1,8 @@
 // Package experiments implements the reproduction harness: one function
-// per experiment in DESIGN.md's index (E1–E15), each returning the
+// per experiment in DESIGN.md's index (E1–E16), each returning the
 // paper-style table rows that EXPERIMENTS.md records. Everything is
-// seeded and deterministic (E5/E14/E15 wall-clock columns vary with the
-// hardware; counts do not).
+// seeded and deterministic (E5/E14/E15/E16 wall-clock columns vary with
+// the hardware; counts do not).
 package experiments
 
 import (
@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -22,6 +23,7 @@ import (
 	"repro/internal/ingest"
 	"repro/internal/model"
 	"repro/internal/quality"
+	"repro/internal/query"
 	"repro/internal/registry"
 	"repro/internal/semstore"
 	"repro/internal/sim"
@@ -1067,4 +1069,119 @@ func E15(seed int64) Table {
 		"recovered = records read back by store.Open (snapshot + WAL replay) — must equal archived",
 		"the flush stage is asynchronous and batched, so durability rides behind the ingest path; fsync-always bounds loss to one batch at the cost of disk latency per batch")
 	return t
+}
+
+// E16 measures the unified query surface (internal/query): per-request
+// latency of space–time range and k-nearest-vessel queries against a
+// 100-vessel / 2-hour archive, answered from the live sharded pipelines,
+// from a durable-archive store, and from both merged (deduplicated on
+// (MMSI, timestamp)). The archive holds the first 60% of the run and the
+// live pipelines the last 60%, so the merged engine spans the whole run
+// with a 20% overlap — the post-restart shape maritimed -data-dir -http
+// serves.
+func E16(seed int64) Table {
+	cfg := sim.Config{Seed: seed, NumVessels: 100, Duration: 2 * time.Hour, TickSec: 2}
+	run, err := sim.Simulate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	// Ingest without detectors: E16 measures read latency, not events.
+	pcfg := core.Config{DisableEvents: true, DisableQuality: true}
+	cut1, cut2 := (4*len(run.Positions))/10, (6*len(run.Positions))/10
+	arch := tstore.New()
+	sharded := core.NewSharded(pcfg, 4)
+	for i := range run.Positions {
+		o := &run.Positions[i]
+		if i < cut2 {
+			arch.Append(model.FromReport(o.At, &o.Report))
+		}
+		if i >= cut1 {
+			sharded.Ingest(o.At, &o.Report)
+		}
+	}
+	modes := []struct {
+		name string
+		eng  *query.Engine
+	}{
+		{"live", query.NewEngine(query.NewLiveSource(sharded))},
+		{"archive", query.NewEngine(query.NewStoreSource("archive", arch))},
+		{"merged", query.NewEngine(query.NewLiveSource(sharded), query.NewStoreSource("archive", arch))},
+	}
+	bounds := run.Config.World.Bounds
+	start := run.Positions[0].At
+	span := run.Positions[len(run.Positions)-1].At.Sub(start)
+	const queries = 200
+	rng := rand.New(rand.NewSource(seed))
+	boxes := make([]query.Box, queries)
+	points := make([][2]float64, queries)
+	ats := make([]time.Time, queries)
+	for i := 0; i < queries; i++ {
+		cLat := bounds.MinLat + rng.Float64()*(bounds.MaxLat-bounds.MinLat)
+		cLon := bounds.MinLon + rng.Float64()*(bounds.MaxLon-bounds.MinLon)
+		boxes[i] = query.Box{
+			MinLat: cLat - 1, MinLon: cLon - 1.5, MaxLat: cLat + 1, MaxLon: cLon + 1.5,
+		}
+		points[i] = [2]float64{cLat, cLon}
+		ats[i] = start.Add(time.Duration(rng.Int63n(int64(span))))
+	}
+	t := Table{
+		ID: "E16", Title: "unified query API throughput (internal/query)",
+		Cols: []string{"kind", "source", "queries", "mean hits", "p50", "p99", "qps"},
+	}
+	percentile := func(lat []time.Duration, p float64) time.Duration {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		idx := int(p * float64(len(lat)-1))
+		return lat[idx]
+	}
+	for _, kind := range []query.Kind{query.KindSpaceTime, query.KindNearest} {
+		for _, m := range modes {
+			lats := make([]time.Duration, 0, queries)
+			hits := 0
+			// Warm once: the first Nearest builds the spatial snapshot;
+			// steady-state latency is what the API serves.
+			warm := buildE16Request(kind, boxes[0], points[0], ats[0])
+			if _, err := m.eng.Query(warm); err != nil {
+				panic(err)
+			}
+			wallStart := time.Now()
+			for i := 0; i < queries; i++ {
+				req := buildE16Request(kind, boxes[i], points[i], ats[i])
+				q0 := time.Now()
+				res, err := m.eng.Query(req)
+				if err != nil {
+					panic(err)
+				}
+				lats = append(lats, time.Since(q0))
+				hits += res.Count
+			}
+			wall := time.Since(wallStart)
+			t.Rows = append(t.Rows, []string{
+				string(kind), m.name, f("%d", queries), f("%.0f", float64(hits)/queries),
+				percentile(lats, 0.50).Round(time.Microsecond).String(),
+				percentile(lats, 0.99).Round(time.Microsecond).String(),
+				f("%.0f", float64(queries)/wall.Seconds()),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"archive = first 60% of the run, live = last 60% (20% overlap); merged spans the whole run, deduplicated on (MMSI, timestamp)",
+		"spacetime: random 2°×3° boxes with 20-minute windows; nearest: k=10 within 15 minutes of a random instant",
+		"per-shard/per-store spatial snapshots are cached between queries and invalidated by ingest; the warm-up query builds them")
+	return t
+}
+
+// buildE16Request builds the E16 query of the given kind over the i-th
+// random box/point/instant.
+func buildE16Request(kind query.Kind, box query.Box, pt [2]float64, at time.Time) query.Request {
+	if kind == query.KindSpaceTime {
+		b := box
+		return query.Request{
+			Kind: query.KindSpaceTime, Box: &b,
+			From: at.Add(-10 * time.Minute), To: at.Add(10 * time.Minute),
+		}
+	}
+	return query.Request{
+		Kind: query.KindNearest, Lat: pt[0], Lon: pt[1],
+		At: at, Tol: query.Duration(15 * time.Minute), K: 10,
+	}
 }

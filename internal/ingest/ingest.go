@@ -32,6 +32,11 @@
 // never sits on the ingest path yet saturation still backpressures. The
 // stage drains and syncs when the dataflow completes (Wait), and a
 // recovered archive re-enters the engine through Resume.
+//
+// The read side is the unified query surface (Query/QueryEngine, package
+// internal/query): trajectory, space–time, nearest-vessel, live-picture,
+// situation, alert-history and stats requests answered from the shards
+// while ingest runs — cmd/maritimed serves it over HTTP with -http.
 package ingest
 
 import (
@@ -45,6 +50,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/events"
 	"repro/internal/quality"
+	"repro/internal/query"
 	"repro/internal/store"
 	"repro/internal/stream"
 	"repro/internal/tstore"
@@ -122,6 +128,9 @@ type Engine struct {
 
 	flusher   *store.Flusher
 	flushDone chan struct{}
+
+	queryOnce sync.Once
+	query     *query.Engine
 
 	started   bool
 	closeOnce sync.Once
@@ -330,6 +339,26 @@ func (e *Engine) FlushErr() error {
 // situation pictures, forecasts, archive access. Quiesce (Close, or just
 // stop submitting) before deep reads if exact cut-off points matter.
 func (e *Engine) Sharded() *core.Sharded { return e.sharded }
+
+// QueryEngine returns the unified read surface over the engine's shards:
+// every request kind of internal/query answered from the live pipelines
+// (per-vessel reads route to the owning shard; set reads fan out and
+// merge). The engine is built once and cached — its per-shard spatial
+// snapshots persist across queries and rebuild only after new ingest.
+// Safe to call while ingesting: reads see each shard's consistent
+// current state.
+func (e *Engine) QueryEngine() *query.Engine {
+	e.queryOnce.Do(func() {
+		e.query = query.NewEngine(query.NewLiveSource(e.sharded))
+	})
+	return e.query
+}
+
+// Query answers one unified read request from the engine's shards — the
+// ingest engine's read surface, same contract as query.Engine.Query.
+func (e *Engine) Query(req query.Request) (*query.Result, error) {
+	return e.QueryEngine().Query(req)
+}
 
 // Snapshot sums the per-shard pipeline metrics.
 func (e *Engine) Snapshot() core.Snapshot { return e.sharded.Snapshot() }

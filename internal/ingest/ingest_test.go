@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/events"
 	"repro/internal/quality"
+	"repro/internal/query"
 	"repro/internal/sim"
 	"repro/internal/stream"
 )
@@ -404,5 +405,135 @@ func TestEnginePartitioningMatchesShardFor(t *testing.T) {
 		if got, want := e.Sharded().ShardIndex(mmsi), stream.ShardOf(uint64(mmsi), 5); got != want {
 			t.Fatalf("ShardIndex(%d) = %d, stream.ShardOf = %d", mmsi, got, want)
 		}
+	}
+}
+
+// TestEngineQueryMatchesDirectReads pins the engine's unified read
+// surface: Query answers must equal the direct tstore reads against the
+// engine's own shards — the query layer adds routing and merging, never
+// different data.
+func TestEngineQueryMatchesDirectReads(t *testing.T) {
+	run := simTraffic(t, 11, 40, 20*time.Minute)
+	pcfg := core.Config{Zones: run.Config.World.Zones}
+	_, e := runEngine(t, run, Config{Pipeline: pcfg, Shards: 4})
+	e.Wait() // quiesce: all reports ingested
+
+	sharded := e.Sharded()
+	bounds := run.Config.World.Bounds
+
+	// Trajectory per vessel == owning shard's archive.
+	checked := 0
+	for _, p := range sharded.Shards {
+		for _, mmsi := range p.Store.MMSIs() {
+			res, err := e.Query(query.Request{Kind: query.KindTrajectory, MMSI: mmsi})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := p.Store.Trajectory(mmsi).Points
+			if len(res.States) != len(want) {
+				t.Fatalf("vessel %d: query %d points, store %d", mmsi, len(res.States), len(want))
+			}
+			for i, s := range res.States {
+				if s.MMSI != want[i].MMSI || !s.At.Equal(want[i].At) {
+					t.Fatalf("vessel %d point %d diverges", mmsi, i)
+				}
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no vessels to check")
+	}
+
+	// Live picture == merged per-shard InRect.
+	res, err := e.Query(query.Request{Kind: query.KindLivePicture, Box: ptrBox(query.BoxOf(bounds))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != sharded.LiveCount() {
+		t.Fatalf("live picture %d vessels, LiveCount %d", res.Count, sharded.LiveCount())
+	}
+
+	// Stats == summed pipeline state.
+	stats, err := e.Query(query.Request{Kind: query.KindStats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, p := range sharded.Shards {
+		total += p.Store.Len()
+	}
+	if stats.Stats.Points != total {
+		t.Fatalf("stats points %d, want %d", stats.Stats.Points, total)
+	}
+	if stats.Stats.Alerts != len(sharded.Alerts()) {
+		t.Fatalf("stats alerts %d, want %d", stats.Stats.Alerts, len(sharded.Alerts()))
+	}
+}
+
+func ptrBox(b query.Box) *query.Box { return &b }
+
+// TestQueryDuringIngest exercises the daemon's serving mode: the query
+// surface answering concurrently with the dataflow (run under -race in
+// CI). Answers must be internally consistent snapshots, not torn reads.
+func TestQueryDuringIngest(t *testing.T) {
+	run := simTraffic(t, 31, 20, 20*time.Minute)
+	pcfg := core.Config{Zones: run.Config.World.Zones}
+	e := New(Config{Pipeline: pcfg, Shards: 3})
+	ctx := context.Background()
+	e.Start(ctx)
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for range e.Alerts() {
+		}
+	}()
+	stop := make(chan struct{})
+	var queried sync.WaitGroup
+	box := query.BoxOf(run.Config.World.Bounds)
+	for w := 0; w < 3; w++ {
+		queried.Add(1)
+		go func() {
+			defer queried.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, req := range []query.Request{
+					{Kind: query.KindLivePicture, Box: &box},
+					{Kind: query.KindSpaceTime, Box: &box},
+					{Kind: query.KindStats},
+					{Kind: query.KindNearest, Lat: 38, Lon: 15, K: 3},
+					{Kind: query.KindSituation, Box: &box, Rows: 4, Cols: 8},
+				} {
+					if _, err := e.Query(req); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := range run.Positions {
+		o := &run.Positions[i]
+		e.Ingest(ctx, o.At, &o.Report)
+	}
+	e.Close()
+	<-drained
+	close(stop)
+	queried.Wait()
+	// After quiescing, the surface must report the complete picture.
+	res, err := e.Query(query.Request{Kind: query.KindStats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, p := range e.Sharded().Shards {
+		total += p.Store.Len()
+	}
+	if res.Stats.Points != total {
+		t.Fatalf("post-quiesce stats %d points, shards hold %d", res.Stats.Points, total)
 	}
 }

@@ -1,0 +1,88 @@
+package query
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client answers Requests by POSTing them to a Server's /v1/query route —
+// the remote half of the Executor contract, so a CLI or another service
+// queries a running daemon with exactly the code it would use in-process.
+type Client struct {
+	// Base is the server root, e.g. "http://localhost:8080" (a bare
+	// host:port is promoted to http://).
+	Base string
+	// HTTP overrides the transport. When nil a shared client with a
+	// 30-second overall timeout is used, so a stalled daemon fails the
+	// query instead of hanging the caller forever.
+	HTTP *http.Client
+}
+
+// defaultHTTPClient bounds queries against unresponsive daemons; large
+// archive answers stream well inside this on any sane link.
+var defaultHTTPClient = &http.Client{Timeout: 30 * time.Second}
+
+// NewClient builds a client for a server root or host:port.
+func NewClient(base string) *Client { return &Client{Base: base} }
+
+// Query executes the request against the remote server. Server-side
+// validation errors come back verbatim as errors here.
+func (c *Client) Query(req Request) (*Result, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("query: encoding request: %w", err)
+	}
+	base := strings.TrimRight(c.Base, "/")
+	if base == "" {
+		return nil, fmt.Errorf("query: client has no base URL")
+	}
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	hc := c.HTTP
+	if hc == nil {
+		hc = defaultHTTPClient
+	}
+	resp, err := hc.Post(base+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("query: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, fmt.Errorf("query: reading response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("query: server: %s", e.Error)
+		}
+		return nil, fmt.Errorf("query: server returned %s", resp.Status)
+	}
+	var res Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, fmt.Errorf("query: decoding response: %w", err)
+	}
+	return &res, nil
+}
+
+// Wait polls the server's /v1/stats route until it answers or the
+// timeout elapses — a readiness probe for daemons that bind asynchronously.
+func (c *Client) Wait(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if _, err := c.Query(Request{Kind: KindStats}); err == nil {
+			return nil
+		} else if time.Now().After(deadline) {
+			return fmt.Errorf("query: server not ready after %v: %w", timeout, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -1,0 +1,437 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/events"
+	"repro/internal/geo"
+	"repro/internal/model"
+	"repro/internal/tstore"
+	"repro/internal/va"
+)
+
+// Source is one store the engine can answer from. The two shipped
+// implementations are NewLiveSource (the sharded in-process pipelines,
+// fanned out per shard and merged) and NewStoreSource (a recovered or
+// loaded tstore archive); a future remote backend implements the same
+// six reads and inherits the whole query surface.
+//
+// Contracts: Trajectory and SpaceTime return samples in [from, to]
+// ordered by (MMSI, time); Nearest returns up to k distinct vessels
+// each with a sample within tol of at, ordered by that sample's
+// distance to p; Live returns at most one (the newest known) state per
+// vessel inside r, ordered by MMSI; Alerts returns the recognised-event
+// history (nil for sources that do not track events).
+type Source interface {
+	Name() string
+	Trajectory(mmsi uint32, from, to time.Time) []model.VesselState
+	SpaceTime(r geo.Rect, from, to time.Time) []model.VesselState
+	Nearest(p geo.Point, at time.Time, tol time.Duration, k int) []model.VesselState
+	Live(r geo.Rect) []model.VesselState
+	Alerts() []events.Alert
+	Stats() SourceStats
+}
+
+// Engine executes Requests against one or more Sources, merging and
+// deduplicating on (MMSI, timestamp) so a sample present both in a live
+// shard and in the durable archive appears once. It is safe for
+// concurrent use when its sources are (both shipped sources are).
+type Engine struct {
+	sources []Source
+}
+
+// NewEngine builds an engine over the given sources (at least one).
+func NewEngine(sources ...Source) *Engine {
+	return &Engine{sources: sources}
+}
+
+// Sources returns the source names in answer order.
+func (e *Engine) Sources() []string {
+	out := make([]string, len(e.sources))
+	for i, s := range e.sources {
+		out[i] = s.Name()
+	}
+	return out
+}
+
+// Query validates and executes one request.
+func (e *Engine) Query(req Request) (*Result, error) {
+	if len(e.sources) == 0 {
+		return nil, fmt.Errorf("query: engine has no sources")
+	}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	req = req.normalize()
+	res := &Result{Kind: req.Kind, Sources: e.Sources()}
+	switch req.Kind {
+	case KindTrajectory:
+		from, to := req.timeRange()
+		var merged []model.VesselState
+		for _, s := range e.sources {
+			merged = append(merged, s.Trajectory(req.MMSI, from, to)...)
+		}
+		e.finishStates(req, res, merged)
+	case KindSpaceTime:
+		from, to := req.timeRange()
+		var merged []model.VesselState
+		for _, s := range e.sources {
+			merged = append(merged, s.SpaceTime(req.Box.Rect(), from, to)...)
+		}
+		e.finishStates(req, res, merged)
+	case KindNearest:
+		e.nearest(req, res)
+	case KindLivePicture:
+		states := e.livePicture(req.Box.Rect())
+		res.Count = len(states)
+		for _, s := range truncateStates(states, req.Limit, res) {
+			res.States = append(res.States, StateOf(s))
+		}
+	case KindSituation:
+		res.Situation = e.situation(req)
+		res.Count = len(res.Situation.Vessels)
+	case KindAlertHistory:
+		e.alertHistory(req, res)
+	case KindStats:
+		res.Stats = e.stats()
+		res.Count = res.Stats.Points
+	}
+	return res, nil
+}
+
+// finishStates dedupes, orders, truncates and encodes a merged sample set.
+func (e *Engine) finishStates(req Request, res *Result, merged []model.VesselState) {
+	merged = DedupeStates(merged)
+	res.Count = len(merged)
+	for _, s := range truncateStates(merged, req.Limit, res) {
+		res.States = append(res.States, StateOf(s))
+	}
+}
+
+// DedupeStates sorts samples by (MMSI, time) and removes (MMSI,
+// timestamp) duplicates in place — the merge step between overlapping
+// sources. Exported for tests and for callers composing their own reads.
+func DedupeStates(states []model.VesselState) []model.VesselState {
+	sort.Slice(states, func(i, j int) bool {
+		if states[i].MMSI != states[j].MMSI {
+			return states[i].MMSI < states[j].MMSI
+		}
+		return states[i].At.Before(states[j].At)
+	})
+	out := states[:0]
+	for _, s := range states {
+		if n := len(out); n > 0 && out[n-1].MMSI == s.MMSI && out[n-1].At.Equal(s.At) {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// truncateStates applies the request limit, recording the cut.
+func truncateStates(states []model.VesselState, limit int, res *Result) []model.VesselState {
+	if limit > 0 && len(states) > limit {
+		res.Truncated = true
+		return states[:limit]
+	}
+	return states
+}
+
+// nearest merges per-source candidate lists: order every candidate by
+// distance to the reference point, keep the nearest sample per vessel,
+// take k.
+func (e *Engine) nearest(req Request, res *Result) {
+	p := geo.Point{Lat: req.Lat, Lon: req.Lon}
+	var cands []model.VesselState
+	for _, s := range e.sources {
+		cands = append(cands, s.Nearest(p, req.At, time.Duration(req.Tol), req.K)...)
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		return geo.Distance(p, cands[i].Pos) < geo.Distance(p, cands[j].Pos)
+	})
+	seen := make(map[uint32]bool, req.K)
+	for _, c := range cands {
+		if seen[c.MMSI] {
+			continue
+		}
+		seen[c.MMSI] = true
+		res.States = append(res.States, StateOf(c))
+		if len(res.States) == req.K {
+			break
+		}
+	}
+	res.Count = len(res.States)
+}
+
+// livePicture merges the sources' current pictures, keeping the newest
+// state per vessel (a live pipeline beats a stale archive), MMSI-ordered.
+func (e *Engine) livePicture(r geo.Rect) []model.VesselState {
+	newest := make(map[uint32]model.VesselState)
+	for _, s := range e.sources {
+		for _, st := range s.Live(r) {
+			if prev, ok := newest[st.MMSI]; !ok || st.At.After(prev.At) {
+				newest[st.MMSI] = st
+			}
+		}
+	}
+	out := make([]model.VesselState, 0, len(newest))
+	for _, st := range newest {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].MMSI < out[j].MMSI })
+	return out
+}
+
+// situation assembles the merged operational picture: the deduplicated
+// live states plus the merged alert board, aggregated exactly as
+// core.Pipeline.Situation aggregates a single pipeline's.
+func (e *Engine) situation(req Request) *Situation {
+	bounds := req.Box.Rect()
+	vessels := e.livePicture(bounds)
+	at := req.At
+	if at.IsZero() {
+		for _, v := range vessels {
+			if v.At.After(at) {
+				at = v.At
+			}
+		}
+	}
+	var alerts []va.SituationAlert
+	for _, a := range e.mergedAlerts() {
+		if a.Severity < req.MinSeverity {
+			continue
+		}
+		alerts = append(alerts, va.SituationAlert{
+			At: a.At, Kind: string(a.Kind), MMSI: a.MMSI,
+			Where: a.Where, Severity: a.Severity, Note: a.Note,
+		})
+	}
+	return SituationOf(va.BuildSituation(at, bounds, vessels, alerts, req.Rows, req.Cols))
+}
+
+// alertHistory merges, filters and time-orders the sources' alerts.
+func (e *Engine) alertHistory(req Request, res *Result) {
+	from, to := req.timeRange()
+	var kept []events.Alert
+	for _, a := range e.mergedAlerts() {
+		if a.Severity < req.MinSeverity || a.At.Before(from) || a.At.After(to) {
+			continue
+		}
+		kept = append(kept, a)
+	}
+	sort.SliceStable(kept, func(i, j int) bool { return kept[i].At.Before(kept[j].At) })
+	res.Count = len(kept)
+	if req.Limit > 0 && len(kept) > req.Limit {
+		res.Truncated = true
+		kept = kept[:req.Limit]
+	}
+	for _, a := range kept {
+		res.Alerts = append(res.Alerts, AlertOf(a))
+	}
+}
+
+// mergedAlerts concatenates the sources' alert histories, dropping exact
+// duplicates (same kind, vessels and instant) from overlapping sources.
+func (e *Engine) mergedAlerts() []events.Alert {
+	type key struct {
+		kind        events.Kind
+		mmsi, other uint32
+		unixNano    int64
+	}
+	var out []events.Alert
+	seen := make(map[key]bool)
+	for _, s := range e.sources {
+		for _, a := range s.Alerts() {
+			k := key{kind: a.Kind, mmsi: a.MMSI, other: a.Other, unixNano: a.At.UnixNano()}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// stats aggregates per-source statistics; Vessels and Live are distinct
+// counts and therefore recomputed from merged reads, not summed.
+func (e *Engine) stats() *Stats {
+	st := &Stats{}
+	vessels := make(map[uint32]bool)
+	for _, s := range e.sources {
+		ss := s.Stats()
+		st.Sources = append(st.Sources, ss)
+		st.Points += ss.Points
+		st.Alerts += ss.Alerts
+	}
+	// Both shipped sources report a newest state for every vessel they
+	// hold, so the merged world-wide live picture counts distinct
+	// vessels exactly once each.
+	everywhere := geo.Rect{MinLat: -90, MinLon: -180, MaxLat: 90, MaxLon: 180}
+	live := e.livePicture(everywhere)
+	st.Live = len(live)
+	for _, v := range live {
+		vessels[v.MMSI] = true
+	}
+	st.Vessels = len(vessels)
+	return st
+}
+
+// --- live source (core.Sharded fan-out) -----------------------------------------
+
+// liveSource answers from the running sharded pipelines: per-vessel
+// reads route to the owning shard, set reads fan out across every
+// shard's consistent view and merge.
+type liveSource struct {
+	sharded *core.Sharded
+	snaps   []*snapshotCache
+}
+
+// NewLiveSource builds a Source over the sharded pipelines (the
+// in-process live picture plus each shard's in-memory archive). Nearest
+// queries build per-shard spatial snapshots, cached until the shard's
+// archive grows.
+func NewLiveSource(s *core.Sharded) Source {
+	src := &liveSource{sharded: s}
+	for _, p := range s.Shards {
+		src.snaps = append(src.snaps, &snapshotCache{store: p.Store})
+	}
+	return src
+}
+
+func (l *liveSource) Name() string { return "live" }
+
+func (l *liveSource) Trajectory(mmsi uint32, from, to time.Time) []model.VesselState {
+	return l.sharded.ShardFor(mmsi).Store.TimeRange(mmsi, from, to)
+}
+
+func (l *liveSource) SpaceTime(r geo.Rect, from, to time.Time) []model.VesselState {
+	var out []model.VesselState
+	for _, p := range l.sharded.Shards {
+		out = append(out, p.Store.SpaceTime(r, from, to)...)
+	}
+	// Shards partition the fleet, so per-shard (MMSI, time) order merges
+	// into global order by a plain sort without ties to break.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MMSI != out[j].MMSI {
+			return out[i].MMSI < out[j].MMSI
+		}
+		return out[i].At.Before(out[j].At)
+	})
+	return out
+}
+
+func (l *liveSource) Nearest(p geo.Point, at time.Time, tol time.Duration, k int) []model.VesselState {
+	var cands []model.VesselState
+	for _, sc := range l.snaps {
+		cands = append(cands, sc.get().NearestVessels(p, at, tol, k)...)
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		return geo.Distance(p, cands[i].Pos) < geo.Distance(p, cands[j].Pos)
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	return cands
+}
+
+func (l *liveSource) Live(r geo.Rect) []model.VesselState {
+	var out []model.VesselState
+	for _, p := range l.sharded.Shards {
+		out = append(out, p.Live.InRect(r)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].MMSI < out[j].MMSI })
+	return out
+}
+
+func (l *liveSource) Alerts() []events.Alert { return l.sharded.Alerts() }
+
+func (l *liveSource) Stats() SourceStats {
+	st := SourceStats{Name: l.Name()}
+	for _, p := range l.sharded.Shards {
+		st.Points += p.Store.Len()
+		st.Vessels += p.Store.VesselCount() // shards partition the fleet: no double count
+		st.Live += p.Live.Count()
+	}
+	st.Alerts = len(l.sharded.Alerts())
+	return st
+}
+
+// --- archive source (tstore.Store) ----------------------------------------------
+
+// storeSource answers from a trajectory archive — typically one
+// recovered by store.OpenReadOnly or loaded from a snapshot file. The
+// "live picture" of an archive is each vessel's newest persisted state.
+type storeSource struct {
+	name  string
+	store *tstore.Store
+	snap  snapshotCache
+}
+
+// NewStoreSource builds a Source over a trajectory archive. The name
+// labels it in Result.Sources ("archive" when empty).
+func NewStoreSource(name string, st *tstore.Store) Source {
+	if name == "" {
+		name = "archive"
+	}
+	return &storeSource{name: name, store: st, snap: snapshotCache{store: st}}
+}
+
+func (a *storeSource) Name() string { return a.name }
+
+func (a *storeSource) Trajectory(mmsi uint32, from, to time.Time) []model.VesselState {
+	return a.store.TimeRange(mmsi, from, to)
+}
+
+func (a *storeSource) SpaceTime(r geo.Rect, from, to time.Time) []model.VesselState {
+	return a.store.SpaceTime(r, from, to)
+}
+
+func (a *storeSource) Nearest(p geo.Point, at time.Time, tol time.Duration, k int) []model.VesselState {
+	return a.snap.get().NearestVessels(p, at, tol, k)
+}
+
+func (a *storeSource) Live(r geo.Rect) []model.VesselState {
+	latest := a.store.LatestStates() // O(vessels), already MMSI-ordered
+	out := latest[:0]
+	for _, s := range latest {
+		if r.Contains(s.Pos) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func (a *storeSource) Alerts() []events.Alert { return nil }
+
+func (a *storeSource) Stats() SourceStats {
+	return SourceStats{
+		Name: a.name, Points: a.store.Len(), Vessels: a.store.VesselCount(),
+	}
+}
+
+// snapshotCache lazily builds a store's spatial snapshot and reuses it
+// until the store grows — archives are static after recovery, so their
+// snapshot builds once; live shard stores rebuild only when queried
+// after new appends.
+type snapshotCache struct {
+	store *tstore.Store
+
+	mu    sync.Mutex
+	built *tstore.Snapshot
+	atLen int
+}
+
+func (c *snapshotCache) get() *tstore.Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n := c.store.Len(); c.built == nil || n != c.atLen {
+		c.built = c.store.SpatialSnapshot()
+		c.atLen = n
+	}
+	return c.built
+}

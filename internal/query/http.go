@@ -1,0 +1,270 @@
+package query
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Executor is anything that can answer a Request: the in-process Engine,
+// the ingest engine's read surface, or a Client talking to a remote
+// daemon. The HTTP server serves any of them.
+type Executor interface {
+	Query(Request) (*Result, error)
+}
+
+// Server serves the unified query surface over HTTP as JSON:
+//
+//	POST /v1/query        body = Request            (the canonical route)
+//	GET  /v1/trajectory   ?mmsi=&from=&to=&limit=
+//	GET  /v1/spacetime    ?box=&from=&to=&limit=
+//	GET  /v1/nearest      ?point=lat,lon&at=&tol=&k=
+//	GET  /v1/live         ?box=&limit=
+//	GET  /v1/situation    ?box=&rows=&cols=&severity=
+//	GET  /v1/alerts       ?from=&to=&severity=&limit=
+//	GET  /v1/stats
+//
+// Every route returns a Result; the GET routes are conveniences that
+// build the same Request the POST route accepts (times are RFC 3339,
+// tol is a Go duration, box is minLat,minLon,maxLat,maxLon). Errors come
+// back as {"error": "..."} with status 400 (bad request), 405 (method)
+// or 500 (execution).
+type Server struct {
+	exec Executor
+	mux  *http.ServeMux
+}
+
+// NewServer builds the HTTP surface over an executor.
+func NewServer(exec Executor) *Server {
+	s := &Server{exec: exec, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/v1/query", s.handlePost)
+	s.mux.HandleFunc("/v1/trajectory", s.handleGet(parseTrajectory))
+	s.mux.HandleFunc("/v1/spacetime", s.handleGet(parseSpaceTime))
+	s.mux.HandleFunc("/v1/nearest", s.handleGet(parseNearest))
+	s.mux.HandleFunc("/v1/live", s.handleGet(parseLive))
+	s.mux.HandleFunc("/v1/situation", s.handleGet(parseSituation))
+	s.mux.HandleFunc("/v1/alerts", s.handleGet(parseAlerts))
+	s.mux.HandleFunc("/v1/stats", s.handleGet(parseStats))
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// handlePost decodes a Request body and executes it.
+func (s *Server) handlePost(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST (GET routes are per-kind: /v1/%s ...)", KindTrajectory))
+		return
+	}
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	s.run(w, req)
+}
+
+// handleGet adapts a per-kind query-string parser into a handler.
+func (s *Server) handleGet(parse func(qs urlValues) (Request, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+			return
+		}
+		req, err := parse(urlValues{r.URL.Query()})
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		s.run(w, req)
+	}
+}
+
+func (s *Server) run(w http.ResponseWriter, req Request) {
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.exec.Query(req)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(res); err != nil {
+		// Headers are gone; nothing more to do than note it server-side.
+		return
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// urlValues wraps url.Values with typed, error-reporting accessors.
+type urlValues struct{ v map[string][]string }
+
+func (u urlValues) str(key string) string {
+	if vs := u.v[key]; len(vs) > 0 {
+		return vs[0]
+	}
+	return ""
+}
+
+func (u urlValues) timeAt(key string) (time.Time, error) {
+	s := u.str(key)
+	if s == "" {
+		return time.Time{}, nil
+	}
+	t, err := time.Parse(time.RFC3339, s)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("query: %s must be RFC 3339 (got %q): %w", key, s, err)
+	}
+	return t, nil
+}
+
+func (u urlValues) intAt(key string) (int, error) {
+	s := u.str(key)
+	if s == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("query: %s must be an integer (got %q)", key, s)
+	}
+	return n, nil
+}
+
+func (u urlValues) uint32At(key string) (uint32, error) {
+	s := u.str(key)
+	if s == "" {
+		return 0, nil
+	}
+	n, err := strconv.ParseUint(s, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("query: %s must be an unsigned 32-bit integer (got %q)", key, s)
+	}
+	return uint32(n), nil
+}
+
+func (u urlValues) boxAt(key string) (*Box, error) {
+	s := u.str(key)
+	if s == "" {
+		return nil, nil
+	}
+	b, err := ParseBox(s)
+	if err != nil {
+		return nil, err
+	}
+	return &b, nil
+}
+
+// timeBounds parses the shared from/to pair.
+func (u urlValues) timeBounds(req *Request) error {
+	var err error
+	if req.From, err = u.timeAt("from"); err != nil {
+		return err
+	}
+	req.To, err = u.timeAt("to")
+	return err
+}
+
+func parseTrajectory(u urlValues) (Request, error) {
+	req := Request{Kind: KindTrajectory}
+	var err error
+	if req.MMSI, err = u.uint32At("mmsi"); err != nil {
+		return req, err
+	}
+	if err := u.timeBounds(&req); err != nil {
+		return req, err
+	}
+	req.Limit, err = u.intAt("limit")
+	return req, err
+}
+
+func parseSpaceTime(u urlValues) (Request, error) {
+	req := Request{Kind: KindSpaceTime}
+	var err error
+	if req.Box, err = u.boxAt("box"); err != nil {
+		return req, err
+	}
+	if err := u.timeBounds(&req); err != nil {
+		return req, err
+	}
+	req.Limit, err = u.intAt("limit")
+	return req, err
+}
+
+func parseNearest(u urlValues) (Request, error) {
+	req := Request{Kind: KindNearest}
+	s := u.str("point")
+	if s == "" {
+		return req, fmt.Errorf("query: nearest requires point=lat,lon")
+	}
+	p, err := ParsePoint(s)
+	if err != nil {
+		return req, err
+	}
+	req.Lat, req.Lon = p.Lat, p.Lon
+	if req.At, err = u.timeAt("at"); err != nil {
+		return req, err
+	}
+	if s := u.str("tol"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			return req, fmt.Errorf("query: tol must be a duration (got %q)", s)
+		}
+		req.Tol = Duration(d)
+	}
+	req.K, err = u.intAt("k")
+	return req, err
+}
+
+func parseLive(u urlValues) (Request, error) {
+	req := Request{Kind: KindLivePicture}
+	var err error
+	if req.Box, err = u.boxAt("box"); err != nil {
+		return req, err
+	}
+	req.Limit, err = u.intAt("limit")
+	return req, err
+}
+
+func parseSituation(u urlValues) (Request, error) {
+	req := Request{Kind: KindSituation}
+	var err error
+	if req.Box, err = u.boxAt("box"); err != nil {
+		return req, err
+	}
+	if req.Rows, err = u.intAt("rows"); err != nil {
+		return req, err
+	}
+	if req.Cols, err = u.intAt("cols"); err != nil {
+		return req, err
+	}
+	req.MinSeverity, err = u.intAt("severity")
+	return req, err
+}
+
+func parseAlerts(u urlValues) (Request, error) {
+	req := Request{Kind: KindAlertHistory}
+	if err := u.timeBounds(&req); err != nil {
+		return req, err
+	}
+	var err error
+	if req.MinSeverity, err = u.intAt("severity"); err != nil {
+		return req, err
+	}
+	req.Limit, err = u.intAt("limit")
+	return req, err
+}
+
+func parseStats(urlValues) (Request, error) { return Request{Kind: KindStats}, nil }

@@ -33,7 +33,7 @@ func TestQuickPersistenceRoundTrip(t *testing.T) {
 				At:        base.Add(time.Duration(i) * 13 * time.Second),
 				Pos:       geo.Point{Lat: lat - float64(sd%100)*0.01, Lon: lon - float64(sd%90)*0.01},
 				SpeedKn:   float64(sd%300) / 10,
-				CourseDeg: float64(sd % 3600) / 10,
+				CourseDeg: float64(sd%3600) / 10,
 				Status:    ais.NavStatus(sd % 9),
 			})
 		}

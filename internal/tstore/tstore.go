@@ -163,6 +163,34 @@ func (st *Store) Trajectory(mmsi uint32) *model.Trajectory {
 	return tr
 }
 
+// Latest returns the vessel's newest sample without copying the
+// trajectory (false for an unknown vessel).
+func (st *Store) Latest(mmsi uint32) (model.VesselState, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	ser, ok := st.vessels[mmsi]
+	if !ok || len(ser.points) == 0 {
+		return model.VesselState{}, false
+	}
+	return ser.points[len(ser.points)-1], true
+}
+
+// LatestStates returns every vessel's newest sample, ordered by MMSI —
+// the archive's "current picture", at O(vessels) instead of the
+// O(points) a per-vessel Trajectory walk would copy.
+func (st *Store) LatestStates() []model.VesselState {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]model.VesselState, 0, len(st.vessels))
+	for _, ser := range st.vessels {
+		if len(ser.points) > 0 {
+			out = append(out, ser.points[len(ser.points)-1])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].MMSI < out[j].MMSI })
+	return out
+}
+
 // TimeRange returns the vessel's samples in [from, to].
 func (st *Store) TimeRange(mmsi uint32, from, to time.Time) []model.VesselState {
 	st.mu.RLock()

@@ -92,6 +92,42 @@
 // for tests, and any store can attach a flush stage directly via
 // Store.Attach — see internal/store for the subsystem and cmd/maritimed
 // (-data-dir) for the resume-on-restart daemon built on it.
+//
+// # Querying (unified read surface)
+//
+// Every read — trajectory retrieval, space–time range, nearest vessel,
+// the live picture, situation assembly, alert history, store stats —
+// goes through one typed request against a QueryEngine. The ingest
+// engine exposes its shards directly:
+//
+//	res, err := e.Query(maritime.QueryRequest{
+//	    Kind: maritime.QuerySpaceTime,
+//	    Box:  &maritime.QueryBox{MinLat: 42, MinLon: 4, MaxLat: 44, MaxLon: 9},
+//	    From: t0, To: t1,
+//	})
+//	for _, s := range res.States { fmt.Println(s.MMSI, s.At, s.Lat, s.Lon) }
+//
+// To answer from a durable archive too — one query surface over the
+// running picture plus everything recovered from disk, merged and
+// deduplicated on (MMSI, timestamp) — compose sources explicitly:
+//
+//	arch, _ := maritime.OpenArchiveReadOnly(maritime.StoreConfig{Dir: dir})
+//	qe := maritime.NewQueryEngine(
+//	    maritime.NewLiveQuerySource(e.Sharded()),
+//	    maritime.NewStoreQuerySource("archive", arch.Store),
+//	)
+//	res, _ := qe.Query(maritime.QueryRequest{Kind: maritime.QueryTrajectory, MMSI: 235098765})
+//
+// The same surface serves over HTTP (cmd/maritimed -http): POST a
+// QueryRequest to /v1/query — or use the per-kind GET routes — and a
+// QueryClient is a drop-in remote Executor:
+//
+//	c := maritime.NewQueryClient("localhost:8080")
+//	res, _ := c.Query(maritime.QueryRequest{Kind: maritime.QueryStats})
+//
+// Results have a stable JSON encoding, so the HTTP answer and a locally
+// marshalled in-process answer are byte-identical; cmd/msaquery is the
+// CLI form of this client.
 package maritime
 
 import (
@@ -102,6 +138,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/ingest"
 	"repro/internal/model"
+	"repro/internal/query"
 	"repro/internal/sim"
 	"repro/internal/store"
 	"repro/internal/synopsis"
@@ -256,6 +293,63 @@ func NewMem() *MemBackend { return store.NewMem() }
 // it to a Store (or Live) to persist its appends without putting disk
 // latency on the ingest path.
 func NewFlusher(b StoreBackend, cfg FlushConfig) *Flusher { return store.NewFlusher(b, cfg) }
+
+// Unified query surface: one typed read API over live + archive,
+// servable over HTTP (package internal/query).
+type (
+	// QueryRequest is one typed read (kind + kind-specific fields).
+	QueryRequest = query.Request
+	// QueryResult is the answer, with a stable JSON encoding.
+	QueryResult = query.Result
+	// QueryEngine executes requests against one or more sources, merging
+	// and deduplicating on (MMSI, timestamp).
+	QueryEngine = query.Engine
+	// QuerySource is one store an engine answers from; implement it to
+	// plug a new backend into the whole read surface.
+	QuerySource = query.Source
+	// QueryKind selects what a request retrieves.
+	QueryKind = query.Kind
+	// QueryBox is the wire form of a bounding box (validated).
+	QueryBox = query.Box
+	// QueryServer serves the surface over HTTP (/v1/query + GET routes).
+	QueryServer = query.Server
+	// QueryClient answers requests by calling a remote QueryServer.
+	QueryClient = query.Client
+	// QueryExecutor is anything that answers a QueryRequest: an engine,
+	// an ingest engine, or a client.
+	QueryExecutor = query.Executor
+)
+
+// The query kinds.
+const (
+	QueryTrajectory   = query.KindTrajectory
+	QuerySpaceTime    = query.KindSpaceTime
+	QueryNearest      = query.KindNearest
+	QueryLivePicture  = query.KindLivePicture
+	QuerySituation    = query.KindSituation
+	QueryAlertHistory = query.KindAlertHistory
+	QueryStats        = query.KindStats
+)
+
+// NewQueryEngine builds a query engine over the given sources.
+func NewQueryEngine(sources ...QuerySource) *QueryEngine { return query.NewEngine(sources...) }
+
+// NewLiveQuerySource exposes a sharded pipeline as a query source
+// (cross-shard fan-out with consistent per-shard snapshots).
+func NewLiveQuerySource(s *ShardedPipeline) QuerySource { return query.NewLiveSource(s) }
+
+// NewStoreQuerySource exposes a trajectory archive as a query source.
+func NewStoreQuerySource(name string, st *Store) QuerySource { return query.NewStoreSource(name, st) }
+
+// NewQueryServer builds the HTTP handler serving an executor.
+func NewQueryServer(exec QueryExecutor) *QueryServer { return query.NewServer(exec) }
+
+// NewQueryClient builds a client for a running query server
+// ("host:port" or a full URL).
+func NewQueryClient(base string) *QueryClient { return query.NewClient(base) }
+
+// ParseQueryBox parses and validates "minLat,minLon,maxLat,maxLon".
+func ParseQueryBox(s string) (QueryBox, error) { return query.ParseBox(s) }
 
 // Forecasting.
 type (
