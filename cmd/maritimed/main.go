@@ -22,11 +22,21 @@
 // routes — /v1/trajectory, /v1/spacetime, /v1/nearest, /v1/live,
 // /v1/situation, /v1/alerts, /v1/stats) and read the live picture, the
 // accumulated archive, situation boards and alert history as JSON, from
-// any host, mid-ingest. cmd/msaquery -http is the CLI client.
+// any host, mid-ingest. POST a StreamRequest to /v1/stream and the same
+// typed request becomes a standing query: incremental updates pushed as
+// NDJSON while ingest runs (box watches, per-vessel follows, alert
+// feeds, situation tickers). cmd/msaquery -http is the CLI client
+// (-watch / -follow for the streaming modes).
+//
+// With -peer URL (repeatable) the daemon federates: every query it
+// serves merges the named daemons' pictures into its own, deduplicated
+// on (MMSI, timestamp). A peer that is down or slow degrades (skipped,
+// surfaced under /v1/stats) instead of failing the query, and federated
+// reads are marked local-only so mutually-peered daemons cannot loop.
 //
 // Usage:
 //
-//	aisgen -vessels 200 -minutes 60 | maritimed [-shards N] [-decoders N] [-data-dir DIR] [-fsync MODE] [-http ADDR]
+//	aisgen -vessels 200 -minutes 60 | maritimed [-shards N] [-decoders N] [-data-dir DIR] [-fsync MODE] [-http ADDR] [-peer URL]...
 package main
 
 import (
@@ -55,6 +65,9 @@ func main() {
 	dataDir := flag.String("data-dir", "", "persist the archive in this directory (WAL + snapshots) and resume on restart")
 	fsync := flag.String("fsync", "rotate", "fsync policy with -data-dir: rotate, always or never")
 	httpAddr := flag.String("http", "", "serve the query API on this address (e.g. :8080) while ingesting")
+	var peers []string
+	flag.Func("peer", "federate another maritimed -http daemon's picture into query answers (repeatable)",
+		func(u string) error { peers = append(peers, u); return nil })
 	flag.Parse()
 
 	world := sim.MediterraneanWorld(1)
@@ -65,6 +78,10 @@ func main() {
 		},
 		Shards:        *shards,
 		DecodeWorkers: *decoders,
+	}
+	for _, u := range peers {
+		cfg.Peers = append(cfg.Peers, maritime.NewQueryClient(u))
+		fmt.Printf("[federation] peer %s merged into query answers\n", u)
 	}
 
 	var arch *maritime.Archive
@@ -115,7 +132,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, "maritimed: query API:", err)
 			}
 		}()
-		fmt.Printf("[query] serving /v1 on %s\n", ln.Addr())
+		fmt.Printf("[query] serving /v1 (one-shot + /v1/stream standing queries) on %s\n", ln.Addr())
 	}
 
 	// Static/voyage quality issues surface from decode workers; serialise
@@ -216,7 +233,9 @@ func main() {
 		shutCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
-			fmt.Fprintln(os.Stderr, "maritimed: query API shutdown:", err)
+			// Standing /v1/stream connections never drain on their own;
+			// after the graceful window, cut them.
+			httpSrv.Close()
 		}
 	}
 }

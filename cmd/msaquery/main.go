@@ -19,6 +19,14 @@
 // -alerts, -stats) runs per invocation; -from/-to/-at bound time where
 // the kind supports it, and -json dumps the raw Result encoding instead
 // of the human summary.
+//
+// With -http the same requests also run as standing queries over
+// /v1/stream — updates stream until interrupted (or -count updates
+// arrive):
+//
+//	msaquery -http localhost:8080 -watch "42,4,44,9"       # box watch
+//	msaquery -http localhost:8080 -follow 201000091        # vessel follow
+//	msaquery -http localhost:8080 -watch "42,4,44,9" -count 100 -json
 package main
 
 import (
@@ -60,10 +68,23 @@ func main() {
 	tol := flag.Duration("tol", 0, "time tolerance around -at for -knn (default 30m when -at is set)")
 	limit := flag.Int("limit", 0, "cap returned states/alerts (0 = unlimited)")
 	asJSON := flag.Bool("json", false, "print the raw Result JSON instead of a summary")
+
+	watch := flag.String("watch", "", "standing box watch (requires -http): minLat,minLon,maxLat,maxLon")
+	follow := flag.Uint("follow", 0, "standing per-vessel follow (requires -http): MMSI")
+	count := flag.Int("count", 0, "stop a -watch/-follow stream after this many updates (0 = until interrupted)")
+	fromSeq := flag.Uint64("from-seq", 0, "resume a -watch/-follow stream after this sequence number")
 	flag.Parse()
 
 	if *write != "" {
 		writeArchive(*write, *vessels, *minutes)
+		return
+	}
+
+	if *watch != "" || *follow != 0 {
+		if *httpAddr == "" {
+			log.Fatal("-watch/-follow are standing queries against a daemon: pass -http ADDR")
+		}
+		streamUpdates(*httpAddr, *watch, uint32(*follow), *count, *fromSeq, *asJSON)
 		return
 	}
 
@@ -239,6 +260,57 @@ func openExecutor(read, data, httpAddr string) (query.Executor, string, error) {
 		}
 		desc += fmt.Sprintf(") from %s", data)
 		return query.NewEngine(query.NewStoreSource("archive", arch.Store)), desc, nil
+	}
+}
+
+// streamUpdates runs a standing query (-watch / -follow) over /v1/stream
+// and prints updates as they arrive.
+func streamUpdates(httpAddr, watch string, follow uint32, count int, fromSeq uint64, asJSON bool) {
+	var req query.Request
+	switch {
+	case watch != "" && follow != 0:
+		log.Fatal("pass exactly one of -watch, -follow")
+	case watch != "":
+		b, err := query.ParseBox(watch)
+		if err != nil {
+			log.Fatalf("bad -watch: %v", err)
+		}
+		req = query.Request{Kind: query.KindSpaceTime, Box: &b}
+	default:
+		req = query.Request{Kind: query.KindTrajectory, MMSI: follow}
+	}
+	c := query.NewClient(httpAddr)
+	sub, err := c.Subscribe(req, query.SubOptions{FromSeq: fromSeq})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sub.Cancel()
+	fmt.Fprintf(os.Stderr, "streaming %s from %s (seq %d)...\n", req.Kind, httpAddr, sub.StartSeq())
+	enc := json.NewEncoder(os.Stdout)
+	n := 0
+	for u := range sub.Updates() {
+		if asJSON {
+			if err := enc.Encode(u); err != nil {
+				log.Fatal(err)
+			}
+		} else if u.State != nil {
+			s := u.State
+			fmt.Printf("#%-8d vessel %-9d %8.4f,%9.4f  %5.1f kn  %s\n",
+				u.Seq, s.MMSI, s.Lat, s.Lon, s.SpeedKn, s.At.Format("15:04:05"))
+		} else if u.Alert != nil {
+			a := u.Alert
+			fmt.Printf("#%-8d [sev%d] %-18s vessel %d: %s\n", u.Seq, a.Severity, a.Kind, a.MMSI, a.Note)
+		}
+		n++
+		if count > 0 && n >= count {
+			break
+		}
+	}
+	if err := sub.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if d := sub.Dropped(); d > 0 {
+		fmt.Fprintf(os.Stderr, "(%d updates dropped server-side: consumer slower than the feed)\n", d)
 	}
 }
 

@@ -36,7 +36,13 @@
 // The read side is the unified query surface (Query/QueryEngine, package
 // internal/query): trajectory, space–time, nearest-vessel, live-picture,
 // situation, alert-history and stats requests answered from the shards
-// while ingest runs — cmd/maritimed serves it over HTTP with -http.
+// while ingest runs — cmd/maritimed serves it over HTTP with -http. The
+// same surface runs continuously: every record that reaches a shard
+// archive (and every raised alert) is published to the engine's
+// subscription hub, so Subscribe turns any streamable request into a
+// standing query (bounded per-subscriber queues; a slow consumer drops
+// and is counted, never backpressuring ingest), and Config.Peers
+// federates other daemons' pictures into every answer.
 package ingest
 
 import (
@@ -85,6 +91,16 @@ type Config struct {
 	// Flush parameterises the flush stage (queue bound, batch size,
 	// periodic fsync) when Backend is set.
 	Flush store.FlushConfig
+	// Hub parameterises the publish/subscribe stage behind Subscribe:
+	// the replay-ring retention and the default per-subscriber queue
+	// bound. The hub stays dormant (one atomic check per record) until
+	// something subscribes.
+	Hub query.HubConfig
+	// Peers are federation members (typically query.NewClient per remote
+	// daemon) merged into every query answer alongside the local shards,
+	// deduplicated on (MMSI, timestamp). A degraded peer is skipped, not
+	// fatal — see query.PeerSource.
+	Peers []query.Source
 }
 
 func (c *Config) normalize() {
@@ -129,8 +145,10 @@ type Engine struct {
 	flusher   *store.Flusher
 	flushDone chan struct{}
 
+	hub       *query.Hub
 	queryOnce sync.Once
 	query     *query.Engine
+	streamer  *query.Streamer
 
 	started   bool
 	closeOnce sync.Once
@@ -143,13 +161,15 @@ func New(cfg Config) *Engine {
 	return &Engine{
 		cfg:     cfg,
 		sharded: core.NewSharded(cfg.Pipeline, cfg.Shards),
+		hub:     query.NewHub(cfg.Hub),
 	}
 }
 
 // Start wires the dataflow: partitioner, one worker per shard, merged
-// alert stream, and — when a Backend is configured — the persistence
-// flush stage attached to every shard's archive store. It must be called
-// exactly once, before Ingest.
+// alert stream, the publish hook feeding the subscription hub, and —
+// when a Backend is configured — the persistence flush stage attached to
+// every shard's archive store. It must be called exactly once, before
+// Ingest.
 func (e *Engine) Start(ctx context.Context) {
 	if e.started {
 		panic("ingest: Start called twice")
@@ -157,8 +177,16 @@ func (e *Engine) Start(ctx context.Context) {
 	e.started = true
 	if e.cfg.Backend != nil {
 		e.flusher = store.NewFlusher(e.cfg.Backend, e.cfg.Flush)
-		for _, p := range e.sharded.Shards {
-			p.Store.Attach(e.flusher)
+	}
+	// Every shard store tees its post-synopsis appends into the hub
+	// (standing queries see exactly the records a one-shot replay would
+	// return) and, when persistence is on, the flush stage. The hub is a
+	// single atomic check per batch until something subscribes.
+	for _, p := range e.sharded.Shards {
+		if e.flusher != nil {
+			p.Store.Attach(tstore.Tee(e.hub, e.flusher))
+		} else {
+			p.Store.Attach(e.hub)
 		}
 	}
 	e.in = make(chan stream.Event[core.TimedReport], e.cfg.ShardBuf)
@@ -236,6 +264,7 @@ func (e *Engine) shardWorker(ctx context.Context, p *core.Pipeline,
 		alerts := p.IngestBatch(batch)
 		e.Metrics.Out.Add(int64(len(batch)))
 		for _, a := range alerts {
+			e.hub.PublishAlert(a) // no-op until something subscribes
 			select {
 			case out <- stream.Event[events.Alert]{Time: a.At, Key: uint64(a.MMSI), Value: a}:
 			case <-ctx.Done():
@@ -340,16 +369,19 @@ func (e *Engine) FlushErr() error {
 // stop submitting) before deep reads if exact cut-off points matter.
 func (e *Engine) Sharded() *core.Sharded { return e.sharded }
 
-// QueryEngine returns the unified read surface over the engine's shards:
-// every request kind of internal/query answered from the live pipelines
-// (per-vessel reads route to the owning shard; set reads fan out and
-// merge). The engine is built once and cached — its per-shard spatial
-// snapshots persist across queries and rebuild only after new ingest.
-// Safe to call while ingesting: reads see each shard's consistent
-// current state.
+// QueryEngine returns the unified read surface over the engine's shards
+// plus any configured federation peers: every request kind of
+// internal/query answered from the live pipelines (per-vessel reads
+// route to the owning shard; set reads fan out and merge), with peer
+// answers merged in and deduplicated on (MMSI, timestamp). The engine is
+// built once and cached — its per-shard spatial snapshots persist across
+// queries and rebuild only after new ingest. Safe to call while
+// ingesting: reads see each shard's consistent current state.
 func (e *Engine) QueryEngine() *query.Engine {
 	e.queryOnce.Do(func() {
-		e.query = query.NewEngine(query.NewLiveSource(e.sharded))
+		sources := append([]query.Source{query.NewLiveSource(e.sharded)}, e.cfg.Peers...)
+		e.query = query.NewEngine(sources...)
+		e.streamer = query.NewStreamer(e.hub, e.query)
 	})
 	return e.query
 }
@@ -358,6 +390,22 @@ func (e *Engine) QueryEngine() *query.Engine {
 // ingest engine's read surface, same contract as query.Engine.Query.
 func (e *Engine) Query(req query.Request) (*query.Result, error) {
 	return e.QueryEngine().Query(req)
+}
+
+// Hub is the engine's publish/subscribe stage: it carries every record
+// that reaches the shard archives (and every raised alert) to standing
+// queries, and its Metrics expose publication, delivery and
+// slow-consumer-drop counts.
+func (e *Engine) Hub() *query.Hub { return e.hub }
+
+// Subscribe turns a query request into a standing query over the live
+// dataflow: state updates as they are archived, alerts as they are
+// raised, situations on a ticker — the push half of the read surface,
+// served remotely by maritimed's /v1/stream. Safe to call while
+// ingesting; subscribe before feeding the engine to observe everything.
+func (e *Engine) Subscribe(req query.Request, opt query.SubOptions) (*query.Subscription, error) {
+	e.QueryEngine() // ensure the streamer exists
+	return e.streamer.Subscribe(req, opt)
 }
 
 // Snapshot sums the per-shard pipeline metrics.

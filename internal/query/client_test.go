@@ -1,0 +1,159 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/tstore"
+)
+
+// flakyTransport fails the first `failures` round trips with a transport
+// error, then delegates — a connection that comes back after a blip.
+type flakyTransport struct {
+	failures int32
+	attempts atomic.Int32
+	next     http.RoundTripper
+}
+
+var errBlip = errors.New("connection refused (simulated)")
+
+func (f *flakyTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	n := f.attempts.Add(1)
+	if n <= atomic.LoadInt32(&f.failures) {
+		return nil, errBlip
+	}
+	return f.next.RoundTrip(r)
+}
+
+func retryServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	st := fill(tstore.New(), testStates(2, 5))
+	ts := httptest.NewServer(NewServer(NewEngine(NewStoreSource("archive", st))))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestClientRetriesTransientErrors(t *testing.T) {
+	ts := retryServer(t)
+	ft := &flakyTransport{failures: 2, next: http.DefaultTransport}
+	c := NewClient(ts.URL)
+	c.HTTP = &http.Client{Transport: ft}
+	c.Retry = RetryPolicy{Max: 3, BaseDelay: time.Millisecond}
+	res, err := c.Query(Request{Kind: KindStats})
+	if err != nil {
+		t.Fatalf("query should survive two transport blips: %v", err)
+	}
+	if res.Stats.Points != 10 {
+		t.Fatalf("retried answer wrong: %d points", res.Stats.Points)
+	}
+	if got := ft.attempts.Load(); got != 3 {
+		t.Fatalf("made %d attempts, want 3 (2 failures + success)", got)
+	}
+}
+
+func TestClientRetryBudgetExhausts(t *testing.T) {
+	ts := retryServer(t)
+	ft := &flakyTransport{failures: 1 << 30, next: http.DefaultTransport}
+	c := NewClient(ts.URL)
+	c.HTTP = &http.Client{Transport: ft}
+	c.Retry = RetryPolicy{Max: 2, BaseDelay: time.Millisecond}
+	_, err := c.Query(Request{Kind: KindStats})
+	if err == nil || !strings.Contains(err.Error(), "connection refused") {
+		t.Fatalf("want the transport error after exhaustion, got %v", err)
+	}
+	if got := ft.attempts.Load(); got != 3 {
+		t.Fatalf("made %d attempts, want 3 (first + 2 retries)", got)
+	}
+}
+
+func TestClientNeverRetriesServerErrors(t *testing.T) {
+	// The server answering — even with an error status — is not
+	// transient: retrying would double-execute or just double the load.
+	var hits atomic.Int32
+	counting := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		writeError(w, http.StatusBadRequest, errors.New("spacetime requires box"))
+	}))
+	defer counting.Close()
+	c := NewClient(counting.URL)
+	c.Retry = RetryPolicy{Max: 5, BaseDelay: time.Millisecond}
+	_, err := c.Query(Request{Kind: KindSpaceTime})
+	if err == nil || !strings.Contains(err.Error(), "requires box") {
+		t.Fatalf("want the server's error verbatim, got %v", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server hit %d times, want exactly 1 (no retry on HTTP errors)", got)
+	}
+}
+
+func TestClientContextCancelsRetryLoop(t *testing.T) {
+	ft := &flakyTransport{failures: 1 << 30, next: http.DefaultTransport}
+	c := NewClient("localhost:1") // never reached: transport always fails
+	c.HTTP = &http.Client{Transport: ft}
+	c.Retry = RetryPolicy{Max: 100, BaseDelay: 50 * time.Millisecond, MaxDelay: 50 * time.Millisecond}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := c.QueryContext(ctx, Request{Kind: KindStats})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v — the backoff loop ignored the context", elapsed)
+	}
+	if got := ft.attempts.Load(); got > 3 {
+		t.Fatalf("%d attempts after early cancel — retries outlived the context", got)
+	}
+}
+
+func TestClientContextBoundsTheRequestItself(t *testing.T) {
+	stall := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select { // hold the request open until the client gives up
+		case <-r.Context().Done():
+		case <-time.After(time.Second): // keep Close from hanging on this conn
+		}
+	}))
+	defer stall.Close()
+	c := NewClient(stall.URL)
+	c.HTTP = &http.Client{} // no client-level timeout: the context must cut it
+	c.Retry = RetryPolicy{} // and no retries: a deadline error is final
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.QueryContext(ctx, Request{Kind: KindStats})
+	if err == nil {
+		t.Fatal("want a deadline error from a stalled server")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline ignored: query returned after %v", elapsed)
+	}
+}
+
+func TestRetryPolicyBackoffShape(t *testing.T) {
+	p := RetryPolicy{Max: 10, BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second}
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, time.Second, time.Second,
+	}
+	for i, w := range want {
+		if got := p.delay(i); got != w {
+			t.Fatalf("delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+	if got := p.delay(200); got != time.Second { // shift overflow clamps to the cap
+		t.Fatalf("overflowing attempt: %v, want 1s", got)
+	}
+	zero := RetryPolicy{}
+	if zero.delay(0) != 100*time.Millisecond || zero.delay(10) != 2*time.Second {
+		t.Fatalf("zero-policy defaults wrong: %v, %v", zero.delay(0), zero.delay(10))
+	}
+}

@@ -14,11 +14,14 @@ import (
 	"repro/internal/va"
 )
 
-// Source is one store the engine can answer from. The two shipped
+// Source is one store the engine can answer from. The three shipped
 // implementations are NewLiveSource (the sharded in-process pipelines,
-// fanned out per shard and merged) and NewStoreSource (a recovered or
-// loaded tstore archive); a future remote backend implements the same
-// six reads and inherits the whole query surface.
+// fanned out per shard and merged), NewStoreSource (a recovered or
+// loaded tstore archive) and Client (another daemon as a federation
+// member — see federate.go); any future backend implements the same six
+// reads and inherits the whole query surface. Implementations must be
+// safe for concurrent use: the engine fans a multi-source read out to
+// all sources at once.
 //
 // Contracts: Trajectory and SpaceTime return samples in [from, to]
 // ordered by (MMSI, time); Nearest returns up to k distinct vessels
@@ -58,6 +61,46 @@ func (e *Engine) Sources() []string {
 	return out
 }
 
+// sourcesFor returns the sources a request is answered from: all of them
+// normally, the non-peer ones when the request is marked Local — the
+// federation loop guard (see PeerSource).
+func (e *Engine) sourcesFor(req Request) []Source {
+	if !req.Local {
+		return e.sources
+	}
+	local := make([]Source, 0, len(e.sources))
+	for _, s := range e.sources {
+		if _, remote := s.(PeerSource); !remote {
+			local = append(local, s)
+		}
+	}
+	return local
+}
+
+// gather runs one read against every source concurrently and returns the
+// per-source results in source order (so downstream merges stay
+// deterministic). Sources are required to be safe for concurrent use
+// already; fanning out bounds a multi-source query at its slowest source
+// — with federation peers in the mix, a timing-out peer costs one
+// PeerTimeout, not one per peer serially.
+func gather[T any](srcs []Source, read func(Source) T) []T {
+	out := make([]T, len(srcs))
+	if len(srcs) == 1 { // common case: no goroutine overhead
+		out[0] = read(srcs[0])
+		return out
+	}
+	var wg sync.WaitGroup
+	for i, s := range srcs {
+		wg.Add(1)
+		go func(i int, s Source) {
+			defer wg.Done()
+			out[i] = read(s)
+		}(i, s)
+	}
+	wg.Wait()
+	return out
+}
+
 // Query validates and executes one request.
 func (e *Engine) Query(req Request) (*Result, error) {
 	if len(e.sources) == 0 {
@@ -67,44 +110,47 @@ func (e *Engine) Query(req Request) (*Result, error) {
 		return nil, err
 	}
 	req = req.normalize()
-	res := &Result{Kind: req.Kind, Sources: e.Sources()}
+	srcs := e.sourcesFor(req)
+	names := make([]string, len(srcs))
+	for i, s := range srcs {
+		names[i] = s.Name()
+	}
+	res := &Result{Kind: req.Kind, Sources: names}
 	switch req.Kind {
 	case KindTrajectory:
 		from, to := req.timeRange()
-		var merged []model.VesselState
-		for _, s := range e.sources {
-			merged = append(merged, s.Trajectory(req.MMSI, from, to)...)
-		}
-		e.finishStates(req, res, merged)
+		lists := gather(srcs, func(s Source) []model.VesselState {
+			return s.Trajectory(req.MMSI, from, to)
+		})
+		finishStates(req, res, flatten(lists))
 	case KindSpaceTime:
 		from, to := req.timeRange()
-		var merged []model.VesselState
-		for _, s := range e.sources {
-			merged = append(merged, s.SpaceTime(req.Box.Rect(), from, to)...)
-		}
-		e.finishStates(req, res, merged)
+		lists := gather(srcs, func(s Source) []model.VesselState {
+			return s.SpaceTime(req.Box.Rect(), from, to)
+		})
+		finishStates(req, res, flatten(lists))
 	case KindNearest:
-		e.nearest(req, res)
+		nearest(srcs, req, res)
 	case KindLivePicture:
-		states := e.livePicture(req.Box.Rect())
+		states := livePicture(srcs, req.Box.Rect())
 		res.Count = len(states)
 		for _, s := range truncateStates(states, req.Limit, res) {
 			res.States = append(res.States, StateOf(s))
 		}
 	case KindSituation:
-		res.Situation = e.situation(req)
+		res.Situation = situation(srcs, req)
 		res.Count = len(res.Situation.Vessels)
 	case KindAlertHistory:
-		e.alertHistory(req, res)
+		alertHistory(srcs, req, res)
 	case KindStats:
-		res.Stats = e.stats()
+		res.Stats = stats(srcs)
 		res.Count = res.Stats.Points
 	}
 	return res, nil
 }
 
 // finishStates dedupes, orders, truncates and encodes a merged sample set.
-func (e *Engine) finishStates(req Request, res *Result, merged []model.VesselState) {
+func finishStates(req Request, res *Result, merged []model.VesselState) {
 	merged = DedupeStates(merged)
 	res.Count = len(merged)
 	for _, s := range truncateStates(merged, req.Limit, res) {
@@ -141,15 +187,26 @@ func truncateStates(states []model.VesselState, limit int, res *Result) []model.
 	return states
 }
 
+// flatten concatenates per-source result lists in source order.
+func flatten(lists [][]model.VesselState) []model.VesselState {
+	if len(lists) == 1 {
+		return lists[0]
+	}
+	var out []model.VesselState
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	return out
+}
+
 // nearest merges per-source candidate lists: order every candidate by
 // distance to the reference point, keep the nearest sample per vessel,
 // take k.
-func (e *Engine) nearest(req Request, res *Result) {
+func nearest(srcs []Source, req Request, res *Result) {
 	p := geo.Point{Lat: req.Lat, Lon: req.Lon}
-	var cands []model.VesselState
-	for _, s := range e.sources {
-		cands = append(cands, s.Nearest(p, req.At, time.Duration(req.Tol), req.K)...)
-	}
+	cands := flatten(gather(srcs, func(s Source) []model.VesselState {
+		return s.Nearest(p, req.At, time.Duration(req.Tol), req.K)
+	}))
 	sort.SliceStable(cands, func(i, j int) bool {
 		return geo.Distance(p, cands[i].Pos) < geo.Distance(p, cands[j].Pos)
 	})
@@ -169,10 +226,10 @@ func (e *Engine) nearest(req Request, res *Result) {
 
 // livePicture merges the sources' current pictures, keeping the newest
 // state per vessel (a live pipeline beats a stale archive), MMSI-ordered.
-func (e *Engine) livePicture(r geo.Rect) []model.VesselState {
+func livePicture(srcs []Source, r geo.Rect) []model.VesselState {
 	newest := make(map[uint32]model.VesselState)
-	for _, s := range e.sources {
-		for _, st := range s.Live(r) {
+	for _, states := range gather(srcs, func(s Source) []model.VesselState { return s.Live(r) }) {
+		for _, st := range states {
 			if prev, ok := newest[st.MMSI]; !ok || st.At.After(prev.At) {
 				newest[st.MMSI] = st
 			}
@@ -189,9 +246,23 @@ func (e *Engine) livePicture(r geo.Rect) []model.VesselState {
 // situation assembles the merged operational picture: the deduplicated
 // live states plus the merged alert board, aggregated exactly as
 // core.Pipeline.Situation aggregates a single pipeline's.
-func (e *Engine) situation(req Request) *Situation {
+func situation(srcs []Source, req Request) *Situation {
 	bounds := req.Box.Rect()
-	vessels := e.livePicture(bounds)
+	// Like stats: the two fan-outs run concurrently so a hanging peer
+	// costs one timeout per situation, not two.
+	var vessels []model.VesselState
+	var merged []events.Alert
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		vessels = livePicture(srcs, bounds)
+	}()
+	go func() {
+		defer wg.Done()
+		merged = mergedAlerts(srcs)
+	}()
+	wg.Wait()
 	at := req.At
 	if at.IsZero() {
 		for _, v := range vessels {
@@ -201,7 +272,7 @@ func (e *Engine) situation(req Request) *Situation {
 		}
 	}
 	var alerts []va.SituationAlert
-	for _, a := range e.mergedAlerts() {
+	for _, a := range merged {
 		if a.Severity < req.MinSeverity {
 			continue
 		}
@@ -214,10 +285,10 @@ func (e *Engine) situation(req Request) *Situation {
 }
 
 // alertHistory merges, filters and time-orders the sources' alerts.
-func (e *Engine) alertHistory(req Request, res *Result) {
+func alertHistory(srcs []Source, req Request, res *Result) {
 	from, to := req.timeRange()
 	var kept []events.Alert
-	for _, a := range e.mergedAlerts() {
+	for _, a := range mergedAlerts(srcs) {
 		if a.Severity < req.MinSeverity || a.At.Before(from) || a.At.After(to) {
 			continue
 		}
@@ -236,7 +307,7 @@ func (e *Engine) alertHistory(req Request, res *Result) {
 
 // mergedAlerts concatenates the sources' alert histories, dropping exact
 // duplicates (same kind, vessels and instant) from overlapping sources.
-func (e *Engine) mergedAlerts() []events.Alert {
+func mergedAlerts(srcs []Source) []events.Alert {
 	type key struct {
 		kind        events.Kind
 		mmsi, other uint32
@@ -244,8 +315,8 @@ func (e *Engine) mergedAlerts() []events.Alert {
 	}
 	var out []events.Alert
 	seen := make(map[key]bool)
-	for _, s := range e.sources {
-		for _, a := range s.Alerts() {
+	for _, alerts := range gather(srcs, func(s Source) []events.Alert { return s.Alerts() }) {
+		for _, a := range alerts {
 			k := key{kind: a.Kind, mmsi: a.MMSI, other: a.Other, unixNano: a.At.UnixNano()}
 			if seen[k] {
 				continue
@@ -258,21 +329,39 @@ func (e *Engine) mergedAlerts() []events.Alert {
 }
 
 // stats aggregates per-source statistics; Vessels and Live are distinct
-// counts and therefore recomputed from merged reads, not summed.
-func (e *Engine) stats() *Stats {
+// counts and therefore recomputed from merged reads, not summed — with
+// federation peers this fetches each peer's worldwide live picture, so a
+// stats poll against N-vessel peers moves N states per poll. Exactness
+// of the headline counts is the documented (and test-pinned) contract; a
+// cheaper per-source distinct-count read is a ROADMAP item.
+func stats(srcs []Source) *Stats {
 	st := &Stats{}
-	vessels := make(map[uint32]bool)
-	for _, s := range e.sources {
-		ss := s.Stats()
+	// The two fan-outs (per-source stats, and the merged world-wide live
+	// picture the distinct counts come from) run concurrently, so a
+	// hanging peer costs one timeout per stats query, not two.
+	var statsList []SourceStats
+	var live []model.VesselState
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		statsList = gather(srcs, func(s Source) SourceStats { return s.Stats() })
+	}()
+	go func() {
+		defer wg.Done()
+		// The shipped sources report a newest state for every vessel
+		// they hold, so the merged world-wide live picture counts
+		// distinct vessels exactly once each.
+		everywhere := geo.Rect{MinLat: -90, MinLon: -180, MaxLat: 90, MaxLon: 180}
+		live = livePicture(srcs, everywhere)
+	}()
+	wg.Wait()
+	for _, ss := range statsList {
 		st.Sources = append(st.Sources, ss)
 		st.Points += ss.Points
 		st.Alerts += ss.Alerts
 	}
-	// Both shipped sources report a newest state for every vessel they
-	// hold, so the merged world-wide live picture counts distinct
-	// vessels exactly once each.
-	everywhere := geo.Rect{MinLat: -90, MinLon: -180, MaxLat: 90, MaxLon: 180}
-	live := e.livePicture(everywhere)
+	vessels := make(map[uint32]bool, len(live))
 	st.Live = len(live)
 	for _, v := range live {
 		vessels[v.MMSI] = true

@@ -1,0 +1,160 @@
+package query
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/events"
+	"repro/internal/geo"
+	"repro/internal/model"
+)
+
+// This file makes *Client a Source — the federation member of the read
+// surface. The Source and Executor contracts are two views of the same
+// remote daemon: an Executor answers whole typed Requests, a Source
+// answers the six primitive reads an Engine merges. Implementing the
+// latter in terms of the former means any daemon serving /v1/query can
+// be composed into another daemon's query engine verbatim:
+//
+//	eng := query.NewEngine(
+//	    query.NewLiveSource(sharded),       // this daemon's picture
+//	    query.NewClient("peer-a:8080"),     // a federation member
+//	)
+//
+// which is exactly what `maritimed -peer URL` wires up. Results merge
+// and deduplicate on (MMSI, timestamp) like any other source pair.
+//
+// Two federation-specific behaviours:
+//
+//   - One hop only. Every federated read sets Request.Local, so the peer
+//     answers from its own sources and does not fan out to *its* peers —
+//     mutually-peered daemons cannot create a query cycle.
+//   - Degraded mode. A peer that times out (PeerTimeout, default 5s) or
+//     errors contributes nothing to that answer instead of failing it;
+//     the failure is retained and surfaced through Stats().Err, so an
+//     operator sees the degradation in any stats read.
+
+// PeerSource is a Source that answers from another daemon. Engines skip
+// peer sources when a request is marked Local — the loop guard that keeps
+// federation one hop deep.
+type PeerSource interface {
+	Source
+	// Peer identifies the federation member (its base URL).
+	Peer() string
+}
+
+// Name implements Source: the label peers carry in Result.Sources.
+func (c *Client) Name() string {
+	if c.PeerName != "" {
+		return c.PeerName
+	}
+	return "peer:" + c.Base
+}
+
+// Peer implements PeerSource.
+func (c *Client) Peer() string { return c.Base }
+
+// PeerErr returns the most recent federated-read failure (nil while the
+// peer is healthy or after it recovers).
+func (c *Client) PeerErr() error {
+	c.peerMu.Lock()
+	defer c.peerMu.Unlock()
+	return c.peerErr
+}
+
+func (c *Client) peerTimeout() time.Duration {
+	if c.PeerTimeout > 0 {
+		return c.PeerTimeout
+	}
+	return 5 * time.Second
+}
+
+// peerQuery issues one federated read: local-only on the peer, bounded
+// by the peer timeout, failures recorded instead of propagated. Callers
+// use the returned error (not PeerErr, which a concurrent recovered read
+// may have cleared in the meantime). The read deliberately skips the
+// client's retry policy: a dead peer must degrade after one connection
+// attempt, not charge backoff to every local query that fans to it —
+// retrying is the next query's job.
+func (c *Client) peerQuery(req Request) (*Result, error) {
+	req.Local = true
+	ctx, cancel := context.WithTimeout(context.Background(), c.peerTimeout())
+	defer cancel()
+	res, err := c.queryContext(ctx, req, RetryPolicy{})
+	c.peerMu.Lock()
+	c.peerErr = err
+	c.peerMu.Unlock()
+	return res, err
+}
+
+// Trajectory implements Source.
+func (c *Client) Trajectory(mmsi uint32, from, to time.Time) []model.VesselState {
+	res, err := c.peerQuery(Request{Kind: KindTrajectory, MMSI: mmsi, From: from, To: to})
+	if err != nil {
+		return nil
+	}
+	return res.ModelStates()
+}
+
+// SpaceTime implements Source.
+func (c *Client) SpaceTime(r geo.Rect, from, to time.Time) []model.VesselState {
+	b := BoxOf(r)
+	res, err := c.peerQuery(Request{Kind: KindSpaceTime, Box: &b, From: from, To: to})
+	if err != nil {
+		return nil
+	}
+	return res.ModelStates()
+}
+
+// Nearest implements Source.
+func (c *Client) Nearest(p geo.Point, at time.Time, tol time.Duration, k int) []model.VesselState {
+	res, err := c.peerQuery(Request{
+		Kind: KindNearest, Lat: p.Lat, Lon: p.Lon, At: at, Tol: Duration(tol), K: k,
+	})
+	if err != nil {
+		return nil
+	}
+	return res.ModelStates()
+}
+
+// Live implements Source.
+func (c *Client) Live(r geo.Rect) []model.VesselState {
+	b := BoxOf(r)
+	res, err := c.peerQuery(Request{Kind: KindLivePicture, Box: &b})
+	if err != nil {
+		return nil
+	}
+	return res.ModelStates()
+}
+
+// Alerts implements Source.
+func (c *Client) Alerts() []events.Alert {
+	res, err := c.peerQuery(Request{Kind: KindAlertHistory})
+	if err != nil {
+		return nil
+	}
+	out := make([]events.Alert, len(res.Alerts))
+	for i, a := range res.Alerts {
+		out[i] = a.Model()
+	}
+	return out
+}
+
+// Stats implements Source: the peer's aggregate holdings under this
+// peer's name, with the degradation (if any) in Err.
+func (c *Client) Stats() SourceStats {
+	res, err := c.peerQuery(Request{Kind: KindStats})
+	if err != nil {
+		return SourceStats{Name: c.Name(), Err: err.Error()}
+	}
+	if res.Stats == nil {
+		// A nonconforming peer (version skew, interposed proxy) must
+		// degrade like any other failure, not panic the daemon.
+		return SourceStats{Name: c.Name(), Err: "peer answered without stats"}
+	}
+	st := res.Stats
+	return SourceStats{
+		Name: c.Name(), Points: st.Points, Vessels: st.Vessels,
+		Live: st.Live, Alerts: st.Alerts,
+	}
+}

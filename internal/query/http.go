@@ -18,6 +18,7 @@ type Executor interface {
 // Server serves the unified query surface over HTTP as JSON:
 //
 //	POST /v1/query        body = Request            (the canonical route)
+//	POST /v1/stream       body = StreamRequest      (standing query, NDJSON)
 //	GET  /v1/trajectory   ?mmsi=&from=&to=&limit=
 //	GET  /v1/spacetime    ?box=&from=&to=&limit=
 //	GET  /v1/nearest      ?point=lat,lon&at=&tol=&k=
@@ -26,20 +27,28 @@ type Executor interface {
 //	GET  /v1/alerts       ?from=&to=&severity=&limit=
 //	GET  /v1/stats
 //
-// Every route returns a Result; the GET routes are conveniences that
-// build the same Request the POST route accepts (times are RFC 3339,
-// tol is a Go duration, box is minLat,minLon,maxLat,maxLon). Errors come
-// back as {"error": "..."} with status 400 (bad request), 405 (method)
-// or 500 (execution).
+// Every one-shot route returns a Result; the GET routes are conveniences
+// that build the same Request the POST route accepts (times are RFC 3339,
+// tol is a Go duration, box is minLat,minLon,maxLat,maxLon). /v1/stream
+// turns the same Request into a standing query and pushes incremental
+// Updates as NDJSON (stream_http.go) — served when the executor also
+// implements Subscriber, 501 otherwise. Errors come back as
+// {"error": "..."} with status 400 (bad request), 405 (method), 500
+// (execution) or 501 (streaming unsupported).
 type Server struct {
 	exec Executor
+	sub  Subscriber // non-nil when exec can serve standing queries
 	mux  *http.ServeMux
 }
 
-// NewServer builds the HTTP surface over an executor.
+// NewServer builds the HTTP surface over an executor. When the executor
+// also implements Subscriber (the ingest engine does, and so does any
+// Streamer), /v1/stream serves standing queries over it.
 func NewServer(exec Executor) *Server {
 	s := &Server{exec: exec, mux: http.NewServeMux()}
+	s.sub, _ = exec.(Subscriber)
 	s.mux.HandleFunc("/v1/query", s.handlePost)
+	s.mux.HandleFunc("/v1/stream", s.handleStream)
 	s.mux.HandleFunc("/v1/trajectory", s.handleGet(parseTrajectory))
 	s.mux.HandleFunc("/v1/spacetime", s.handleGet(parseSpaceTime))
 	s.mux.HandleFunc("/v1/nearest", s.handleGet(parseNearest))

@@ -1,11 +1,12 @@
-// Package query is the unified read surface of the infrastructure: one
-// typed request/response API over the §2.3 moving-object queries —
-// trajectory retrieval, space–time range, nearest vessel, the live
-// picture, situation assembly, alert history and store statistics —
-// answered from the live sharded pipelines, the durable archive, or both
-// merged (engine.go), and servable over HTTP (http.go / client.go).
+// Package query is the unified read surface of the infrastructure, in
+// two modes over one typed request vocabulary.
 //
-// Every read path in the repository goes through a Request:
+// One-shot: a Request — trajectory retrieval, space–time range, nearest
+// vessel, the live picture, situation assembly, alert history, store
+// statistics (the §2.3 moving-object queries) — answered from the live
+// sharded pipelines, the durable archive, federation peers, or any mix,
+// merged and deduplicated on (MMSI, timestamp) (engine.go), servable
+// over HTTP (http.go / client.go):
 //
 //	res, err := eng.Query(query.Request{
 //	    Kind: query.KindSpaceTime,
@@ -13,12 +14,29 @@
 //	    From: t0, To: t1,
 //	})
 //
-// Results carry a stable JSON encoding (lower-snake field names,
-// RFC 3339 timestamps, durations as Go duration strings), so the wire
-// form of an HTTP answer is byte-comparable with a locally marshalled
-// in-process answer — the contract the round-trip tests pin. Any future
-// storage backend (remote segments, object stores) plugs in as a Source
-// and inherits the whole surface.
+// Continuous: the same Request, subscribed instead of executed, becomes
+// a standing query whose incremental results are pushed as they happen —
+// a box watch, a per-vessel follow, an alert feed, a situation ticker
+// (sub.go). A Hub fans published records out through bounded
+// per-subscriber queues (slow consumers drop, counted, never blocking
+// the publisher) with a replay ring for resume-from-sequence; the HTTP
+// form is /v1/stream NDJSON (stream_http.go) and Client.Subscribe is the
+// remote peer with automatic resume:
+//
+//	sub, err := e.Subscribe(req, query.SubOptions{})
+//	for u := range sub.Updates() { ... }
+//
+// The read API is also the system's composition boundary: a Client is
+// itself a Source (federate.go), so `maritimed -peer URL` merges another
+// daemon's picture into local answers — one hop deep, degraded rather
+// than fatal when the peer misbehaves.
+//
+// Results and updates carry a stable JSON encoding (lower-snake field
+// names, RFC 3339 timestamps, durations as Go duration strings), so the
+// wire form of an HTTP answer is byte-comparable with a locally
+// marshalled in-process answer — the contract the round-trip tests pin.
+// Any future storage backend (remote segments, object stores) plugs in
+// as a Source and inherits the whole surface.
 package query
 
 import (
@@ -218,6 +236,12 @@ type Request struct {
 	// Limit caps the number of states/alerts returned (0 = unlimited).
 	// Truncation is recorded in Result.Truncated.
 	Limit int `json:"limit,omitempty"`
+
+	// Local restricts the answer to this daemon's own sources: federation
+	// peers are skipped. Peer sources set it on every outgoing federated
+	// read, which keeps federation one hop deep — mutually-peered daemons
+	// cannot create a query cycle.
+	Local bool `json:"local,omitempty"`
 }
 
 // normalize fills kind-specific defaults; called after Validate.
@@ -352,6 +376,14 @@ func AlertOf(a events.Alert) Alert {
 	}
 }
 
+// Model converts the wire alert back into the events type.
+func (a Alert) Model() events.Alert {
+	return events.Alert{
+		Kind: events.Kind(a.Kind), MMSI: a.MMSI, Other: a.Other, At: a.At,
+		Where: geo.Point{Lat: a.Lat, Lon: a.Lon}, Severity: a.Severity, Note: a.Note,
+	}
+}
+
 // Situation is the wire form of an assembled operational picture: the
 // vessels, the row-major Rows×Cols density surface (row 0 = south) and
 // the severity-ordered alert board.
@@ -384,13 +416,16 @@ func SituationOf(s *va.Situation) *Situation {
 	return out
 }
 
-// SourceStats describes one source's holdings.
+// SourceStats describes one source's holdings. Err reports a degraded
+// federation peer: the engine kept answering without it, and this is
+// where the operator sees why the picture may be partial.
 type SourceStats struct {
 	Name    string `json:"name"`
 	Points  int    `json:"points"`
 	Vessels int    `json:"vessels"`
 	Live    int    `json:"live"`
 	Alerts  int    `json:"alerts"`
+	Err     string `json:"err,omitempty"`
 }
 
 // Stats aggregates the sources a query engine answers from. Points and

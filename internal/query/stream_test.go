@@ -1,0 +1,374 @@
+package query
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/tstore"
+)
+
+// newStreamServer builds a hub-backed streaming server over an archive —
+// a Streamer is both Executor and Subscriber, so NewServer serves the
+// whole two-mode surface from it, the way maritimed serves its engine.
+func newStreamServer(t *testing.T, st *tstore.Store) (*httptest.Server, *Hub) {
+	t.Helper()
+	hub := NewHub(HubConfig{})
+	eng := NewEngine(NewStoreSource("archive", st))
+	ts := httptest.NewServer(NewServer(NewStreamer(hub, eng)))
+	t.Cleanup(ts.Close)
+	return ts, hub
+}
+
+func TestStreamOverHTTP(t *testing.T) {
+	ts, hub := newStreamServer(t, tstore.New())
+	c := NewClient(ts.URL)
+	box := Box{MinLat: 41, MinLon: 4, MaxLat: 45, MaxLon: 9}
+	sub, err := c.Subscribe(Request{Kind: KindSpaceTime, Box: &box}, SubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Cancel()
+
+	states := testStates(3, 15)
+	for _, s := range states {
+		hub.PublishState(s)
+	}
+	inBox := 0
+	for _, s := range states {
+		if box.Rect().Contains(s.Pos) {
+			inBox++
+		}
+	}
+	got := collect(t, sub, inBox)
+	for i, u := range got {
+		if u.Kind != UpdateState {
+			t.Fatalf("update %d is %s (heartbeats must be absorbed by the client)", i, u.Kind)
+		}
+		if i > 0 && u.Seq <= got[i-1].Seq {
+			t.Fatalf("remote updates out of sequence: %d after %d", u.Seq, got[i-1].Seq)
+		}
+	}
+	sub.Cancel()
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case _, ok := <-sub.Updates():
+			if !ok {
+				if err := sub.Err(); err != nil {
+					t.Fatalf("clean cancel left err %v", err)
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("remote subscription did not close after Cancel")
+		}
+	}
+}
+
+// TestStreamResumeAfterDisconnect pins the remote-peer resume path: when
+// the connection is torn down mid-stream, the client reconnects with its
+// last sequence and the server replays what the ring retained — updates
+// arrive exactly once, in order.
+func TestStreamResumeAfterDisconnect(t *testing.T) {
+	ts, hub := newStreamServer(t, tstore.New())
+	c := NewClient(ts.URL)
+	c.Retry = RetryPolicy{Max: 5, BaseDelay: 10 * time.Millisecond}
+	world := Box{MinLat: -90, MinLon: -180, MaxLat: 90, MaxLon: 180}
+	sub, err := c.Subscribe(Request{Kind: KindLivePicture, Box: &world},
+		SubOptions{Heartbeat: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Cancel()
+
+	states := testStates(1, 24)
+	for _, s := range states[:10] {
+		hub.PublishState(s)
+	}
+	first := collect(t, sub, 10)
+
+	ts.CloseClientConnections() // tear the stream down under the client
+	for _, s := range states[10:] {
+		hub.PublishState(s)
+	}
+	rest := collect(t, sub, 14)
+	all := append(first, rest...)
+	for i, u := range all {
+		if want := uint64(i + 1); u.Seq != want {
+			t.Fatalf("update %d has seq %d, want %d — resume duplicated or lost updates", i, u.Seq, want)
+		}
+		if !u.State.At.Equal(states[i].At) {
+			t.Fatalf("update %d carries state at %v, want %v", i, u.State.At, states[i].At)
+		}
+	}
+}
+
+func TestStreamErrorsAndUnsupported(t *testing.T) {
+	// A server over a plain Engine (no Subscriber): /v1/stream is 501.
+	st := fill(tstore.New(), testStates(2, 5))
+	plain := httptest.NewServer(NewServer(NewEngine(NewStoreSource("archive", st))))
+	defer plain.Close()
+	c := NewClient(plain.URL)
+	world := Box{MinLat: -90, MinLon: -180, MaxLat: 90, MaxLon: 180}
+	if _, err := c.Subscribe(Request{Kind: KindLivePicture, Box: &world}, SubOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "subscriptions") {
+		t.Fatalf("want unsupported-subscriptions error, got %v", err)
+	}
+
+	// A streaming server rejects invalid and unstreamable requests with 400.
+	ts, _ := newStreamServer(t, st)
+	sc := NewClient(ts.URL)
+	if _, err := sc.Subscribe(Request{Kind: KindSpaceTime}, SubOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "requires box") {
+		t.Fatalf("want validation error over the wire, got %v", err)
+	}
+	if _, err := sc.Subscribe(Request{Kind: KindStats}, SubOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "not streamable") {
+		t.Fatalf("want not-streamable error over the wire, got %v", err)
+	}
+	// GET is not a stream.
+	resp, err := http.Get(ts.URL + "/v1/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/stream: %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestStreamRequestBufferClamped pins the wire-buffer bound: a remote
+// caller cannot make one POST allocate an arbitrarily large queue.
+func TestStreamRequestBufferClamped(t *testing.T) {
+	if got := (StreamRequest{Buffer: 1 << 30}).options().Buffer; got != maxWireBuffer {
+		t.Fatalf("wire buffer of 1<<30 clamped to %d, want %d", got, maxWireBuffer)
+	}
+	if got := (StreamRequest{Buffer: 64}).options().Buffer; got != 64 {
+		t.Fatalf("modest wire buffer altered: %d", got)
+	}
+}
+
+// TestStreamServerSideFailureSurfaces pins the terminal-error path: a
+// subscription that dies server-side (here: a situation ticker whose
+// executor fails) must end the remote subscription with Err — not be
+// mistaken for a transport loss and resumed forever.
+func TestStreamServerSideFailureSurfaces(t *testing.T) {
+	hub := NewHub(HubConfig{})
+	broken := NewEngine() // no sources: every Query errors
+	ts := httptest.NewServer(NewServer(NewStreamer(hub, broken)))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	box := Box{MinLat: 41, MinLon: 4, MaxLat: 45, MaxLon: 9}
+	sub, err := c.Subscribe(Request{Kind: KindSituation, Box: &box},
+		SubOptions{Tick: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Cancel()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case _, ok := <-sub.Updates():
+			if !ok {
+				if err := sub.Err(); err == nil || !strings.Contains(err.Error(), "no sources") {
+					t.Fatalf("want the server-side failure in Err, got %v", err)
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("server-side failure never terminated the remote subscription")
+		}
+	}
+}
+
+// TestHubReplayLargerThanBuffer pins the resume contract: every update
+// still retained in the ring is delivered on resume even when the
+// replay span exceeds the subscriber's configured queue bound.
+func TestHubReplayLargerThanBuffer(t *testing.T) {
+	hub := NewHub(HubConfig{})
+	world := Box{MinLat: -90, MinLon: -180, MaxLat: 90, MaxLon: 180}
+	armed, _ := hub.Subscribe(Request{Kind: KindLivePicture, Box: &world}, SubOptions{Buffer: 2048})
+	defer armed.Cancel()
+	for _, s := range testStates(1, 1000) {
+		hub.PublishState(s)
+	}
+	sub, err := hub.Subscribe(Request{Kind: KindLivePicture, Box: &world},
+		SubOptions{FromSeq: 1, Buffer: 8}) // replay of 999 into a bound of 8
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Cancel()
+	got := collect(t, sub, 999)
+	for i, u := range got {
+		if want := uint64(i + 2); u.Seq != want {
+			t.Fatalf("replay seq %d at %d, want %d", u.Seq, i, want)
+		}
+	}
+	if sub.Dropped() != 0 {
+		t.Fatalf("resume dropped %d retained updates", sub.Dropped())
+	}
+}
+
+// --- federation ------------------------------------------------------------------
+
+// TestFederationMergesPeerDuplicateFree pins the acceptance criterion's
+// federation half at the engine level: a daemon with a -peer source
+// merges the remote picture into local answers, deduplicated on
+// (MMSI, timestamp).
+func TestFederationMergesPeerDuplicateFree(t *testing.T) {
+	// Peer A holds vessels 1..8; the local daemon holds 5..12 — the
+	// overlap (5..8) must appear exactly once.
+	all := testStates(12, 10)
+	perVessel := 10
+	remote := fill(tstore.New(), all[:8*perVessel])
+	local := fill(tstore.New(), all[4*perVessel:])
+
+	tsA := httptest.NewServer(NewServer(NewEngine(NewStoreSource("peer-archive", remote))))
+	defer tsA.Close()
+	peer := NewClient(tsA.URL)
+	peer.PeerName = "peerA"
+	eng := NewEngine(NewStoreSource("local", local), peer)
+
+	box := Box{MinLat: 41, MinLon: 4, MaxLat: 46, MaxLon: 10}
+	res, err := eng.Query(Request{Kind: KindSpaceTime, Box: &box})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 12 * perVessel; res.Count != want {
+		t.Fatalf("federated spacetime returned %d states, want %d (12 vessels × %d, overlap deduplicated)",
+			res.Count, want, perVessel)
+	}
+	seen := map[string]bool{}
+	vessels := map[uint32]bool{}
+	for _, s := range res.States {
+		k := fmt.Sprintf("%d@%d", s.MMSI, s.At.UnixNano())
+		if seen[k] {
+			t.Fatalf("duplicate (MMSI, timestamp) in federated answer: %d @ %v", s.MMSI, s.At)
+		}
+		seen[k] = true
+		vessels[s.MMSI] = true
+	}
+	if !vessels[201000001] {
+		t.Fatal("vessel held only by the peer is missing from the federated answer")
+	}
+	if !vessels[201000012] {
+		t.Fatal("vessel held only locally is missing from the federated answer")
+	}
+	if len(res.Sources) != 2 || res.Sources[1] != "peerA" {
+		t.Fatalf("sources %v should name local + peerA", res.Sources)
+	}
+
+	// Trajectory and stats federate too.
+	tr, err := eng.Query(Request{Kind: KindTrajectory, MMSI: 201000001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Count != perVessel {
+		t.Fatalf("federated trajectory of a peer-only vessel: %d points, want %d", tr.Count, perVessel)
+	}
+	stats, err := eng.Query(Request{Kind: KindStats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Stats.Vessels != 12 {
+		t.Fatalf("federated stats count %d distinct vessels, want 12", stats.Stats.Vessels)
+	}
+}
+
+// TestFederationDegradedPeer pins degraded mode: a dead peer contributes
+// nothing and surfaces its failure in stats, but never fails the query.
+func TestFederationDegradedPeer(t *testing.T) {
+	local := fill(tstore.New(), testStates(3, 10))
+	tsA := httptest.NewServer(NewServer(NewEngine(NewStoreSource("x", tstore.New()))))
+	peer := NewClient(tsA.URL)
+	peer.PeerName = "peerA"
+	peer.PeerTimeout = 500 * time.Millisecond
+	tsA.Close() // peer is down before the first query; federated reads
+	// skip the retry policy, so the default client still degrades fast
+
+	eng := NewEngine(NewStoreSource("local", local), peer)
+	box := Box{MinLat: 41, MinLon: 4, MaxLat: 46, MaxLon: 10}
+	res, err := eng.Query(Request{Kind: KindSpaceTime, Box: &box})
+	if err != nil {
+		t.Fatalf("degraded peer must not fail the query: %v", err)
+	}
+	if res.Count != 30 {
+		t.Fatalf("local answer under degraded peer: %d states, want 30", res.Count)
+	}
+	stats, err := eng.Query(Request{Kind: KindStats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var peerStats *SourceStats
+	for i := range stats.Stats.Sources {
+		if stats.Stats.Sources[i].Name == "peerA" {
+			peerStats = &stats.Stats.Sources[i]
+		}
+	}
+	if peerStats == nil || peerStats.Err == "" {
+		t.Fatalf("degraded peer must surface its error in stats, got %+v", stats.Stats.Sources)
+	}
+	if peer.PeerErr() == nil {
+		t.Fatal("PeerErr should report the degradation")
+	}
+}
+
+// TestFederationIsOneHop pins the loop guard: two mutually-peered
+// daemons answer each other's federated reads locally, so a query
+// terminates (and the peer's own peers do not amplify the answer).
+func TestFederationIsOneHop(t *testing.T) {
+	all := testStates(6, 8)
+	stA := fill(tstore.New(), all[:3*8])
+	stB := fill(tstore.New(), all[3*8:])
+
+	// Mutual peering: build both clients first, point them at the
+	// servers once both exist.
+	peerOfA, peerOfB := NewClient(""), NewClient("")
+	engA := NewEngine(NewStoreSource("a", stA), peerOfA)
+	engB := NewEngine(NewStoreSource("b", stB), peerOfB)
+	tsA := httptest.NewServer(NewServer(engA))
+	defer tsA.Close()
+	tsB := httptest.NewServer(NewServer(engB))
+	defer tsB.Close()
+	peerOfA.Base, peerOfA.PeerName = tsB.URL, "peerB" // A federates B
+	peerOfB.Base, peerOfB.PeerName = tsA.URL, "peerA" // B federates A
+
+	done := make(chan *Result, 1)
+	errc := make(chan error, 1)
+	go func() {
+		box := Box{MinLat: 41, MinLon: 4, MaxLat: 46, MaxLon: 10}
+		res, err := engA.Query(Request{Kind: KindSpaceTime, Box: &box})
+		if err != nil {
+			errc <- err
+			return
+		}
+		done <- res
+	}()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	case res := <-done:
+		if res.Count != 6*8 {
+			t.Fatalf("mutually-peered query returned %d states, want %d", res.Count, 6*8)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("mutually-peered daemons looped: query never terminated")
+	}
+
+	// The guard itself: a Local request skips peers entirely.
+	box := Box{MinLat: 41, MinLon: 4, MaxLat: 46, MaxLon: 10}
+	res, err := engA.Query(Request{Kind: KindSpaceTime, Box: &box, Local: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 3*8 {
+		t.Fatalf("local-only query returned %d states, want %d", res.Count, 3*8)
+	}
+	if len(res.Sources) != 1 || res.Sources[0] != "a" {
+		t.Fatalf("local-only sources %v, want [a]", res.Sources)
+	}
+}

@@ -1,0 +1,490 @@
+package query
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/events"
+	"repro/internal/geo"
+	"repro/internal/model"
+	"repro/internal/stream"
+)
+
+// This file is the continuous half of the query surface: the same typed
+// Request that answers a one-shot read becomes a standing query whose
+// incremental results are pushed to the subscriber. A Hub fans published
+// vessel states and alerts out to bounded per-subscriber queues (a slow
+// consumer drops updates — counted, never blocking the publisher), keeps
+// a replay ring so a reconnecting subscriber can resume from its last
+// sequence number, and a Streamer adds the kinds a pure pub/sub cannot
+// serve (the periodic situation ticker). The HTTP form is /v1/stream
+// (stream_http.go); Client.Subscribe is the remote peer (client.go).
+
+// UpdateKind discriminates the payload of a pushed Update.
+type UpdateKind string
+
+// The update kinds a subscription delivers.
+const (
+	// UpdateState carries one newly archived vessel state.
+	UpdateState UpdateKind = "state"
+	// UpdateAlert carries one newly recognised alert.
+	UpdateAlert UpdateKind = "alert"
+	// UpdateSituation carries a periodically assembled situation picture
+	// (KindSituation subscriptions only).
+	UpdateSituation UpdateKind = "situation"
+	// UpdateHeartbeat is a keep-alive: no payload, but Seq acknowledges
+	// the subscriber's position and Dropped surfaces queue overflow. The
+	// HTTP stream emits them; in-process subscriptions do not need them.
+	UpdateHeartbeat UpdateKind = "heartbeat"
+	// UpdateError terminates an HTTP stream: the subscription failed
+	// server-side (Error says why) and will not resume. The client
+	// absorbs it into Subscription.Err.
+	UpdateError UpdateKind = "error"
+)
+
+// Update is one pushed increment of a standing query. Seq is the hub's
+// global publication sequence — strictly increasing across every update a
+// subscription delivers, so "resume from the last Seq I saw" is always
+// well defined. (Situation tickers are the exception: their pictures are
+// recomputed, not replayed, so Seq counts that subscription's ticks.)
+//
+// Sequences are per daemon instance: a daemon restart (or a reconnect
+// routed to a different daemon) starts a new sequence space, and a
+// resume carrying a stale larger cursor silently continues live-only —
+// the same restart limitation as the in-memory replay ring (ROADMAP: a
+// WAL-backed ring plus an epoch stamp would make restarts detectable).
+type Update struct {
+	Seq  uint64     `json:"seq"`
+	Kind UpdateKind `json:"kind"`
+
+	State     *State     `json:"state,omitempty"`
+	Alert     *Alert     `json:"alert,omitempty"`
+	Situation *Situation `json:"situation,omitempty"`
+
+	// Dropped (heartbeats only) is the number of updates this
+	// subscription has lost to queue overflow so far.
+	Dropped uint64 `json:"dropped,omitempty"`
+
+	// Error (UpdateError only) is the server-side failure that ended the
+	// stream.
+	Error string `json:"error,omitempty"`
+}
+
+// SubOptions tunes one subscription. The zero value is usable.
+type SubOptions struct {
+	// Buffer bounds the subscriber's queue (default HubConfig.Buffer).
+	// When the queue is full, new updates are dropped for this subscriber
+	// and counted — a slow consumer never blocks the publisher.
+	Buffer int
+	// FromSeq resumes the subscription: updates still retained in the
+	// hub's replay ring with Seq > FromSeq are delivered first, then the
+	// live stream continues. 0 subscribes from "now" — unless Resume is
+	// set. Replay is best-effort: updates older than the ring are gone
+	// (compare the first delivered Seq with FromSeq+1 to detect the gap).
+	FromSeq uint64
+	// Resume marks FromSeq as an authoritative cursor even at 0: a
+	// subscriber that attached at sequence 0 and lost its stream before
+	// receiving anything still wants everything retained, not "from
+	// now". Client reconnects set it; fresh subscriptions leave it off.
+	Resume bool
+	// Heartbeat is the keep-alive cadence of the HTTP stream (default
+	// 15s, minimum 100ms). In-process subscriptions ignore it.
+	Heartbeat time.Duration
+	// Tick is the assembly cadence of KindSituation subscriptions
+	// (default 2s, minimum 10ms). Other kinds ignore it.
+	Tick time.Duration
+}
+
+func (o SubOptions) heartbeat() time.Duration {
+	switch {
+	case o.Heartbeat <= 0:
+		return 15 * time.Second
+	case o.Heartbeat < 100*time.Millisecond:
+		return 100 * time.Millisecond
+	}
+	return o.Heartbeat
+}
+
+func (o SubOptions) tick() time.Duration {
+	switch {
+	case o.Tick <= 0:
+		return 2 * time.Second
+	case o.Tick < 10*time.Millisecond:
+		return 10 * time.Millisecond
+	}
+	return o.Tick
+}
+
+// Subscriber turns a Request into a standing query. Implementations:
+// Hub (state/alert kinds), Streamer (adds situation tickers), the ingest
+// engine (its hub + query engine), and Client (a remote daemon's hub over
+// /v1/stream) — the push half of the Executor contract.
+type Subscriber interface {
+	Subscribe(req Request, opt SubOptions) (*Subscription, error)
+}
+
+// Subscription is one standing query. Read Updates until it closes; the
+// channel closes after Cancel, or — for remote subscriptions — once the
+// connection is lost beyond the client's retry budget (Err then reports
+// why). Dropped counts updates lost to this subscriber's bounded queue.
+type Subscription struct {
+	req      Request
+	ch       chan Update
+	startSeq uint64
+
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
+
+	filter func(*Update) bool // hub-side match; nil for remote/ticker subs
+
+	cancelOnce sync.Once
+	stop       func()
+
+	errMu sync.Mutex
+	err   error
+}
+
+// Updates is the push channel of the standing query.
+func (s *Subscription) Updates() <-chan Update { return s.ch }
+
+// Request returns the standing request.
+func (s *Subscription) Request() Request { return s.req }
+
+// StartSeq is the hub sequence at subscribe time: every update with a
+// larger Seq is either delivered or counted in Dropped.
+func (s *Subscription) StartSeq() uint64 { return s.startSeq }
+
+// Delivered counts updates enqueued to this subscription.
+func (s *Subscription) Delivered() uint64 { return s.delivered.Load() }
+
+// Dropped counts updates lost to this subscription's full queue. For
+// remote subscriptions it accumulates the server-side counts carried by
+// heartbeats across reconnects, which makes it an upper bound: an
+// update dropped from the queue and later recovered by ring replay on
+// resume stays counted, even though it was ultimately delivered.
+func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
+
+// Cancel ends the standing query; Updates closes soon after. Safe to call
+// more than once and concurrently with delivery.
+func (s *Subscription) Cancel() { s.cancelOnce.Do(s.stop) }
+
+// Err reports why a subscription ended, if it ended abnormally (a remote
+// stream lost beyond the retry budget). Nil after a plain Cancel.
+func (s *Subscription) Err() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.err
+}
+
+func (s *Subscription) setErr(err error) {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// offer delivers u if it matches the subscription, without ever blocking:
+// a full queue drops the update and counts it.
+func (s *Subscription) offer(u Update, hub *stream.Metrics) {
+	if s.filter != nil && !s.filter(&u) {
+		return
+	}
+	select {
+	case s.ch <- u:
+		s.delivered.Add(1)
+		if hub != nil {
+			hub.Out.Add(1)
+		}
+	default:
+		s.dropped.Add(1)
+		if hub != nil {
+			hub.Dropped.Add(1)
+		}
+	}
+}
+
+// HubConfig parameterises a Hub. The zero value is usable.
+type HubConfig struct {
+	// Replay is the capacity of the resume ring (default 4096 updates).
+	Replay int
+	// Buffer is the default per-subscriber queue bound (default 256).
+	Buffer int
+}
+
+func (c *HubConfig) normalize() {
+	if c.Replay < 1 {
+		c.Replay = 4096
+	}
+	if c.Buffer < 1 {
+		c.Buffer = 256
+	}
+}
+
+// Hub is the pub/sub core of the subscription surface: publishers push
+// vessel states and alerts, subscribers receive the subset matching their
+// standing Request through bounded queues. Publication is cheap while
+// nothing has ever subscribed (one atomic load), so an ingest path can
+// publish unconditionally.
+//
+// Hub implements tstore.Sink, so attaching it to a store (optionally
+// tee'd with a persistence flusher) publishes exactly the records that
+// reach the archive — the set a one-shot replay of the same request
+// returns, which is what makes a subscription equivalent to its
+// point-in-time twin.
+type Hub struct {
+	cfg HubConfig
+
+	// Metrics counts publications (In), enqueued deliveries across all
+	// subscribers (Out) and slow-consumer drops (Dropped).
+	Metrics stream.Metrics
+
+	// armed is set on first Subscribe and deliberately never cleared:
+	// retention must continue while a subscriber is disconnected (zero
+	// live subscriptions) or there would be nothing to replay when it
+	// resumes — the cost is one wire conversion + mutexed ring write per
+	// archived record after the first subscriber ever appears.
+	armed atomic.Bool
+
+	mu   sync.Mutex
+	seq  uint64
+	ring []Update // replay ring, len == cfg.Replay once armed
+	subs map[*Subscription]struct{}
+}
+
+// NewHub builds a hub.
+func NewHub(cfg HubConfig) *Hub {
+	cfg.normalize()
+	return &Hub{cfg: cfg, subs: make(map[*Subscription]struct{})}
+}
+
+// Seq returns the current publication sequence.
+func (h *Hub) Seq() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.seq
+}
+
+// Subscribers returns the number of active subscriptions.
+func (h *Hub) Subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// Append implements tstore.Sink: every appended record is published as a
+// state update. It never fails — a hub cannot refuse traffic, only
+// individual slow subscribers can lose it.
+func (h *Hub) Append(recs ...model.VesselState) error {
+	for i := range recs {
+		h.PublishState(recs[i])
+	}
+	return nil
+}
+
+// PublishState publishes one vessel state to matching subscribers.
+func (h *Hub) PublishState(s model.VesselState) {
+	if !h.armed.Load() {
+		return
+	}
+	ws := StateOf(s)
+	h.publish(Update{Kind: UpdateState, State: &ws})
+}
+
+// PublishAlert publishes one recognised alert to matching subscribers.
+func (h *Hub) PublishAlert(a events.Alert) {
+	if !h.armed.Load() {
+		return
+	}
+	wa := AlertOf(a)
+	h.publish(Update{Kind: UpdateAlert, Alert: &wa})
+}
+
+func (h *Hub) publish(u Update) {
+	h.Metrics.In.Add(1)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.ring == nil { // armed is set before Subscribe takes the lock
+		h.ring = make([]Update, h.cfg.Replay)
+	}
+	h.seq++
+	u.Seq = h.seq
+	h.ring[int(h.seq)%len(h.ring)] = u
+	for s := range h.subs {
+		s.offer(u, &h.Metrics)
+	}
+}
+
+// Subscribe turns req into a standing query against the hub. Supported
+// kinds: trajectory (follow one vessel), spacetime (watch a box, time
+// bounds honoured), live (watch a box, no time bounds) and alerts
+// (severity- and time-filtered feed). Situation tickers need an executor
+// — subscribe through a Streamer (or the ingest engine) for those.
+func (h *Hub) Subscribe(req Request, opt SubOptions) (*Subscription, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	req = req.normalize()
+	filter, err := filterFor(req)
+	if err != nil {
+		return nil, err
+	}
+	buf := opt.Buffer
+	if buf < 1 {
+		buf = h.cfg.Buffer
+	}
+	h.armed.Store(true)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.ring == nil {
+		h.ring = make([]Update, h.cfg.Replay)
+	}
+	// Best-effort replay: everything still in the ring after FromSeq, in
+	// sequence order. Entries older than seq-len(ring) have been
+	// overwritten; the subscriber detects the gap from the first Seq.
+	var replay []Update
+	startSeq := h.seq
+	if (opt.FromSeq > 0 || opt.Resume) && opt.FromSeq < h.seq {
+		lo := opt.FromSeq + 1
+		if h.seq >= uint64(len(h.ring)) && lo < h.seq-uint64(len(h.ring))+1 {
+			lo = h.seq - uint64(len(h.ring)) + 1
+		}
+		for q := lo; q <= h.seq; q++ {
+			if u := h.ring[int(q)%len(h.ring)]; u.Seq == q && filter(&u) {
+				replay = append(replay, u)
+			}
+		}
+		startSeq = opt.FromSeq
+	}
+	// The queue is sized for the whole replay on top of the configured
+	// bound, so every retained-and-matching update really is delivered —
+	// a resume must not lose to its own (still undrained) fresh queue.
+	sub := &Subscription{
+		req: req, ch: make(chan Update, buf+len(replay)),
+		filter: filter, startSeq: startSeq,
+	}
+	sub.stop = func() { h.remove(sub) }
+	for _, u := range replay {
+		sub.offer(u, &h.Metrics)
+	}
+	h.subs[sub] = struct{}{}
+	return sub, nil
+}
+
+func (h *Hub) remove(sub *Subscription) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.subs[sub]; ok {
+		delete(h.subs, sub)
+		close(sub.ch) // publication holds h.mu, so no send can race this
+	}
+}
+
+// filterFor derives the standing-query predicate from a normalized
+// request.
+func filterFor(req Request) (func(*Update) bool, error) {
+	from, to := req.timeRange()
+	inWindow := func(at time.Time) bool { return !at.Before(from) && !at.After(to) }
+	switch req.Kind {
+	case KindTrajectory:
+		return func(u *Update) bool {
+			return u.Kind == UpdateState && u.State.MMSI == req.MMSI && inWindow(u.State.At)
+		}, nil
+	case KindSpaceTime:
+		r := req.Box.Rect()
+		return func(u *Update) bool {
+			return u.Kind == UpdateState && inWindow(u.State.At) &&
+				r.Contains(geo.Point{Lat: u.State.Lat, Lon: u.State.Lon})
+		}, nil
+	case KindLivePicture:
+		r := req.Box.Rect()
+		return func(u *Update) bool {
+			return u.Kind == UpdateState &&
+				r.Contains(geo.Point{Lat: u.State.Lat, Lon: u.State.Lon})
+		}, nil
+	case KindAlertHistory:
+		return func(u *Update) bool {
+			return u.Kind == UpdateAlert && u.Alert.Severity >= req.MinSeverity &&
+				inWindow(u.Alert.At)
+		}, nil
+	default:
+		return nil, fmt.Errorf("query: kind %q is not streamable (one of %v, or situation via a Streamer)",
+			req.Kind, []Kind{KindTrajectory, KindSpaceTime, KindLivePicture, KindAlertHistory})
+	}
+}
+
+// Streamer is the full Subscriber over a hub plus an executor: pub/sub
+// kinds go to the hub, KindSituation becomes a ticker that periodically
+// assembles the situation through the executor and pushes the picture.
+// It is also an Executor (delegating one-shot requests), so a Streamer
+// is a complete two-mode surface NewServer can serve on its own.
+type Streamer struct {
+	hub  *Hub
+	exec Executor
+}
+
+// NewStreamer composes a hub and an executor into a full Subscriber.
+func NewStreamer(hub *Hub, exec Executor) *Streamer {
+	return &Streamer{hub: hub, exec: exec}
+}
+
+// Hub returns the underlying hub.
+func (st *Streamer) Hub() *Hub { return st.hub }
+
+// Query implements Executor by delegating to the composed executor.
+func (st *Streamer) Query(req Request) (*Result, error) {
+	if st.exec == nil {
+		return nil, fmt.Errorf("query: streamer has no executor")
+	}
+	return st.exec.Query(req)
+}
+
+// Subscribe implements Subscriber.
+func (st *Streamer) Subscribe(req Request, opt SubOptions) (*Subscription, error) {
+	if req.Kind != KindSituation {
+		return st.hub.Subscribe(req, opt)
+	}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	if st.exec == nil {
+		return nil, fmt.Errorf("query: situation subscriptions need an executor")
+	}
+	req = req.normalize()
+	buf := opt.Buffer
+	if buf < 1 {
+		buf = st.hub.cfg.Buffer
+	}
+	done := make(chan struct{})
+	sub := &Subscription{req: req, ch: make(chan Update, buf), startSeq: opt.FromSeq}
+	sub.stop = func() { close(done) }
+	go func() {
+		defer close(sub.ch)
+		tick := time.NewTicker(opt.tick())
+		defer tick.Stop()
+		// Ticks are recomputed, not replayed: Seq counts them — seeded
+		// from FromSeq so a transparently resumed remote subscription
+		// keeps its sequence strictly increasing across reconnects.
+		n := opt.FromSeq
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+			}
+			res, err := st.exec.Query(req)
+			if err != nil {
+				sub.setErr(err)
+				return
+			}
+			n++
+			// Ticks are assembled, not published: keep them out of the
+			// hub's In/Out accounting (drops still show on the
+			// subscription itself).
+			sub.offer(Update{Kind: UpdateSituation, Seq: n, Situation: res.Situation}, nil)
+		}
+	}()
+	return sub, nil
+}

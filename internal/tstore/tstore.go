@@ -7,6 +7,7 @@ package tstore
 
 import (
 	"bufio"
+	"container/heap"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -30,6 +31,29 @@ type Sink interface {
 	Append(recs ...model.VesselState) error
 }
 
+// Tee fans appended records out to several sinks: every sink sees every
+// record, and the first error any sink reports is returned (the remaining
+// sinks still receive the batch). Nil sinks are skipped, so callers can
+// compose optional stages without branching:
+//
+//	store.Attach(tstore.Tee(hub, flusher)) // publish + persist
+func Tee(sinks ...Sink) Sink { return teeSink(sinks) }
+
+type teeSink []Sink
+
+func (t teeSink) Append(recs ...model.VesselState) error {
+	var first error
+	for _, s := range t {
+		if s == nil {
+			continue
+		}
+		if err := s.Append(recs...); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // Store archives trajectories keyed by vessel.
 type Store struct {
 	mu      sync.RWMutex
@@ -37,6 +61,12 @@ type Store struct {
 	total   int
 	sink    Sink
 	sinkErr error
+
+	// fwdMu serialises sink forwarding in append order without holding
+	// mu: readers proceed while a slow sink (or a wide pub/sub fan-out)
+	// works, yet the sink still sees batches in the order they were
+	// inserted and a blocking sink still backpressures the appender.
+	fwdMu sync.Mutex
 }
 
 // series holds one vessel's points, kept sorted by time. AIS streams are
@@ -70,9 +100,13 @@ func New() *Store {
 // feeding the store — records appended earlier are not replayed into the
 // sink. Forwarding errors are retained for SinkErr rather than failing
 // the append; the in-memory insert always happens. The sink is called
-// with the store lock held, so a blocking sink (a full flush queue)
-// backpressures appends — attach an asynchronous stage (store.Flusher),
-// not a raw disk writer, when ingest latency matters.
+// after the store lock is released (reads proceed while it works) but
+// under a dedicated forwarding lock, so it sees appends in insertion
+// order and a blocking sink (a full flush queue) still backpressures the
+// appender — attach an asynchronous stage (store.Flusher), not a raw
+// disk writer, when ingest latency matters. Note: concurrent appends of
+// the *same* vessel from different goroutines have no defined forward
+// order (the shipped ingest engine serialises per vessel by sharding).
 func (st *Store) Attach(s Sink) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -89,10 +123,11 @@ func (st *Store) SinkErr() error {
 // Append inserts one state sample.
 func (st *Store) Append(s model.VesselState) {
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	st.insertLocked(s)
-	if st.sink != nil {
-		st.forwardLocked(s)
+	sink := st.sink
+	st.mu.Unlock()
+	if sink != nil {
+		st.forward(sink, s)
 	}
 }
 
@@ -106,9 +141,18 @@ func (st *Store) insertLocked(s model.VesselState) {
 	st.total++
 }
 
-func (st *Store) forwardLocked(recs ...model.VesselState) {
-	if err := st.sink.Append(recs...); err != nil && st.sinkErr == nil {
-		st.sinkErr = err
+// forward hands records to the sink outside the store lock, serialised
+// in append order by fwdMu; the first error parks in sinkErr.
+func (st *Store) forward(sink Sink, recs ...model.VesselState) {
+	st.fwdMu.Lock()
+	err := sink.Append(recs...)
+	st.fwdMu.Unlock()
+	if err != nil {
+		st.mu.Lock()
+		if st.sinkErr == nil {
+			st.sinkErr = err
+		}
+		st.mu.Unlock()
 	}
 }
 
@@ -116,12 +160,13 @@ func (st *Store) forwardLocked(recs ...model.VesselState) {
 // attached sink in one call.
 func (st *Store) AppendAll(states []model.VesselState) {
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	for _, s := range states {
 		st.insertLocked(s)
 	}
-	if st.sink != nil && len(states) > 0 {
-		st.forwardLocked(states...)
+	sink := st.sink
+	st.mu.Unlock()
+	if sink != nil && len(states) > 0 {
+		st.forward(sink, states...)
 	}
 }
 
@@ -232,11 +277,30 @@ func (st *Store) SpaceTime(r geo.Rect, from, to time.Time) []model.VesselState {
 
 // Snapshot is an immutable spatial view over the archive at build time:
 // an R-tree whose item IDs encode (vessel, point) so results map back to
-// full states.
+// full states, plus a per-vessel time-chunked directory (bounding
+// rectangle and time span per run of consecutive samples) that
+// NearestVessels searches — candidates are pre-partitioned by time, so a
+// selective window prunes whole chunks instead of filtering fetched
+// points one by one.
 type Snapshot struct {
 	rt     *index.RTree
-	states []model.VesselState
+	states []model.VesselState // (MMSI, time)-ordered
+	chunks []snapChunk         // per-vessel runs, grouped by vessel
 }
+
+// snapChunk summarises up to nearestChunkLen consecutive samples of one
+// vessel: their bounding rectangle, time span and index range in states.
+type snapChunk struct {
+	mmsi     uint32
+	rect     geo.Rect
+	from, to time.Time
+	lo, hi   int // states[lo:hi]
+}
+
+// nearestChunkLen balances directory size against scan width: chunks are
+// small enough that rect lower bounds stay tight and a window scan stays
+// cheap, large enough that the directory is ~2% of the point count.
+const nearestChunkLen = 64
 
 // SpatialSnapshot builds a snapshot over all points currently stored.
 func (st *Store) SpatialSnapshot() *Snapshot {
@@ -248,14 +312,34 @@ func (st *Store) SpatialSnapshot() *Snapshot {
 		mmsis = append(mmsis, m)
 	}
 	sort.Slice(mmsis, func(i, j int) bool { return mmsis[i] < mmsis[j] })
+	sn := &Snapshot{}
 	for _, m := range mmsis {
-		states = append(states, st.vessels[m].points...)
+		pts := st.vessels[m].points
+		base := len(states)
+		states = append(states, pts...)
+		for lo := 0; lo < len(pts); lo += nearestChunkLen {
+			hi := lo + nearestChunkLen
+			if hi > len(pts) {
+				hi = len(pts)
+			}
+			c := snapChunk{
+				mmsi: m, rect: geo.EmptyRect(),
+				from: pts[lo].At, to: pts[hi-1].At,
+				lo: base + lo, hi: base + hi,
+			}
+			for _, p := range pts[lo:hi] {
+				c.rect = c.rect.Extend(p.Pos)
+			}
+			sn.chunks = append(sn.chunks, c)
+		}
 	}
 	items := make([]index.Item, len(states))
 	for i, s := range states {
 		items[i] = index.Item{Pos: s.Pos, ID: uint64(i)}
 	}
-	return &Snapshot{rt: index.BuildRTree(items), states: states}
+	sn.rt = index.BuildRTree(items)
+	sn.states = states
+	return sn
 }
 
 // Len returns the number of points in the snapshot.
@@ -281,40 +365,98 @@ func (sn *Snapshot) Search(r geo.Rect, from, to time.Time) []model.VesselState {
 
 // NearestVessels returns up to k distinct vessels with a sample within tol
 // of the instant `at`, ordered by the distance of that sample to p.
+//
+// The search runs over the snapshot's per-vessel time-chunk directory,
+// not the raw point R-tree: chunks whose time span misses the window are
+// pruned outright (candidates pre-partitioned by time), the rest enter a
+// best-first queue keyed by their rectangle's admissible lower-bound
+// distance, and popping a chunk resolves it to the vessel's nearest
+// in-window sample, re-queued at its true distance. A chunk of an
+// already-emitted vessel is skipped without scanning. This replaces the
+// old fetch-then-filter loop over the point R-tree, which re-fetched 4×
+// more candidates each round and waded through hundreds of co-located
+// same-vessel samples — ms-range where this is µs-range (E16/E17).
 func (sn *Snapshot) NearestVessels(p geo.Point, at time.Time, tol time.Duration, k int) []model.VesselState {
-	// Over-fetch from the R-tree and filter by time and vessel
-	// distinctness until k vessels are found.
-	fetch := k * 8
-	if fetch < 32 {
-		fetch = 32
+	if k <= 0 || len(sn.states) == 0 {
+		return nil
 	}
-	var out []model.VesselState
-	seen := map[uint32]bool{}
-	for {
-		out = out[:0]
-		for m := range seen {
-			delete(seen, m)
+	// time.Time.Sub saturates, so the max-duration tolerance used for
+	// time-agnostic searches admits every dt without overflow.
+	admit := func(t time.Time) bool {
+		dt := t.Sub(at)
+		if dt < 0 {
+			dt = -dt
 		}
-		for _, it := range sn.rt.Nearest(p, fetch) {
-			s := sn.states[it.ID]
-			dt := s.At.Sub(at)
-			if dt < 0 {
-				dt = -dt
-			}
-			if dt > tol || seen[s.MMSI] {
+		return dt <= tol
+	}
+	q := make(nvQueue, 0, 64)
+	for i := range sn.chunks {
+		c := &sn.chunks[i]
+		// Chunk-level time pruning: the nearest instant of [from, to]
+		// to `at` must be admissible.
+		switch {
+		case at.Before(c.from):
+			if c.from.Sub(at) > tol {
 				continue
 			}
-			seen[s.MMSI] = true
-			out = append(out, s)
-			if len(out) == k {
-				return out
+		case at.After(c.to):
+			if at.Sub(c.to) > tol {
+				continue
 			}
 		}
-		if fetch >= sn.Len() {
-			return out
-		}
-		fetch *= 4
+		q = append(q, nvEntry{dist: c.rect.DistanceTo(p), chunk: i, mmsi: c.mmsi})
 	}
+	heap.Init(&q)
+	seen := make(map[uint32]bool, k)
+	out := make([]model.VesselState, 0, k)
+	for q.Len() > 0 && len(out) < k {
+		e := heap.Pop(&q).(nvEntry)
+		if seen[e.mmsi] {
+			continue
+		}
+		if e.chunk < 0 { // resolved: this is the vessel's nearest admissible sample
+			seen[e.mmsi] = true
+			out = append(out, sn.states[e.state])
+			continue
+		}
+		c := &sn.chunks[e.chunk]
+		best, bd := -1, math.Inf(1)
+		for i := c.lo; i < c.hi; i++ {
+			if !admit(sn.states[i].At) {
+				continue
+			}
+			if d := geo.Distance(p, sn.states[i].Pos); d < bd {
+				best, bd = i, d
+			}
+		}
+		if best >= 0 {
+			heap.Push(&q, nvEntry{dist: bd, chunk: -1, state: best, mmsi: c.mmsi})
+		}
+	}
+	return out
+}
+
+// nvEntry is a best-first queue entry of NearestVessels: an unresolved
+// chunk (rect lower bound) or a resolved sample (true distance).
+type nvEntry struct {
+	dist  float64
+	chunk int // chunk index, or -1 once resolved
+	state int // resolved sample index into states
+	mmsi  uint32
+}
+
+type nvQueue []nvEntry
+
+func (q nvQueue) Len() int           { return len(q) }
+func (q nvQueue) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q nvQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *nvQueue) Push(x any)        { *q = append(*q, x.(nvEntry)) }
+func (q *nvQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
 }
 
 // --- live layer ---------------------------------------------------------------

@@ -127,7 +127,47 @@
 //
 // Results have a stable JSON encoding, so the HTTP answer and a locally
 // marshalled in-process answer are byte-identical; cmd/msaquery is the
-// CLI form of this client.
+// CLI form of this client. One-shot client calls take a context
+// (QueryContext) and retry transient connection errors with exponential
+// backoff (Client.Retry).
+//
+// # Subscriptions (standing queries)
+//
+// Every streamable request kind also runs as a standing query: the same
+// typed QueryRequest, subscribed instead of executed, delivers its
+// incremental results as they happen — a spacetime box watch, a
+// per-vessel follow, an alert feed or a periodically assembled situation
+// ticker. The ingest engine publishes every record that reaches the
+// archive (and every alert) to bounded per-subscriber queues; a slow
+// consumer drops updates (counted, surfaced in QueryHub metrics and on
+// the subscription), never blocking ingest:
+//
+//	sub, _ := e.Subscribe(maritime.QueryRequest{
+//	    Kind: maritime.QuerySpaceTime,
+//	    Box:  &maritime.QueryBox{MinLat: 42, MinLon: 4, MaxLat: 44, MaxLon: 9},
+//	}, maritime.QuerySubOptions{})
+//	for u := range sub.Updates() {
+//	    fmt.Println(u.Seq, u.State.MMSI, u.State.Lat, u.State.Lon)
+//	}
+//
+// Remotely the same subscription rides /v1/stream as NDJSON (maritimed
+// -http serves it): QueryClient.Subscribe is the remote twin, with
+// heartbeats absorbed into transport bookkeeping and automatic
+// resume-from-sequence when the connection blips. cmd/msaquery -watch /
+// -follow are the CLI forms.
+//
+// # Federation (daemons as sources)
+//
+// A QueryClient is itself a QuerySource, so a remote daemon's picture
+// composes into a local engine like any store — merged and deduplicated
+// on (MMSI, timestamp), one hop deep (peers answer locally, so
+// mutually-peered daemons cannot loop), and degraded rather than fatal
+// when the peer is down (the error surfaces in stats):
+//
+//	peer := maritime.NewQueryClient("peer-a:8080") // also a QuerySource
+//	qe := maritime.NewQueryEngine(maritime.NewLiveQuerySource(e.Sharded()), peer)
+//
+// maritimed -peer URL wires exactly this into a running daemon.
 package maritime
 
 import (
@@ -311,13 +351,49 @@ type (
 	QueryKind = query.Kind
 	// QueryBox is the wire form of a bounding box (validated).
 	QueryBox = query.Box
-	// QueryServer serves the surface over HTTP (/v1/query + GET routes).
+	// QueryServer serves the surface over HTTP (/v1/query + GET routes +
+	// /v1/stream standing queries).
 	QueryServer = query.Server
-	// QueryClient answers requests by calling a remote QueryServer.
+	// QueryClient answers requests by calling a remote QueryServer; it is
+	// also a QuerySource (federation member) and a QuerySubscriber.
 	QueryClient = query.Client
 	// QueryExecutor is anything that answers a QueryRequest: an engine,
 	// an ingest engine, or a client.
 	QueryExecutor = query.Executor
+	// QueryRetryPolicy is the client's backoff over transient transport
+	// errors.
+	QueryRetryPolicy = query.RetryPolicy
+
+	// QuerySubscription is one standing query: read Updates until closed.
+	QuerySubscription = query.Subscription
+	// QueryUpdate is one pushed increment of a standing query.
+	QueryUpdate = query.Update
+	// QueryUpdateKind discriminates a pushed update's payload.
+	QueryUpdateKind = query.UpdateKind
+	// QuerySubOptions tunes a subscription (queue bound, resume sequence,
+	// heartbeat and situation-tick cadence).
+	QuerySubOptions = query.SubOptions
+	// QuerySubscriber turns requests into standing queries: the ingest
+	// engine, a QueryHub/Streamer, or a QueryClient.
+	QuerySubscriber = query.Subscriber
+	// QueryHub is the publish/subscribe core: bounded per-subscriber
+	// queues, slow-consumer drop accounting, replay ring for resume.
+	QueryHub = query.Hub
+	// QueryHubConfig parameterises a hub.
+	QueryHubConfig = query.HubConfig
+	// QueryStreamRequest is the wire form of a /v1/stream subscription.
+	QueryStreamRequest = query.StreamRequest
+	// QueryPeerSource is a source backed by another daemon; engines skip
+	// peers on Local requests (the one-hop federation guard).
+	QueryPeerSource = query.PeerSource
+)
+
+// The update kinds a subscription delivers.
+const (
+	QueryUpdateState     = query.UpdateState
+	QueryUpdateAlert     = query.UpdateAlert
+	QueryUpdateSituation = query.UpdateSituation
+	QueryUpdateHeartbeat = query.UpdateHeartbeat
 )
 
 // The query kinds.
@@ -341,12 +417,20 @@ func NewLiveQuerySource(s *ShardedPipeline) QuerySource { return query.NewLiveSo
 // NewStoreQuerySource exposes a trajectory archive as a query source.
 func NewStoreQuerySource(name string, st *Store) QuerySource { return query.NewStoreSource(name, st) }
 
-// NewQueryServer builds the HTTP handler serving an executor.
+// NewQueryServer builds the HTTP handler serving an executor. When the
+// executor also implements QuerySubscriber (the ingest engine does),
+// /v1/stream serves standing queries over it.
 func NewQueryServer(exec QueryExecutor) *QueryServer { return query.NewServer(exec) }
 
 // NewQueryClient builds a client for a running query server
-// ("host:port" or a full URL).
+// ("host:port" or a full URL). The client is a remote QueryExecutor, a
+// remote QuerySubscriber (Subscribe over /v1/stream with automatic
+// resume) and a QuerySource federation member (maritimed -peer).
 func NewQueryClient(base string) *QueryClient { return query.NewClient(base) }
+
+// NewQueryHub builds a standalone publish/subscribe hub (the ingest
+// engine owns one already — Engine.Hub / Engine.Subscribe).
+func NewQueryHub(cfg QueryHubConfig) *QueryHub { return query.NewHub(cfg) }
 
 // ParseQueryBox parses and validates "minLat,minLon,maxLat,maxLon".
 func ParseQueryBox(s string) (QueryBox, error) { return query.ParseBox(s) }
