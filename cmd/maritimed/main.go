@@ -34,9 +34,18 @@
 // surfaced under /v1/stats) instead of failing the query, and federated
 // reads are marked local-only so mutually-peered daemons cannot loop.
 //
+// With -mem-budget the archive exceeds RAM: once resident points pass
+// the budget, the coldest vessels are evicted down to compact stubs and
+// their history spills to the object store (-remote-dir, or a tier/
+// subdirectory of -data-dir); queries keep answering, paging evicted
+// spans back in on demand. With -remote-dir, sealed WAL segments and
+// snapshots also migrate off local disk on seal (upload confirmed before
+// the local copy is deleted; recovery re-uploads anything a crash left
+// behind).
+//
 // Usage:
 //
-//	aisgen -vessels 200 -minutes 60 | maritimed [-shards N] [-decoders N] [-data-dir DIR] [-fsync MODE] [-http ADDR] [-peer URL]...
+//	aisgen -vessels 200 -minutes 60 | maritimed [-shards N] [-decoders N] [-data-dir DIR] [-fsync MODE] [-remote-dir DIR] [-mem-budget SIZE] [-http ADDR] [-peer URL]...
 package main
 
 import (
@@ -47,7 +56,10 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -57,6 +69,32 @@ import (
 	"repro/internal/sim"
 )
 
+// parseBytes reads a human byte size: plain bytes, decimal suffixes
+// (KB/MB/GB) or binary ones (KiB/MiB/GiB).
+func parseBytes(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	mult := int64(1)
+	for _, u := range []struct {
+		suffix string
+		mult   int64
+	}{
+		{"KiB", 1 << 10}, {"MiB", 1 << 20}, {"GiB", 1 << 30},
+		{"KB", 1000}, {"MB", 1000 * 1000}, {"GB", 1000 * 1000 * 1000},
+		{"B", 1},
+	} {
+		if strings.HasSuffix(t, u.suffix) {
+			t = strings.TrimSpace(strings.TrimSuffix(t, u.suffix))
+			mult = u.mult
+			break
+		}
+	}
+	n, err := strconv.ParseInt(t, 10, 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("want a positive size like 64MiB or 500MB, got %q", s)
+	}
+	return n * mult, nil
+}
+
 func main() {
 	synopsisTol := flag.Float64("synopsis", 60, "synopsis tolerance in metres (0 = archive everything)")
 	minSeverity := flag.Int("severity", 2, "minimum alert severity to print")
@@ -64,6 +102,8 @@ func main() {
 	decoders := flag.Int("decoders", 0, "NMEA decode workers (default = shards)")
 	dataDir := flag.String("data-dir", "", "persist the archive in this directory (WAL + snapshots) and resume on restart")
 	fsync := flag.String("fsync", "rotate", "fsync policy with -data-dir: rotate, always or never")
+	remoteDir := flag.String("remote-dir", "", "migrate sealed WAL segments, snapshots and evicted chunks to this object-store directory (local disk keeps only the active segment)")
+	memBudget := flag.String("mem-budget", "", "resident archive memory budget (e.g. 64MiB): evict cold vessels past it, paging them back on demand (needs -data-dir or -remote-dir)")
 	httpAddr := flag.String("http", "", "serve the query API on this address (e.g. :8080) while ingesting")
 	var peers []string
 	flag.Func("peer", "federate another maritimed -http daemon's picture into query answers (repeatable)",
@@ -84,6 +124,48 @@ func main() {
 		fmt.Printf("[federation] peer %s merged into query answers\n", u)
 	}
 
+	// Tiered storage: -remote-dir is the object store sealed segments,
+	// snapshots and evicted chunks migrate to; -mem-budget arms eviction.
+	var objects maritime.ObjectStore
+	if *remoteDir != "" {
+		fs, err := maritime.NewFSObjects(*remoteDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "maritimed: opening remote object store:", err)
+			os.Exit(1)
+		}
+		objects = fs
+		if *dataDir != "" {
+			fmt.Printf("[tier] sealed segments and snapshots migrate to %s\n", *remoteDir)
+		}
+	}
+	if *memBudget != "" {
+		budget, err := parseBytes(*memBudget)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "maritimed: bad -mem-budget: %v\n", err)
+			os.Exit(2)
+		}
+		// Spill chunks are a paging cache (stubs referencing them die
+		// with the process), so their store skips fsync.
+		spillDir := *remoteDir
+		if spillDir == "" {
+			if *dataDir == "" {
+				fmt.Fprintln(os.Stderr, "maritimed: -mem-budget needs somewhere to spill: pass -remote-dir or -data-dir")
+				os.Exit(2)
+			}
+			// Spill next to the WAL: a subdirectory the segment scanner
+			// ignores.
+			spillDir = filepath.Join(*dataDir, "tier")
+		}
+		spill, err := maritime.NewFSObjectsCache(spillDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "maritimed: opening spill store:", err)
+			os.Exit(1)
+		}
+		cfg.MemoryBudget = budget
+		cfg.TierObjects = spill
+		fmt.Printf("[tier] resident archive budget %s: cold vessels evict and page back on demand\n", *memBudget)
+	}
+
 	var arch *maritime.Archive
 	if *dataDir != "" {
 		policy, ok := map[string]maritime.SyncPolicy{
@@ -93,8 +175,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "maritimed: unknown -fsync policy %q\n", *fsync)
 			os.Exit(2)
 		}
+		scfg := maritime.StoreConfig{Dir: *dataDir, Sync: policy}
+		if *remoteDir != "" {
+			scfg.Remote = objects
+		}
 		var err error
-		arch, err = maritime.OpenArchive(maritime.StoreConfig{Dir: *dataDir, Sync: policy})
+		arch, err = maritime.OpenArchive(scfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "maritimed: opening archive:", err)
 			os.Exit(1)
@@ -108,6 +194,12 @@ func main() {
 		fmt.Printf("[archive] %s: recovered %d records (%d from snapshot, %d from WAL over %d segments",
 			*dataDir, arch.Stats.Total(), arch.Stats.SnapshotPoints,
 			arch.Stats.WALRecords, arch.Stats.WALSegments)
+		if arch.Stats.RemoteSegments > 0 {
+			fmt.Printf(", %d remote", arch.Stats.RemoteSegments)
+		}
+		if arch.Stats.Reuploaded > 0 {
+			fmt.Printf("; re-uploaded %d segments", arch.Stats.Reuploaded)
+		}
 		if arch.Stats.TornBytes > 0 {
 			fmt.Printf("; truncated %d torn bytes", arch.Stats.TornBytes)
 		}
@@ -227,6 +319,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "maritimed: closing archive:", err)
 		}
 		fmt.Printf("[archive] persisted %d records to %s (%d dropped)\n", fm.Out, *dataDir, fm.Dropped)
+	}
+	if cfg.MemoryBudget > 0 {
+		engine.Wait()
+		ts := engine.TierStats()
+		fmt.Printf("[tier] %d resident / %d evicted points (%d stub vessels); %d evictions, %d page-ins (%d points back), %.1f MiB spilled\n",
+			ts.ResidentPoints, ts.EvictedPoints, ts.EvictedVessels,
+			ts.Evictions, ts.PageIns, ts.PagedPoints, float64(ts.SpilledBytes)/(1<<20))
 	}
 
 	if httpSrv != nil {

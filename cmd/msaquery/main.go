@@ -49,6 +49,7 @@ func main() {
 	write := flag.String("write", "", "simulate traffic and write an archive to this path")
 	read := flag.String("read", "", "load an archive snapshot file from this path")
 	data := flag.String("data", "", "open an archive directory (maritimed -data-dir) with read-only WAL recovery")
+	remote := flag.String("remote", "", "with -data: also read segments/snapshots migrated to this object-store directory (maritimed -remote-dir)")
 	httpAddr := flag.String("http", "", "query a running maritimed -http daemon at this address")
 	vessels := flag.Int("vessels", 100, "fleet size for -write")
 	minutes := flag.Int("minutes", 120, "duration for -write")
@@ -97,7 +98,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	exec, describe, err := openExecutor(*read, *data, *httpAddr)
+	exec, describe, err := openExecutor(*read, *data, *remote, *httpAddr)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -219,7 +220,7 @@ func parseTime(s, flagName string) (time.Time, error) {
 // engine over a loaded snapshot or recovered directory, or a client of a
 // running daemon. The description line reports what was opened (empty
 // for remote, which describes itself via -stats).
-func openExecutor(read, data, httpAddr string) (query.Executor, string, error) {
+func openExecutor(read, data, remote, httpAddr string) (query.Executor, string, error) {
 	picked := 0
 	for _, s := range []string{read, data, httpAddr} {
 		if s != "" {
@@ -228,6 +229,9 @@ func openExecutor(read, data, httpAddr string) (query.Executor, string, error) {
 	}
 	if picked != 1 {
 		return nil, "", fmt.Errorf("pass exactly one of -read, -data, -http (or -write)")
+	}
+	if remote != "" && data == "" {
+		return nil, "", fmt.Errorf("-remote extends -data recovery; pass -data DIR too")
 	}
 	switch {
 	case httpAddr != "":
@@ -247,14 +251,26 @@ func openExecutor(read, data, httpAddr string) (query.Executor, string, error) {
 	default:
 		// Read-only recovery: mutates nothing, takes no lock — safe to
 		// query a directory a running maritimed owns (replay stops at
-		// the writer's in-flight tail).
-		arch, err := store.OpenReadOnly(store.Config{Dir: data})
+		// the writer's in-flight tail). With -remote the migrated
+		// segments and snapshots are read back from the object store.
+		cfg := store.Config{Dir: data}
+		if remote != "" {
+			objects, err := store.NewFSObjects(remote)
+			if err != nil {
+				return nil, "", err
+			}
+			cfg.Remote = objects
+		}
+		arch, err := store.OpenReadOnly(cfg)
 		if err != nil {
 			return nil, "", err
 		}
 		desc := fmt.Sprintf("recovered %d records (%d snapshot + %d WAL over %d segments",
 			arch.Stats.Total(), arch.Stats.SnapshotPoints,
 			arch.Stats.WALRecords, arch.Stats.WALSegments)
+		if arch.Stats.RemoteSegments > 0 {
+			desc += fmt.Sprintf(", %d remote", arch.Stats.RemoteSegments)
+		}
 		if arch.Stats.TornBytes > 0 {
 			desc += fmt.Sprintf("; skipped %d in-flight/torn tail bytes", arch.Stats.TornBytes)
 		}
@@ -300,6 +316,9 @@ func streamUpdates(httpAddr, watch string, follow uint32, count int, fromSeq uin
 		} else if u.Alert != nil {
 			a := u.Alert
 			fmt.Printf("#%-8d [sev%d] %-18s vessel %d: %s\n", u.Seq, a.Severity, a.Kind, a.MMSI, a.Note)
+		} else if u.Kind == query.UpdateRewound {
+			fmt.Fprintf(os.Stderr, "(stream rewound: daemon restarted — cursor reset to seq %d in epoch %x; retained-but-undelivered updates from the old epoch are gone)\n",
+				u.Seq, u.Epoch)
 		}
 		n++
 		if count > 0 && n >= count {
@@ -311,6 +330,9 @@ func streamUpdates(httpAddr, watch string, follow uint32, count int, fromSeq uin
 	}
 	if d := sub.Dropped(); d > 0 {
 		fmt.Fprintf(os.Stderr, "(%d updates dropped server-side: consumer slower than the feed)\n", d)
+	}
+	if r := sub.Rewound(); r > 0 {
+		fmt.Fprintf(os.Stderr, "(%d epoch rewinds: the stream crossed daemon restarts)\n", r)
 	}
 }
 
@@ -368,8 +390,16 @@ func printResult(req query.Request, res *query.Result) {
 		fmt.Printf("%d points, %d vessels, %d live, %d alerts\n",
 			st.Points, st.Vessels, st.Live, st.Alerts)
 		for _, s := range st.Sources {
-			fmt.Printf("  source %-8s %8d points  %6d vessels  %6d live  %6d alerts\n",
+			fmt.Printf("  source %-8s %8d points  %6d vessels  %6d live  %6d alerts",
 				s.Name, s.Points, s.Vessels, s.Live, s.Alerts)
+			if s.EvictedVessels > 0 || s.ResidentPoints > 0 {
+				fmt.Printf("  [tiered: %d resident points, %d vessels evicted]",
+					s.ResidentPoints, s.EvictedVessels)
+			}
+			if s.Err != "" {
+				fmt.Printf("  (degraded: %s)", s.Err)
+			}
+			fmt.Println()
 		}
 	}
 	if res.Truncated {

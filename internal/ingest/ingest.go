@@ -33,6 +33,14 @@
 // stage drains and syncs when the dataflow completes (Wait), and a
 // recovered archive re-enters the engine through Resume.
 //
+// An optional memory budget (Config.MemoryBudget, package internal/tier)
+// makes the in-memory archive a cache over the durable store: an
+// eviction manager watches per-vessel heat across the shard stores and
+// spills the coldest vessels down to compact stubs once resident points
+// exceed the budget, so the archive can grow past RAM while queries keep
+// answering — reads page evicted spans back in transparently, minimally
+// and singleflighted.
+//
 // The read side is the unified query surface (Query/QueryEngine, package
 // internal/query): trajectory, space–time, nearest-vessel, live-picture,
 // situation, alert-history and stats requests answered from the shards
@@ -59,6 +67,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/store"
 	"repro/internal/stream"
+	"repro/internal/tier"
 	"repro/internal/tstore"
 )
 
@@ -91,6 +100,22 @@ type Config struct {
 	// Flush parameterises the flush stage (queue bound, batch size,
 	// periodic fsync) when Backend is set.
 	Flush store.FlushConfig
+	// MemoryBudget, when > 0, bounds the resident in-memory archive
+	// across all shards: a tier.Manager watches per-vessel heat and
+	// evicts the coldest vessels down to compact stubs once resident
+	// points exceed the budget, spilling their history into TierObjects.
+	// Queries keep working over the evicted fleet — reads page the spans
+	// they need back in transparently. Requires TierObjects.
+	MemoryBudget int64
+	// TierObjects is the object store evicted trajectory chunks spill to
+	// (and page back from) when MemoryBudget is set — typically the same
+	// store sealed WAL segments migrate to (store.Config.Remote), or a
+	// local store.FSObjects directory.
+	TierObjects store.ObjectStore
+	// TierCheckEvery overrides the eviction manager's budget-check
+	// cadence (default 2s; < 0 disables the loop so tests drive Check
+	// explicitly via Tier()).
+	TierCheckEvery time.Duration
 	// Hub parameterises the publish/subscribe stage behind Subscribe:
 	// the replay-ring retention and the default per-subscriber queue
 	// bound. The hub stays dormant (one atomic check per record) until
@@ -144,6 +169,7 @@ type Engine struct {
 
 	flusher   *store.Flusher
 	flushDone chan struct{}
+	tier      *tier.Manager
 
 	hub       *query.Hub
 	queryOnce sync.Once
@@ -189,6 +215,27 @@ func (e *Engine) Start(ctx context.Context) {
 			p.Store.Attach(e.hub)
 		}
 	}
+	// Tiered archive: the eviction manager watches every shard store
+	// against the shared memory budget, spilling cold vessels into the
+	// object store and leaving stubs queries page back transparently.
+	if e.cfg.MemoryBudget > 0 {
+		stores := make([]*tstore.Store, len(e.sharded.Shards))
+		for i, p := range e.sharded.Shards {
+			stores[i] = p.Store
+		}
+		m, err := tier.NewManager(tier.Config{
+			Budget:     e.cfg.MemoryBudget,
+			CheckEvery: e.cfg.TierCheckEvery,
+			Objects:    e.cfg.TierObjects,
+		}, stores...)
+		if err != nil {
+			// A misconfigured tier (no object store) is a programming
+			// error on par with Start-before-Ingest, not a runtime
+			// condition to limp through with an unbounded archive.
+			panic("ingest: " + err.Error())
+		}
+		e.tier = m
+	}
 	e.in = make(chan stream.Event[core.TimedReport], e.cfg.ShardBuf)
 	e.shards = stream.Partition(ctx, e.in, e.cfg.Shards, e.cfg.ShardBuf)
 	outs := make([]<-chan stream.Event[events.Alert], e.cfg.Shards)
@@ -209,6 +256,14 @@ func (e *Engine) Start(ctx context.Context) {
 		e.workers.Wait()
 		if e.flusher != nil {
 			e.flusher.Close()
+		}
+		if e.tier != nil {
+			// One final pass so the budget holds at quiesce even when the
+			// whole feed replayed inside the loop's first tick, then stop
+			// evicting; stubs stay pageable, so post-ingest queries still
+			// see the whole archive.
+			e.tier.Check()
+			e.tier.Close()
 		}
 	}()
 }
@@ -345,23 +400,55 @@ func (e *Engine) FlushDepth() int {
 	return e.flusher.Depth()
 }
 
-// FlushErr returns the first error the persistence stage has seen —
-// from the flush goroutine's backend writes, or parked by a shard store
-// whose forwarding into the queue was refused (nil without a Backend).
-// Complete after Wait.
+// FlushErr returns the first error the storage stages have seen — the
+// flush goroutine's backend writes, a shard store whose forwarding into
+// the queue was refused, a failed remote segment/snapshot migration
+// (degraded to local disk), an eviction spill, or a chunk page-back
+// (nil while every stage is healthy). Complete after Wait.
 func (e *Engine) FlushErr() error {
-	if e.flusher == nil {
-		return nil
+	if e.flusher != nil {
+		if err := e.flusher.Err(); err != nil {
+			return err
+		}
 	}
-	if err := e.flusher.Err(); err != nil {
-		return err
+	if d, ok := e.cfg.Backend.(*store.Disk); ok {
+		// A failed segment/snapshot migration degrades to local disk —
+		// nothing lost, but the operator must hear about it somewhere
+		// other than the next restart.
+		if err := d.UploadErr(); err != nil {
+			return err
+		}
 	}
 	for _, p := range e.sharded.Shards {
 		if err := p.Store.SinkErr(); err != nil {
 			return err
 		}
 	}
+	if e.tier != nil {
+		if err := e.tier.Err(); err != nil {
+			return err
+		}
+		for _, p := range e.sharded.Shards {
+			if err := p.Store.PageErr(); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
+}
+
+// Tier returns the eviction manager (nil without a MemoryBudget) — the
+// handle for explicit Check calls in tests and benchmarks.
+func (e *Engine) Tier() *tier.Manager { return e.tier }
+
+// TierStats snapshots the tiered-archive state: resident vs evicted
+// points and vessels, eviction and page-back counters, spill volume and
+// cache behaviour. Zero when no MemoryBudget is configured.
+func (e *Engine) TierStats() tier.Stats {
+	if e.tier == nil {
+		return tier.Stats{}
+	}
+	return e.tier.Stats()
 }
 
 // Sharded exposes the underlying pipelines for synchronous queries —

@@ -274,6 +274,7 @@ func (c *Client) SubscribeContext(ctx context.Context, req Request, opt SubOptio
 		return nil, err
 	}
 	sub := &Subscription{req: req, ch: make(chan Update, 16), startSeq: first.Seq}
+	sub.epoch.Store(first.Epoch)
 	sub.stop = cancel
 	go c.streamLoop(ctx, sub, conn, first, req, opt)
 	return sub, nil
@@ -428,7 +429,21 @@ func (c *Client) streamLoop(ctx context.Context, sub *Subscription, conn *stream
 		}
 		conn = nc
 		wd = watch(conn)
-		if f.Seq > lastSeq {
+		if prev := sub.epoch.Load(); prev != 0 && f.Epoch != 0 && f.Epoch != prev {
+			// The resume crossed a daemon epoch: the daemon restarted (or
+			// the reconnect landed elsewhere), so our cursor numbers a
+			// sequence space that no longer exists. Reset it to the new
+			// epoch's opening position and surface the discontinuity —
+			// silently continuing live-only is exactly the PR 4 gap this
+			// closes. Server-side drops also restarted with the epoch, so
+			// the accumulated base already covers everything older.
+			lastSeq = f.Seq
+			sub.epoch.Store(f.Epoch)
+			sub.rewinds.Add(1)
+			if !deliver(Update{Kind: UpdateRewound, Seq: f.Seq, Epoch: f.Epoch}) {
+				return
+			}
+		} else if f.Seq > lastSeq {
 			lastSeq = f.Seq
 		}
 		if !deliver(f) {

@@ -28,7 +28,11 @@ import (
 // each with a sample within tol of at, ordered by that sample's
 // distance to p; Live returns at most one (the newest known) state per
 // vessel inside r, ordered by MMSI; Alerts returns the recognised-event
-// history (nil for sources that do not track events).
+// history (nil for sources that do not track events); DistinctMMSI
+// returns the sorted identifiers of exactly the vessels a worldwide
+// Live read would report — the cheap distinct-count read stats
+// aggregation uses instead of fetching every source's live picture
+// (nil on a degraded peer).
 type Source interface {
 	Name() string
 	Trajectory(mmsi uint32, from, to time.Time) []model.VesselState
@@ -37,6 +41,15 @@ type Source interface {
 	Live(r geo.Rect) []model.VesselState
 	Alerts() []events.Alert
 	Stats() SourceStats
+	DistinctMMSI() []uint32
+}
+
+// StatsSetSource is the optional combined read: Stats and DistinctMMSI
+// answered in one exchange. Sources whose reads each cost a round trip
+// implement it (Client does — one stats poll per peer instead of two);
+// the engine falls back to the two Source calls otherwise.
+type StatsSetSource interface {
+	StatsWithMMSI() (SourceStats, []uint32)
 }
 
 // Engine executes Requests against one or more Sources, merging and
@@ -143,7 +156,7 @@ func (e *Engine) Query(req Request) (*Result, error) {
 	case KindAlertHistory:
 		alertHistory(srcs, req, res)
 	case KindStats:
-		res.Stats = stats(srcs)
+		res.Stats = stats(srcs, req.MMSIs)
 		res.Count = res.Stats.Points
 	}
 	return res, nil
@@ -328,45 +341,53 @@ func mergedAlerts(srcs []Source) []events.Alert {
 	return out
 }
 
-// stats aggregates per-source statistics; Vessels and Live are distinct
-// counts and therefore recomputed from merged reads, not summed — with
-// federation peers this fetches each peer's worldwide live picture, so a
-// stats poll against N-vessel peers moves N states per poll. Exactness
-// of the headline counts is the documented (and test-pinned) contract; a
-// cheaper per-source distinct-count read is a ROADMAP item.
-func stats(srcs []Source) *Stats {
+// stats aggregates per-source statistics. Vessels and Live are distinct
+// counts and therefore computed from merged per-source identifier sets,
+// not summed — DistinctMMSI moves one sorted uint32 list per source, so
+// a stats poll against an N-vessel federation peer costs O(N) integers
+// instead of the N full states the worldwide live picture used to
+// fetch. Exactness of the headline counts is unchanged (and stays
+// test-pinned): every shipped source reports exactly the vessels its
+// worldwide Live read would.
+func stats(srcs []Source, withSets bool) *Stats {
 	st := &Stats{}
-	// The two fan-outs (per-source stats, and the merged world-wide live
-	// picture the distinct counts come from) run concurrently, so a
-	// hanging peer costs one timeout per stats query, not two.
-	var statsList []SourceStats
-	var live []model.VesselState
-	var wg sync.WaitGroup
-	wg.Add(2)
-	go func() {
-		defer wg.Done()
-		statsList = gather(srcs, func(s Source) SourceStats { return s.Stats() })
-	}()
-	go func() {
-		defer wg.Done()
-		// The shipped sources report a newest state for every vessel
-		// they hold, so the merged world-wide live picture counts
-		// distinct vessels exactly once each.
-		everywhere := geo.Rect{MinLat: -90, MinLon: -180, MaxLat: 90, MaxLon: 180}
-		live = livePicture(srcs, everywhere)
-	}()
-	wg.Wait()
-	for _, ss := range statsList {
+	// One combined fan-out: a source implementing StatsWithMMSI (peers
+	// do) answers both reads in one exchange, everything else pays two
+	// cheap local calls — and a hanging peer still costs one timeout per
+	// stats query.
+	type combined struct {
+		ss  SourceStats
+		set []uint32
+	}
+	list := gather(srcs, func(s Source) combined {
+		if c, ok := s.(StatsSetSource); ok {
+			ss, set := c.StatsWithMMSI()
+			return combined{ss: ss, set: set}
+		}
+		return combined{ss: s.Stats(), set: s.DistinctMMSI()}
+	})
+	union := make(map[uint32]bool)
+	for _, c := range list {
+		ss := c.ss
+		if withSets {
+			ss.MMSIs = c.set
+		}
 		st.Sources = append(st.Sources, ss)
 		st.Points += ss.Points
 		st.Alerts += ss.Alerts
+		for _, m := range c.set {
+			union[m] = true
+		}
 	}
-	vessels := make(map[uint32]bool, len(live))
-	st.Live = len(live)
-	for _, v := range live {
-		vessels[v.MMSI] = true
+	st.Vessels = len(union)
+	st.Live = len(union)
+	if withSets {
+		st.MMSIs = make([]uint32, 0, len(union))
+		for m := range union {
+			st.MMSIs = append(st.MMSIs, m)
+		}
+		sort.Slice(st.MMSIs, func(i, j int) bool { return st.MMSIs[i] < st.MMSIs[j] })
 	}
-	st.Vessels = len(vessels)
 	return st
 }
 
@@ -441,13 +462,30 @@ func (l *liveSource) Alerts() []events.Alert { return l.sharded.Alerts() }
 
 func (l *liveSource) Stats() SourceStats {
 	st := SourceStats{Name: l.Name()}
+	resident, evicted := 0, 0
 	for _, p := range l.sharded.Shards {
 		st.Points += p.Store.Len()
 		st.Vessels += p.Store.VesselCount() // shards partition the fleet: no double count
 		st.Live += p.Live.Count()
+		tc := p.Store.Tier()
+		resident += tc.ResidentPoints
+		evicted += tc.EvictedPoints
+		st.EvictedVessels += tc.EvictedVessels
+	}
+	if evicted > 0 { // fully resident sources report bytes-identically to pre-tiering
+		st.ResidentPoints = resident
 	}
 	st.Alerts = len(l.sharded.Alerts())
 	return st
+}
+
+func (l *liveSource) DistinctMMSI() []uint32 {
+	var out []uint32
+	for _, p := range l.sharded.Shards {
+		out = append(out, p.Live.MMSIs()...) // shards partition the fleet: no duplicates
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // --- archive source (tstore.Store) ----------------------------------------------
@@ -498,10 +536,18 @@ func (a *storeSource) Live(r geo.Rect) []model.VesselState {
 func (a *storeSource) Alerts() []events.Alert { return nil }
 
 func (a *storeSource) Stats() SourceStats {
-	return SourceStats{
+	ss := SourceStats{
 		Name: a.name, Points: a.store.Len(), Vessels: a.store.VesselCount(),
 	}
+	tc := a.store.Tier()
+	if tc.EvictedPoints > 0 {
+		ss.ResidentPoints = tc.ResidentPoints
+		ss.EvictedVessels = tc.EvictedVessels
+	}
+	return ss
 }
+
+func (a *storeSource) DistinctMMSI() []uint32 { return a.store.MMSIs() }
 
 // snapshotCache lazily builds a store's spatial snapshot and reuses it
 // until the store grows — archives are static after recovery, so their

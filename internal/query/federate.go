@@ -158,3 +158,31 @@ func (c *Client) Stats() SourceStats {
 		Live: st.Live, Alerts: st.Alerts,
 	}
 }
+
+// DistinctMMSI implements Source: one stats read with the identifier
+// sets requested — the peer answers with a sorted uint32 list, so a
+// federated stats poll moves O(vessels) integers instead of the peer's
+// entire worldwide live picture. A degraded peer contributes nil, like
+// every other federated read.
+func (c *Client) DistinctMMSI() []uint32 {
+	_, set := c.StatsWithMMSI()
+	return set
+}
+
+// StatsWithMMSI implements StatsSetSource: the engine's stats
+// aggregation costs this peer exactly one HTTP exchange, carrying both
+// the aggregate numbers and the distinct identifier set.
+func (c *Client) StatsWithMMSI() (SourceStats, []uint32) {
+	res, err := c.peerQuery(Request{Kind: KindStats, MMSIs: true})
+	if err != nil {
+		return SourceStats{Name: c.Name(), Err: err.Error()}, nil
+	}
+	if res.Stats == nil {
+		return SourceStats{Name: c.Name(), Err: "peer answered without stats"}, nil
+	}
+	st := res.Stats
+	return SourceStats{
+		Name: c.Name(), Points: st.Points, Vessels: st.Vessels,
+		Live: st.Live, Alerts: st.Alerts,
+	}, st.MMSIs
+}

@@ -237,6 +237,12 @@ type Request struct {
 	// Truncation is recorded in Result.Truncated.
 	Limit int `json:"limit,omitempty"`
 
+	// MMSIs asks a KindStats request to include the distinct vessel
+	// identifier sets (per source, and their union in Stats.MMSIs). This
+	// is the cheap federation read: a peer polling stats fetches one
+	// sorted uint32 list per poll instead of the worldwide live picture.
+	MMSIs bool `json:"mmsis,omitempty"`
+
 	// Local restricts the answer to this daemon's own sources: federation
 	// peers are skipped. Peer sources set it on every outgoing federated
 	// read, which keeps federation one hop deep — mutually-peered daemons
@@ -419,6 +425,12 @@ func SituationOf(s *va.Situation) *Situation {
 // SourceStats describes one source's holdings. Err reports a degraded
 // federation peer: the engine kept answering without it, and this is
 // where the operator sees why the picture may be partial.
+//
+// ResidentPoints and EvictedVessels surface the tiered archive: Points
+// counts everything the source holds, ResidentPoints the subset actually
+// in memory, and EvictedVessels the vessels reduced to stubs (both
+// omitted while nothing is evicted — a fully resident source reports
+// bytes-identically to a pre-tiering one).
 type SourceStats struct {
 	Name    string `json:"name"`
 	Points  int    `json:"points"`
@@ -426,17 +438,31 @@ type SourceStats struct {
 	Live    int    `json:"live"`
 	Alerts  int    `json:"alerts"`
 	Err     string `json:"err,omitempty"`
+
+	ResidentPoints int `json:"resident_points,omitempty"`
+	EvictedVessels int `json:"evicted_vessels,omitempty"`
+
+	// MMSIs is the source's distinct vessel identifier set, sorted —
+	// populated only when the request set Request.MMSIs.
+	MMSIs []uint32 `json:"mmsis,omitempty"`
 }
 
 // Stats aggregates the sources a query engine answers from. Points and
 // Alerts are sums (overlapping sources may hold the same record twice);
-// Vessels and Live count distinct MMSIs across sources.
+// Vessels and Live count distinct MMSIs across sources, computed from
+// the per-source identifier sets (an O(vessels) integer read per source,
+// never a worldwide state fetch).
 type Stats struct {
 	Points  int           `json:"points"`
 	Vessels int           `json:"vessels"`
 	Live    int           `json:"live"`
 	Alerts  int           `json:"alerts"`
 	Sources []SourceStats `json:"sources"`
+
+	// MMSIs is the distinct-vessel union across sources, sorted —
+	// populated only when the request set Request.MMSIs (the read
+	// federation peers poll).
+	MMSIs []uint32 `json:"mmsis,omitempty"`
 }
 
 // Result is the answer to one Request. Exactly the fields relevant to

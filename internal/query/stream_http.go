@@ -94,11 +94,15 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	lastSeq := sub.StartSeq()
 	heartbeat := func() error {
-		return enc.Encode(Update{Kind: UpdateHeartbeat, Seq: lastSeq, Dropped: sub.Dropped()})
+		return enc.Encode(Update{
+			Kind: UpdateHeartbeat, Seq: lastSeq,
+			Dropped: sub.Dropped(), Epoch: sub.Epoch(),
+		})
 	}
-	// Opening heartbeat: tells the subscriber where its stream starts, so
-	// a resume after disconnect has a sequence to hand back even if no
-	// update ever matched.
+	// Opening heartbeat: tells the subscriber where its stream starts —
+	// and in which daemon epoch — so a resume after disconnect has a
+	// sequence to hand back even if no update ever matched, and can tell
+	// a restarted daemon (stale cursor, rewind) from the one it left.
 	if heartbeat() != nil {
 		return
 	}

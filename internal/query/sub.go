@@ -1,6 +1,8 @@
 package query
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -42,6 +44,14 @@ const (
 	// server-side (Error says why) and will not resume. The client
 	// absorbs it into Subscription.Err.
 	UpdateError UpdateKind = "error"
+	// UpdateRewound marks a resume that crossed a daemon epoch: the
+	// server restarted (or the reconnect landed on a different daemon),
+	// so the old cursor is meaningless — the client reset it and the
+	// stream continues live-only from Seq in the new epoch. Whatever the
+	// previous daemon retained but had not delivered is gone; the
+	// subscriber sees the discontinuity instead of silently missing it.
+	// Counted in Subscription.Rewound.
+	UpdateRewound UpdateKind = "rewound"
 )
 
 // Update is one pushed increment of a standing query. Seq is the hub's
@@ -50,11 +60,11 @@ const (
 // well defined. (Situation tickers are the exception: their pictures are
 // recomputed, not replayed, so Seq counts that subscription's ticks.)
 //
-// Sequences are per daemon instance: a daemon restart (or a reconnect
-// routed to a different daemon) starts a new sequence space, and a
-// resume carrying a stale larger cursor silently continues live-only —
-// the same restart limitation as the in-memory replay ring (ROADMAP: a
-// WAL-backed ring plus an epoch stamp would make restarts detectable).
+// Sequences are per daemon epoch: a daemon restart (or a reconnect
+// routed to a different daemon) starts a new sequence space under a new
+// epoch nonce. Heartbeats stamp the epoch, so a client resuming with a
+// cursor from a previous epoch detects the change, resets its cursor and
+// surfaces an UpdateRewound instead of silently continuing live-only.
 type Update struct {
 	Seq  uint64     `json:"seq"`
 	Kind UpdateKind `json:"kind"`
@@ -66,6 +76,11 @@ type Update struct {
 	// Dropped (heartbeats only) is the number of updates this
 	// subscription has lost to queue overflow so far.
 	Dropped uint64 `json:"dropped,omitempty"`
+
+	// Epoch (heartbeats and rewound markers) identifies the daemon
+	// instance whose sequence space Seq lives in: a random nonce drawn
+	// at hub construction, stable for the daemon's lifetime.
+	Epoch uint64 `json:"epoch,omitempty"`
 
 	// Error (UpdateError only) is the server-side failure that ended the
 	// stream.
@@ -133,9 +148,11 @@ type Subscription struct {
 	req      Request
 	ch       chan Update
 	startSeq uint64
+	epoch    atomic.Uint64 // serving daemon's epoch (updated across remote resumes)
 
 	delivered atomic.Uint64
 	dropped   atomic.Uint64
+	rewinds   atomic.Uint64
 
 	filter func(*Update) bool // hub-side match; nil for remote/ticker subs
 
@@ -155,6 +172,17 @@ func (s *Subscription) Request() Request { return s.req }
 // StartSeq is the hub sequence at subscribe time: every update with a
 // larger Seq is either delivered or counted in Dropped.
 func (s *Subscription) StartSeq() uint64 { return s.startSeq }
+
+// Epoch is the serving daemon's epoch nonce (the sequence space Seq
+// lives in). For remote subscriptions it tracks the daemon currently
+// serving the stream, so it changes when a resume crosses a restart.
+func (s *Subscription) Epoch() uint64 { return s.epoch.Load() }
+
+// Rewound counts the resumes that crossed a daemon epoch: each one reset
+// the cursor (replay impossible — the retention belonged to the previous
+// epoch) and delivered an UpdateRewound marker. Always 0 for in-process
+// subscriptions.
+func (s *Subscription) Rewound() uint64 { return s.rewinds.Load() }
 
 // Delivered counts updates enqueued to this subscription.
 func (s *Subscription) Delivered() uint64 { return s.delivered.Load() }
@@ -235,7 +263,8 @@ func (c *HubConfig) normalize() {
 // returns, which is what makes a subscription equivalent to its
 // point-in-time twin.
 type Hub struct {
-	cfg HubConfig
+	cfg   HubConfig
+	epoch uint64 // random instance nonce stamped on heartbeats
 
 	// Metrics counts publications (In), enqueued deliveries across all
 	// subscribers (Out) and slow-consumer drops (Dropped).
@@ -254,10 +283,24 @@ type Hub struct {
 	subs map[*Subscription]struct{}
 }
 
-// NewHub builds a hub.
+// NewHub builds a hub with a fresh epoch nonce.
 func NewHub(cfg HubConfig) *Hub {
 	cfg.normalize()
-	return &Hub{cfg: cfg, subs: make(map[*Subscription]struct{})}
+	return &Hub{cfg: cfg, epoch: newEpoch(), subs: make(map[*Subscription]struct{})}
+}
+
+// newEpoch draws the random daemon-instance nonce sequence spaces are
+// scoped by. Zero is reserved for "unknown" (pre-epoch peers), so it is
+// never returned.
+func newEpoch() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return uint64(time.Now().UnixNano()) | 1
+	}
+	if e := binary.LittleEndian.Uint64(b[:]); e != 0 {
+		return e
+	}
+	return 1
 }
 
 // Seq returns the current publication sequence.
@@ -266,6 +309,11 @@ func (h *Hub) Seq() uint64 {
 	defer h.mu.Unlock()
 	return h.seq
 }
+
+// Epoch returns the hub's instance nonce: the identifier of the sequence
+// space its updates are numbered in, stamped on stream heartbeats so
+// resuming clients can tell a restart from a blip.
+func (h *Hub) Epoch() uint64 { return h.epoch }
 
 // Subscribers returns the number of active subscriptions.
 func (h *Hub) Subscribers() int {
@@ -365,6 +413,7 @@ func (h *Hub) Subscribe(req Request, opt SubOptions) (*Subscription, error) {
 		req: req, ch: make(chan Update, buf+len(replay)),
 		filter: filter, startSeq: startSeq,
 	}
+	sub.epoch.Store(h.epoch)
 	sub.stop = func() { h.remove(sub) }
 	for _, u := range replay {
 		sub.offer(u, &h.Metrics)
@@ -459,6 +508,7 @@ func (st *Streamer) Subscribe(req Request, opt SubOptions) (*Subscription, error
 	}
 	done := make(chan struct{})
 	sub := &Subscription{req: req, ch: make(chan Update, buf), startSeq: opt.FromSeq}
+	sub.epoch.Store(st.hub.epoch)
 	sub.stop = func() { close(done) }
 	go func() {
 		defer close(sub.ch)

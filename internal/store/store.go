@@ -26,6 +26,7 @@ package store
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -129,6 +130,20 @@ type Config struct {
 	// LiveCellDeg is the grid cell size of the live layer Archive.Live
 	// rebuilds (default 0.25°, matching core.Pipeline).
 	LiveCellDeg float64
+	// Remote, when set, tiers the archive onto an object store: a sealed
+	// WAL segment is uploaded on rotation (and a compacted snapshot on
+	// compaction) and its local file removed, so local disk holds only
+	// the active segment. Upload is confirmed-before-delete: a crash
+	// between seal and upload leaves the local file, and the next Open
+	// re-uploads it; a half-written remote object cannot be observed at
+	// all when the store honours the ObjectStore atomic-Put contract.
+	// Recovery and compaction read migrated objects back through a block
+	// cache. A failed upload degrades to local (the segment stays on
+	// local disk, retried at the next Open) and surfaces in UploadErr.
+	Remote ObjectStore
+	// RemoteCacheBytes bounds the read-through cache over Remote reads
+	// (default 32 MiB).
+	RemoteCacheBytes int64
 }
 
 func (c *Config) normalize() {
@@ -141,32 +156,42 @@ func (c *Config) normalize() {
 	if c.LiveCellDeg <= 0 {
 		c.LiveCellDeg = 0.25
 	}
+	if c.RemoteCacheBytes <= 0 {
+		c.RemoteCacheBytes = 32 << 20
+	}
 }
 
 // Disk is the durable Backend: a segmented WAL plus snapshot compaction
 // in an archive directory. Build one with Open, which also recovers the
 // persisted state.
 type Disk struct {
-	cfg Config
+	cfg    Config
+	rcache *BlockCache // read-through cache over cfg.Remote (nil without Remote)
 
-	mu       sync.Mutex
-	seg      *os.File
-	bw       *bufio.Writer
-	seq      uint64 // active segment sequence number
-	segBytes int64  // bytes written to the active segment
-	sealed   []uint64
-	snapSeq  uint64   // newest segment folded into the snapshot (0 = none)
-	frame    []byte   // reusable frame-encoding scratch
-	lock     *os.File // flock-held LOCK file; released on Close
-	closed   bool
+	mu        sync.Mutex
+	seg       *os.File
+	bw        *bufio.Writer
+	seq       uint64 // active segment sequence number
+	segBytes  int64  // bytes written to the active segment
+	sealed    []uint64
+	snapSeq   uint64   // newest segment folded into the snapshot (0 = none)
+	frame     []byte   // reusable frame-encoding scratch
+	lock      *os.File // flock-held LOCK file; released on Close
+	closed    bool
+	uploadErr error // first failed segment/snapshot migration (degraded to local)
 }
 
+func segName(seq uint64) string  { return fmt.Sprintf("wal-%08d.log", seq) }
+func snapName(seq uint64) string { return fmt.Sprintf("snap-%08d.bin", seq) }
+
+// Local file names and remote object keys are identical, so an archive
+// directory and its object store read as one namespace.
 func segPath(dir string, seq uint64) string {
-	return filepath.Join(dir, fmt.Sprintf("wal-%08d.log", seq))
+	return filepath.Join(dir, segName(seq))
 }
 
 func snapPath(dir string, seq uint64) string {
-	return filepath.Join(dir, fmt.Sprintf("snap-%08d.bin", seq))
+	return filepath.Join(dir, snapName(seq))
 }
 
 // Append frames the batch into the active segment, rotating when the
@@ -223,6 +248,7 @@ func (d *Disk) flushLocked() error {
 }
 
 // rotateLocked seals the active segment and opens the next one,
+// migrating the sealed segment to the remote store (upload-on-seal) and
 // compacting if enough sealed segments have accumulated.
 func (d *Disk) rotateLocked() error {
 	if err := d.flushLocked(); err != nil {
@@ -232,11 +258,98 @@ func (d *Disk) rotateLocked() error {
 		return err
 	}
 	d.sealed = append(d.sealed, d.seq)
+	d.uploadSealedLocked(d.seq)
 	if err := d.openSegmentLocked(d.seq + 1); err != nil {
 		return err
 	}
 	if d.cfg.CompactEvery > 0 && len(d.sealed) >= d.cfg.CompactEvery {
 		return d.compactLocked()
+	}
+	return nil
+}
+
+// uploadSealedLocked migrates one sealed segment to the remote store and
+// removes the local file. The local copy is removed only after the Put
+// succeeded, so a crash anywhere in between leaves the segment local and
+// the next Open re-uploads it. A failed upload degrades to local-only
+// (the WAL stays durable on local disk) and parks in uploadErr; it does
+// not fail the append path.
+func (d *Disk) uploadSealedLocked(seq uint64) {
+	if d.remote() == nil {
+		return
+	}
+	path := segPath(d.cfg.Dir, seq)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		d.setUploadErrLocked(fmt.Errorf("store: reading sealed segment for upload: %w", err))
+		return
+	}
+	if err := d.remote().Put(segName(seq), data); err != nil {
+		d.setUploadErrLocked(fmt.Errorf("store: uploading %s: %w", segName(seq), err))
+		return
+	}
+	os.Remove(path)
+}
+
+func (d *Disk) remote() ObjectStore { return d.cfg.Remote }
+
+func (d *Disk) setUploadErrLocked(err error) {
+	if d.uploadErr == nil {
+		d.uploadErr = err
+	}
+}
+
+// UploadErr returns the first failed remote migration (nil while every
+// seal and snapshot reached the object store). A non-nil value means the
+// archive is degraded to local disk for the named object, not that data
+// was lost.
+func (d *Disk) UploadErr() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.uploadErr
+}
+
+// remoteGet reads one migrated object through the block cache.
+func (d *Disk) remoteGet(key string) ([]byte, error) {
+	return d.rcache.Get(key, func() ([]byte, error) { return d.remote().Get(key) })
+}
+
+// replaySealedLocked replays one sealed segment wherever it lives: the
+// local file when still present (not yet migrated), otherwise the remote
+// object. Sealed segments can never legitimately be torn.
+func (d *Disk) replaySealedLocked(seq uint64, fn func(model.VesselState)) error {
+	path := segPath(d.cfg.Dir, seq)
+	if _, err := os.Stat(path); err == nil {
+		_, _, rerr := replaySegment(path, tornError, fn)
+		return rerr
+	}
+	if d.remote() == nil {
+		return fmt.Errorf("store: sealed segment %s missing", path)
+	}
+	data, err := d.remoteGet(segName(seq))
+	if err != nil {
+		return fmt.Errorf("store: fetching migrated segment %s: %w", segName(seq), err)
+	}
+	_, err = replaySegmentBytes(segName(seq), data, fn)
+	return err
+}
+
+// loadSnapLocked loads the snapshot covering seq from the local file or
+// the remote object.
+func (d *Disk) loadSnapLocked(seq uint64, into *tstore.Store) error {
+	path := snapPath(d.cfg.Dir, seq)
+	if _, err := os.Stat(path); err == nil {
+		return loadSnapshot(path, into)
+	}
+	if d.remote() == nil {
+		return fmt.Errorf("store: snapshot %s missing", path)
+	}
+	data, err := d.remoteGet(snapName(seq))
+	if err != nil {
+		return fmt.Errorf("store: fetching migrated snapshot %s: %w", snapName(seq), err)
+	}
+	if _, err := into.Load(bytes.NewReader(data)); err != nil {
+		return fmt.Errorf("store: loading migrated snapshot %s: %w", snapName(seq), err)
 	}
 	return nil
 }
@@ -277,37 +390,64 @@ func (d *Disk) compactLocked() error {
 	}
 	folded := tstore.New()
 	if d.snapSeq > 0 {
-		if err := loadSnapshot(snapPath(d.cfg.Dir, d.snapSeq), folded); err != nil {
+		if err := d.loadSnapLocked(d.snapSeq, folded); err != nil {
 			return err
 		}
 	}
 	for _, seq := range d.sealed {
-		if _, _, err := replaySegment(segPath(d.cfg.Dir, seq), tornError, folded.Append); err != nil {
+		if err := d.replaySealedLocked(seq, folded.Append); err != nil {
 			return err
 		}
 	}
 	newSeq := d.sealed[len(d.sealed)-1]
-	if err := writeSnapshot(snapPath(d.cfg.Dir, newSeq), folded); err != nil {
-		return err
+	if d.remote() != nil {
+		// Migrated archive: the new snapshot goes straight to the object
+		// store (atomic Put), never touching local disk. A failed Put
+		// aborts the compaction — the sealed segments stay wherever they
+		// are and the next rotation retries.
+		var buf bytes.Buffer
+		if _, err := folded.WriteTo(&buf); err != nil {
+			return err
+		}
+		if err := d.remote().Put(snapName(newSeq), buf.Bytes()); err != nil {
+			return fmt.Errorf("store: uploading %s: %w", snapName(newSeq), err)
+		}
+	} else {
+		if err := writeSnapshot(snapPath(d.cfg.Dir, newSeq), folded); err != nil {
+			return err
+		}
+		// The snapshot rename must reach the directory before the covered
+		// files are unlinked — otherwise a power cut could persist the
+		// deletions but not the rename, losing the compacted data.
+		if err := syncDir(d.cfg.Dir); err != nil {
+			return err
+		}
 	}
-	// The snapshot rename must reach the directory before the covered
-	// files are unlinked — otherwise a power cut could persist the
-	// deletions but not the rename, losing the compacted data.
-	if err := syncDir(d.cfg.Dir); err != nil {
-		return err
-	}
-	// Now everything the snapshot covers can go. A crash anywhere below
-	// re-deletes on the next Open (covered files are ignored by
-	// recovery).
+	// Now everything the snapshot covers can go — local files and remote
+	// objects both. A crash anywhere below re-deletes on the next Open
+	// (covered files are ignored by recovery).
 	if d.snapSeq > 0 {
 		os.Remove(snapPath(d.cfg.Dir, d.snapSeq))
+		d.removeRemote(snapName(d.snapSeq))
 	}
 	for _, seq := range d.sealed {
 		os.Remove(segPath(d.cfg.Dir, seq))
+		d.removeRemote(segName(seq))
 	}
 	d.snapSeq = newSeq
 	d.sealed = d.sealed[:0]
 	return syncDir(d.cfg.Dir)
+}
+
+// removeRemote deletes a migrated object (and its cache entry),
+// best-effort: a leftover object below the snapshot horizon is ignored
+// by recovery and re-deleted at the next Open.
+func (d *Disk) removeRemote(key string) {
+	if d.remote() == nil {
+		return
+	}
+	d.remote().Delete(key)
+	d.rcache.Drop(key)
 }
 
 // syncDir fsyncs the archive directory so renames, creations and
@@ -389,12 +529,15 @@ func loadSnapshot(path string, into *tstore.Store) error {
 
 // --- open / recovery ----------------------------------------------------------------
 
-// RecoverStats describes what Open found on disk.
+// RecoverStats describes what Open found on disk (and, for tiered
+// archives, in the object store).
 type RecoverStats struct {
 	SnapshotPoints int   // points loaded from the newest snapshot
 	WALRecords     int   // records replayed from WAL segments
 	WALSegments    int   // segments replayed
 	TornBytes      int64 // bytes truncated off the newest segment's torn tail
+	RemoteSegments int   // segments replayed from the object store
+	Reuploaded     int   // local sealed segments (re-)migrated during recovery
 }
 
 // Total returns the recovered point count.
@@ -466,83 +609,175 @@ func open(cfg Config, readOnly bool) (*Archive, error) {
 		}
 		// Every mutation below happens under the directory lock.
 	}
+	// A remote-backed directory is marked: opening it without the object
+	// store would silently recover only the local tail — and, worse, a
+	// compaction in that state could later cover (and delete) migrated
+	// segments whose data the snapshot never saw. Refuse instead.
+	marker := filepath.Join(cfg.Dir, "REMOTE")
+	if _, err := os.Stat(marker); err == nil && cfg.Remote == nil {
+		releaseLock(lock)
+		return nil, fmt.Errorf(
+			"store: %s is a remote-backed archive (REMOTE marker present): its segments migrate to an object store; open it with Config.Remote (maritimed -remote-dir / msaquery -remote)",
+			cfg.Dir)
+	} else if cfg.Remote != nil && !readOnly && os.IsNotExist(err) {
+		if werr := os.WriteFile(marker, []byte("segments and snapshots migrate to an object store; open with Config.Remote\n"), 0o644); werr != nil {
+			releaseLock(lock)
+			return nil, werr
+		}
+		if serr := syncDir(cfg.Dir); serr != nil {
+			releaseLock(lock)
+			return nil, serr
+		}
+	}
 	entries, err := os.ReadDir(cfg.Dir)
 	if err != nil {
 		releaseLock(lock)
 		return nil, err
 	}
-	var segs []uint64
-	var snaps []uint64
+	localSeg := map[uint64]bool{}
+	localSnap := map[uint64]bool{}
 	for _, e := range entries {
 		name := e.Name()
 		var seq uint64
 		switch {
 		case len(name) == len("wal-00000000.log") && name[:4] == "wal-":
 			if _, err := fmt.Sscanf(name, "wal-%08d.log", &seq); err == nil {
-				segs = append(segs, seq)
+				localSeg[seq] = true
 			}
 		case len(name) == len("snap-00000000.bin") && name[:5] == "snap-":
 			if _, err := fmt.Sscanf(name, "snap-%08d.bin", &seq); err == nil {
-				snaps = append(snaps, seq)
+				localSnap[seq] = true
 			}
 		case filepath.Ext(name) == ".tmp" && !readOnly:
 			// Leftover from a crashed compaction; never referenced.
 			os.Remove(filepath.Join(cfg.Dir, name))
 		}
 	}
-	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
-	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+	// A tiered archive spreads across the directory and the object store:
+	// merge both listings. The active tail is always local (only sealed
+	// segments migrate); remote objects are always complete (atomic Put,
+	// local copy deleted only after a confirmed upload).
+	remoteSeg := map[uint64]bool{}
+	remoteSnap := map[uint64]bool{}
+	var rcache *BlockCache
+	if cfg.Remote != nil {
+		rcache = NewBlockCache(cfg.RemoteCacheBytes)
+		keys, err := cfg.Remote.List("")
+		if err != nil {
+			releaseLock(lock)
+			return nil, fmt.Errorf("store: listing object store: %w", err)
+		}
+		for _, key := range keys {
+			var seq uint64
+			switch {
+			case len(key) == len("wal-00000000.log") && key[:4] == "wal-":
+				if _, err := fmt.Sscanf(key, "wal-%08d.log", &seq); err == nil {
+					remoteSeg[seq] = true
+				}
+			case len(key) == len("snap-00000000.bin") && key[:5] == "snap-":
+				if _, err := fmt.Sscanf(key, "snap-%08d.bin", &seq); err == nil {
+					remoteSnap[seq] = true
+				}
+			}
+		}
+	}
+	segs := sortedSeqs(localSeg, remoteSeg)
+	snaps := sortedSeqs(localSnap, remoteSnap)
+	remoteGet := func(key string) ([]byte, error) {
+		return rcache.Get(key, func() ([]byte, error) { return cfg.Remote.Get(key) })
+	}
 
 	st := tstore.New()
 	var stats RecoverStats
 	var snapSeq uint64
 	if len(snaps) > 0 {
 		snapSeq = snaps[len(snaps)-1]
-		if err := loadSnapshot(snapPath(cfg.Dir, snapSeq), st); err != nil {
+		if localSnap[snapSeq] {
+			err = loadSnapshot(snapPath(cfg.Dir, snapSeq), st)
+		} else {
+			var data []byte
+			if data, err = remoteGet(snapName(snapSeq)); err == nil {
+				_, err = st.Load(bytes.NewReader(data))
+			}
+		}
+		if err != nil {
 			releaseLock(lock)
-			return nil, err
+			return nil, fmt.Errorf("store: loading snapshot %d: %w", snapSeq, err)
 		}
 		stats.SnapshotPoints = st.Len()
 		// Older snapshots and covered segments are leftovers of a crashed
 		// compaction — the newest snapshot subsumes them.
 		if !readOnly {
 			for _, s := range snaps[:len(snaps)-1] {
-				os.Remove(snapPath(cfg.Dir, s))
+				if localSnap[s] {
+					os.Remove(snapPath(cfg.Dir, s))
+				}
+				if remoteSnap[s] {
+					cfg.Remote.Delete(snapName(s))
+				}
 			}
 		}
 	}
 	maxSeq := snapSeq
+	var lastLocal uint64 // the active tail at crash time, if any
+	for seq := range localSeg {
+		if seq > lastLocal {
+			lastLocal = seq
+		}
+	}
 	var sealed []uint64
-	for i, seq := range segs {
+	for _, seq := range segs {
 		if seq <= snapSeq {
 			if !readOnly {
-				os.Remove(segPath(cfg.Dir, seq))
+				if localSeg[seq] {
+					os.Remove(segPath(cfg.Dir, seq))
+				}
+				if remoteSeg[seq] {
+					cfg.Remote.Delete(segName(seq))
+				}
 			}
 			continue
 		}
-		// Only the newest segment can legitimately be mid-write: readers
-		// skip its tail, writers repair it. A tear anywhere else is real
-		// corruption for both.
-		mode := tornError
-		if i == len(segs)-1 {
-			if readOnly {
-				mode = tornIgnore
-			} else {
-				mode = tornTruncate
+		if localSeg[seq] {
+			// Only the newest local segment can legitimately be mid-write
+			// (it was the active tail): readers skip its tail, writers
+			// repair it. A tear anywhere else is real corruption for both.
+			mode := tornError
+			if seq == lastLocal && seq == maxSegSeq(segs) {
+				if readOnly {
+					mode = tornIgnore
+				} else {
+					mode = tornTruncate
+				}
 			}
-		}
-		path := segPath(cfg.Dir, seq)
-		n, torn, err := replaySegment(path, mode, st.Append)
-		if err != nil {
-			releaseLock(lock)
-			return nil, err
-		}
-		stats.WALRecords += n
-		stats.WALSegments++
-		stats.TornBytes += torn
-		// A segment torn before its header flushed is removed outright;
-		// only files still on disk become sealed (compaction input).
-		if _, err := os.Stat(path); err == nil {
+			path := segPath(cfg.Dir, seq)
+			n, torn, err := replaySegment(path, mode, st.Append)
+			if err != nil {
+				releaseLock(lock)
+				return nil, err
+			}
+			stats.WALRecords += n
+			stats.WALSegments++
+			stats.TornBytes += torn
+			// A segment torn before its header flushed is removed outright;
+			// only files still on disk become sealed (compaction input).
+			if _, err := os.Stat(path); err == nil {
+				sealed = append(sealed, seq)
+			}
+		} else {
+			data, err := remoteGet(segName(seq))
+			if err != nil {
+				releaseLock(lock)
+				return nil, fmt.Errorf("store: fetching migrated segment %s: %w", segName(seq), err)
+			}
+			n, err := replaySegmentBytes(segName(seq), data, st.Append)
+			if err != nil {
+				releaseLock(lock)
+				return nil, err
+			}
+			stats.WALRecords += n
+			stats.WALSegments++
+			stats.RemoteSegments++
 			sealed = append(sealed, seq)
 		}
 		if seq > maxSeq {
@@ -553,12 +788,51 @@ func open(cfg Config, readOnly bool) (*Archive, error) {
 	if readOnly {
 		return &Archive{Store: st, Stats: stats, ReadOnly: true, cfg: cfg}, nil
 	}
-	d := &Disk{cfg: cfg, sealed: sealed, snapSeq: snapSeq, lock: lock}
+	d := &Disk{cfg: cfg, rcache: rcache, sealed: sealed, snapSeq: snapSeq, lock: lock}
+	if cfg.Remote != nil {
+		// Migrate every sealed segment still sitting on local disk: a
+		// crash between seal and upload (or a previously failed upload,
+		// or a half-written object next to a surviving local copy) left
+		// it here, and the local copy is authoritative until a Put
+		// confirms. Re-putting an already-uploaded segment just
+		// overwrites it with identical bytes.
+		for _, seq := range sealed {
+			if _, err := os.Stat(segPath(d.cfg.Dir, seq)); err == nil {
+				d.uploadSealedLocked(seq)
+				if _, err := os.Stat(segPath(d.cfg.Dir, seq)); err != nil {
+					stats.Reuploaded++
+				}
+			}
+		}
+	}
 	if err := d.openSegmentLocked(maxSeq + 1); err != nil {
 		releaseLock(lock)
 		return nil, err
 	}
 	return &Archive{Store: st, Backend: d, Stats: stats, cfg: cfg}, nil
+}
+
+// sortedSeqs merges sequence-number sets into one ascending list.
+func sortedSeqs(sets ...map[uint64]bool) []uint64 {
+	seen := map[uint64]bool{}
+	var out []uint64
+	for _, set := range sets {
+		for seq := range set {
+			if !seen[seq] {
+				seen[seq] = true
+				out = append(out, seq)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func maxSegSeq(segs []uint64) uint64 {
+	if len(segs) == 0 {
+		return 0
+	}
+	return segs[len(segs)-1]
 }
 
 // Live rebuilds the live-picture layer from the recovered archive: each

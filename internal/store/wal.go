@@ -125,6 +125,74 @@ const (
 	tornIgnore
 )
 
+// checkSegmentHeader validates a segment's 6-byte header.
+func checkSegmentHeader(head []byte, name string) error {
+	if m := binary.LittleEndian.Uint32(head[0:]); m != segMagic {
+		return fmt.Errorf("store: %s: bad segment magic %08x", name, m)
+	}
+	if v := binary.LittleEndian.Uint16(head[4:]); v != segVersion {
+		return fmt.Errorf("store: %s: unsupported segment version %d", name, v)
+	}
+	return nil
+}
+
+// frameLength validates a frame header's length field; a non-empty
+// reason reports a tear.
+func frameLength(head []byte) (uint32, string) {
+	length := binary.LittleEndian.Uint32(head[0:])
+	if length != recordSize {
+		return 0, fmt.Sprintf("bad frame length %d", length)
+	}
+	return length, ""
+}
+
+// frameDecode checks a frame's payload against its header checksum and
+// decodes the record; a non-empty reason reports a tear. Shared by the
+// file and migrated-object replay paths so the frame format lives in
+// one place.
+func frameDecode(head, payload []byte) (model.VesselState, string) {
+	if want := binary.LittleEndian.Uint32(head[4:]); crc32.Checksum(payload, castagnoli) != want {
+		return model.VesselState{}, "checksum mismatch"
+	}
+	return decodeRecord(payload), ""
+}
+
+// replaySegmentBytes reads every frame of a fully materialised segment
+// (a migrated object fetched back from the ObjectStore) into fn. A
+// migrated segment was sealed before upload and uploads are atomic, so
+// any tear is real corruption — the strictness of tornError without the
+// file plumbing.
+func replaySegmentBytes(name string, data []byte, fn func(model.VesselState)) (int, error) {
+	if len(data) < segHeaderSize {
+		return 0, fmt.Errorf("store: %s: migrated segment shorter than its header", name)
+	}
+	if err := checkSegmentHeader(data, name); err != nil {
+		return 0, err
+	}
+	records := 0
+	for off := segHeaderSize; off < len(data); {
+		if off+frameHeadSize > len(data) {
+			return records, fmt.Errorf("store: %s: partial frame header at offset %d", name, off)
+		}
+		head := data[off : off+frameHeadSize]
+		length, reason := frameLength(head)
+		if reason != "" {
+			return records, fmt.Errorf("store: %s: %s at offset %d", name, reason, off)
+		}
+		if off+frameHeadSize+int(length) > len(data) {
+			return records, fmt.Errorf("store: %s: partial frame payload at offset %d", name, off)
+		}
+		rec, reason := frameDecode(head, data[off+frameHeadSize:off+frameHeadSize+int(length)])
+		if reason != "" {
+			return records, fmt.Errorf("store: %s: %s at offset %d", name, reason, off)
+		}
+		fn(rec)
+		records++
+		off += frameHeadSize + int(length)
+	}
+	return records, nil
+}
+
 // replaySegment reads every valid frame of the segment at path into fn,
 // handling a torn tail per mode and returning the number of bytes past
 // the last valid frame (whether repaired or merely skipped).
@@ -155,11 +223,8 @@ func replaySegment(path string, mode tornMode, fn func(model.VesselState)) (reco
 		}
 		return 0, 0, fmt.Errorf("store: %s: reading segment header: %w", path, err)
 	}
-	if m := binary.LittleEndian.Uint32(head[0:]); m != segMagic {
-		return 0, 0, fmt.Errorf("store: %s: bad segment magic %08x", path, m)
-	}
-	if v := binary.LittleEndian.Uint16(head[4:]); v != segVersion {
-		return 0, 0, fmt.Errorf("store: %s: unsupported segment version %d", path, v)
+	if err := checkSegmentHeader(head[:], path); err != nil {
+		return 0, 0, err
 	}
 
 	good := int64(segHeaderSize) // offset of the byte after the last valid frame
@@ -190,18 +255,19 @@ func replaySegment(path string, mode tornMode, fn func(model.VesselState)) (reco
 		if err != nil {
 			return tornAt("partial frame header")
 		}
-		length := binary.LittleEndian.Uint32(frame[0:])
-		if length != recordSize {
-			return tornAt(fmt.Sprintf("bad frame length %d", length))
+		length, reason := frameLength(frame[:frameHeadSize])
+		if reason != "" {
+			return tornAt(reason)
 		}
 		payload := frame[frameHeadSize : frameHeadSize+length]
 		if _, err := io.ReadFull(br, payload); err != nil {
 			return tornAt("partial frame payload")
 		}
-		if want := binary.LittleEndian.Uint32(frame[4:]); crc32.Checksum(payload, castagnoli) != want {
-			return tornAt("checksum mismatch")
+		rec, reason := frameDecode(frame[:frameHeadSize], payload)
+		if reason != "" {
+			return tornAt(reason)
 		}
-		fn(decodeRecord(payload))
+		fn(rec)
 		records++
 		good += int64(frameHeadSize) + int64(length)
 	}

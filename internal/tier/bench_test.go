@@ -1,0 +1,131 @@
+package tier_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/model"
+	"repro/internal/store"
+	"repro/internal/tier"
+	"repro/internal/tstore"
+)
+
+func benchRun(n int) []model.VesselState {
+	t0 := time.Date(2017, 3, 21, 0, 0, 0, 0, time.UTC)
+	pts := make([]model.VesselState, n)
+	for i := range pts {
+		pts[i] = model.VesselState{
+			MMSI: 201000001, At: t0.Add(time.Duration(i*10) * time.Second),
+			Pos:     geo.Point{Lat: 38 + float64(i)*0.0004, Lon: 12 + float64(i)*0.0002},
+			SpeedKn: 12.3, CourseDeg: 41.5,
+		}
+	}
+	return pts
+}
+
+func benchChunkStore(b *testing.B) *tier.ChunkStore {
+	b.Helper()
+	objects, err := store.NewFSObjectsCache(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tier.NewChunkStore(objects, 32<<20)
+}
+
+// BenchmarkChunkSpill is the per-run eviction cost: encode one 256-point
+// run and Put it as an immutable object (no fsync — spill stores are
+// caches).
+func BenchmarkChunkSpill(b *testing.B) {
+	cs := benchChunkStore(b)
+	run := benchRun(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cs.Spill(201000001, run); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChunkFetch is the per-chunk page-back cost with the block
+// cache warm: decode 256 records out of the cached object bytes.
+func BenchmarkChunkFetch(b *testing.B) {
+	cs := benchChunkStore(b)
+	run := benchRun(256)
+	key, err := cs.Spill(201000001, run)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cs.Fetch(key, 201000001, len(run)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchEvictedStore builds a store whose single vessel is fully evicted.
+func benchEvictedStore(b *testing.B, points int) *tstore.Store {
+	b.Helper()
+	st := tstore.New()
+	for _, s := range benchRun(points) {
+		st.Append(s)
+	}
+	objects, err := store.NewFSObjectsCache(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := tier.NewManager(tier.Config{Budget: 1, CheckEvery: -1, Objects: objects}, st)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(m.Close)
+	if n := m.Check(); n == 0 {
+		b.Fatal("nothing evicted")
+	}
+	return st
+}
+
+// BenchmarkTrajectoryPageBack reads a fully evicted 4096-point vessel
+// back end to end: chunk fetches (cached), decode and merge.
+func BenchmarkTrajectoryPageBack(b *testing.B) {
+	st := benchEvictedStore(b, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tr := st.Trajectory(201000001); len(tr.Points) != 4096 {
+			b.Fatalf("paged %d points", len(tr.Points))
+		}
+	}
+}
+
+// BenchmarkSpaceTimeEvicted vs ...Resident: the same windowed box read
+// over an evicted and a resident archive — the price of answering from
+// stubs.
+func BenchmarkSpaceTimeEvicted(b *testing.B) {
+	st := benchEvictedStore(b, 4096)
+	benchSpaceTime(b, st)
+}
+
+func BenchmarkSpaceTimeResident(b *testing.B) {
+	st := tstore.New()
+	for _, s := range benchRun(4096) {
+		st.Append(s)
+	}
+	benchSpaceTime(b, st)
+}
+
+func benchSpaceTime(b *testing.B, st *tstore.Store) {
+	b.Helper()
+	t0 := time.Date(2017, 3, 21, 0, 0, 0, 0, time.UTC)
+	box := geo.Rect{MinLat: 38, MinLon: 12, MaxLat: 39, MaxLon: 13}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := st.SpaceTime(box, t0, t0.Add(3*time.Hour)); len(out) == 0 {
+			b.Fatal("empty window")
+		}
+	}
+}

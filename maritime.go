@@ -93,6 +93,32 @@
 // Store.Attach — see internal/store for the subsystem and cmd/maritimed
 // (-data-dir) for the resume-on-restart daemon built on it.
 //
+// # Tiered storage (archives that exceed RAM)
+//
+// With a memory budget, the in-memory archive becomes a cache over the
+// durable store: an eviction manager watches per-vessel heat (last
+// append or read) and, past the budget, evicts the coldest vessels down
+// to compact stubs — chunk directory, newest sample, counts — spilling
+// their history as immutable objects. Every query kind keeps working
+// over a partially evicted archive; reads page back only the chunks
+// their window and box reach, singleflighted and block-cached:
+//
+//	objects, _ := maritime.NewFSObjects("/var/lib/maritimed-tier") // or any ObjectStore
+//	e := maritime.NewIngestEngine(maritime.IngestConfig{
+//	    Pipeline:     maritime.PipelineConfig{Zones: run.Config.World.Zones},
+//	    Backend:      arch.Backend,       // durability (WAL) as before
+//	    MemoryBudget: 256 << 20,          // resident points capped at ~256 MiB
+//	    TierObjects:  objects,            // evicted chunks spill here
+//	})
+//	// ... ingest 4× the budget; queries stay exact throughout ...
+//	fmt.Printf("%+v\n", e.TierStats())   // resident vs evicted, page-ins, spill volume
+//
+// The same ObjectStore can back the WAL itself (StoreConfig.Remote):
+// sealed segments and snapshots migrate off local disk on seal, with the
+// local copy deleted only after the upload is confirmed — a crash
+// between seal and upload re-uploads on the next OpenArchive. maritimed
+// wires both with -mem-budget and -remote-dir.
+//
 // # Querying (unified read surface)
 //
 // Every read — trajectory retrieval, space–time range, nearest vessel,
@@ -182,6 +208,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/store"
 	"repro/internal/synopsis"
+	"repro/internal/tier"
 	"repro/internal/tstore"
 	"repro/internal/va"
 	"repro/internal/zones"
@@ -307,6 +334,57 @@ type (
 	// Flusher is the asynchronous flush stage; it implements StoreSink.
 	Flusher = store.Flusher
 )
+
+// Tiered storage: the exceeding-RAM layer — an object store cold bytes
+// migrate to, and an eviction manager that keeps the in-memory archive
+// inside a budget (package internal/store + internal/tier).
+type (
+	// ObjectStore is the minimal immutable-blob interface sealed WAL
+	// segments, snapshots and evicted trajectory chunks migrate to
+	// (atomic Put, immutable objects, prefix List).
+	ObjectStore = store.ObjectStore
+	// FSObjectStore is the local-filesystem ObjectStore reference
+	// implementation (atomic write-temp + rename Puts).
+	FSObjectStore = store.FSObjects
+	// BlockCache is the byte-bounded, singleflight read cache object
+	// fetches go through.
+	BlockCache = store.BlockCache
+	// TierManager evicts the coldest vessels down to compact stubs when
+	// the resident archive exceeds its memory budget; reads page them
+	// back transparently.
+	TierManager = tier.Manager
+	// TierConfig parameterises a TierManager (budget, check cadence,
+	// spill object store).
+	TierConfig = tier.Config
+	// TierStats snapshots the tiered archive: resident vs evicted points
+	// and vessels, evictions, page-ins, spill volume, cache behaviour.
+	TierStats = tier.Stats
+	// TierChunkStore spills evicted runs as immutable objects and pages
+	// them back through a block cache; it implements StoreChunkStore.
+	TierChunkStore = tier.ChunkStore
+	// StoreChunkStore is the paging hook a trajectory Store evicts
+	// through (tstore.ChunkStore).
+	StoreChunkStore = tstore.ChunkStore
+)
+
+// NewFSObjects opens (creating if needed) a filesystem object store
+// rooted at dir, with fully durable Puts — the store migrated WAL
+// segments and snapshots require.
+func NewFSObjects(dir string) (*FSObjectStore, error) { return store.NewFSObjects(dir) }
+
+// NewFSObjectsCache is NewFSObjects without fsync: fit for paging
+// caches like tier spill chunks (reconstructable after a crash), unfit
+// for WAL migration.
+func NewFSObjectsCache(dir string) (*FSObjectStore, error) { return store.NewFSObjectsCache(dir) }
+
+// NewTierManager builds the eviction manager over one or more trajectory
+// stores, attaches its spill store to them, garbage-collects stale spill
+// objects and starts the budget loop. The ingest engine wires this up
+// itself from IngestConfig.MemoryBudget/TierObjects; use this directly
+// only when composing stores by hand.
+func NewTierManager(cfg TierConfig, stores ...*Store) (*TierManager, error) {
+	return tier.NewManager(cfg, stores...)
+}
 
 // Fsync policies for StoreConfig.Sync.
 const (
