@@ -41,7 +41,6 @@ func main() {
 		log.Fatal(err)
 	}
 	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
 	n := 0
 	for i := range run.Positions {
 		obs := &run.Positions[i]
@@ -64,6 +63,11 @@ func main() {
 			fmt.Fprintln(w, l)
 			n++
 		}
+	}
+	// A swallowed flush error (full pipe, closed stdout) would silently
+	// truncate the feed — fail loudly instead.
+	if err := w.Flush(); err != nil {
+		log.Fatalf("aisgen: flushing stdout: %v", err)
 	}
 	fmt.Fprintf(os.Stderr, "aisgen: %d sentences (%d position reports, %d statics) from %d vessels over %dm\n",
 		n, len(run.Positions), len(run.Statics), *vessels, *minutes)

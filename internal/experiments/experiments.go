@@ -1071,6 +1071,7 @@ func E15(seed int64) Table {
 			}
 			recovered = f("%d", re.Stats.Total())
 			re.Close()
+			//lint:ignore errsink scratch-dir cleanup in an experiment harness; the OS temp reaper is the backstop
 			os.RemoveAll(dir)
 		}
 		t.Rows = append(t.Rows, []string{
@@ -1387,6 +1388,7 @@ func E18(seed int64) Table {
 	if err != nil {
 		panic(err)
 	}
+	//lint:ignore errsink scratch-dir cleanup in an experiment harness; the OS temp reaper is the backstop
 	defer os.RemoveAll(dir)
 	// Spill objects are a paging cache (reconstructable, unreachable
 	// after a crash), so the no-fsync store is the right fit.

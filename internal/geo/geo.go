@@ -107,6 +107,7 @@ func Destination(p Point, bearing, dist float64) Point {
 // Interpolate returns the point a fraction f (0..1) of the way along the
 // great circle from a to b. f outside [0,1] extrapolates.
 func Interpolate(a, b Point, f float64) Point {
+	//lint:ignore floateq identical-endpoint fast path: only bitwise-equal inputs may skip the spherical math
 	if a == b {
 		return a
 	}
@@ -166,6 +167,7 @@ func AlongTrackDistance(p, a, b Point) float64 {
 // PointSegmentDistance returns the minimum distance in metres from p to the
 // great-circle segment a→b (not the infinite great circle).
 func PointSegmentDistance(p, a, b Point) float64 {
+	//lint:ignore floateq degenerate-segment fast path: only bitwise-equal endpoints may collapse to point distance
 	if a == b {
 		return Distance(p, a)
 	}

@@ -58,6 +58,7 @@ func (s *Scan) Nearest(p geo.Point, k int) []Item {
 		cands = append(cands, cand{it, geo.Distance(p, it.Pos)})
 	}
 	sort.Slice(cands, func(i, j int) bool {
+		//lint:ignore floateq sort tie-break: any consistent total order works, exactness not required
 		if cands[i].d != cands[j].d {
 			return cands[i].d < cands[j].d
 		}
@@ -151,6 +152,7 @@ func (g *GridIndex) Nearest(p geo.Point, k int) []Item {
 			}
 		}
 		sort.Slice(cands, func(i, j int) bool {
+			//lint:ignore floateq sort tie-break: any consistent total order works, exactness not required
 			if cands[i].d != cands[j].d {
 				return cands[i].d < cands[j].d
 			}
@@ -254,6 +256,7 @@ func packUpward(nodes []*rnode) *rnode {
 	for len(nodes) > 1 {
 		sort.Slice(nodes, func(i, j int) bool {
 			ci, cj := nodes[i].bounds.Center(), nodes[j].bounds.Center()
+			//lint:ignore floateq pack-order comparator: any consistent total order works, exactness not required
 			if ci.Lon != cj.Lon {
 				return ci.Lon < cj.Lon
 			}

@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicCounter enforces the atomics discipline the seq counters,
+// metrics and heat clocks rely on. Two rules:
+//
+//   - mixed access: a struct field that is anywhere accessed through
+//     sync/atomic package functions (atomic.AddInt64(&s.clock, 1), the
+//     tstore heat-clock style) must be accessed that way everywhere — a
+//     single plain read of such a field is a data race the race detector
+//     only catches if a test happens to interleave it;
+//   - check-then-act: a typed atomic field (atomic.Int64/Uint64/...)
+//     that one function both Loads and Stores has a lost-update window
+//     between the two; use Add or a CompareAndSwap loop, or justify the
+//     single-writer claim with an ignore.
+var AtomicCounter = &Analyzer{
+	Name: "atomiccounter",
+	Doc:  "fields accessed via sync/atomic must be accessed atomically everywhere; no Load-then-Store races",
+	Run:  runAtomicCounter,
+}
+
+func runAtomicCounter(pass *Pass) {
+	pkg := pass.Pkg
+
+	// fieldOf resolves a selector expression to the struct field object
+	// it denotes, or nil.
+	fieldOf := func(e ast.Expr) *types.Var {
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok {
+			return nil
+		}
+		s, ok := pkg.Info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return nil
+		}
+		v, _ := s.Obj().(*types.Var)
+		return v
+	}
+
+	// --- rule 1: mixed plain/atomic access ------------------------------
+
+	// Pass one: collect the fields whose address is taken as the first
+	// argument of a sync/atomic function, and remember those sanctioned
+	// uses so pass two can skip them.
+	atomicFields := map[*types.Var]string{} // field -> atomic func name seen
+	sanctioned := map[ast.Expr]bool{}       // selector exprs inside atomic calls
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id := calleeIdent(call)
+			fn, ok := pkg.Info.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok {
+					continue
+				}
+				if v := fieldOf(un.X); v != nil {
+					atomicFields[v] = fn.Name()
+					sanctioned[un.X] = true
+				}
+			}
+			return true
+		})
+	}
+	// Pass two: every other mention of those fields is a plain access.
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			if v := fieldOf(sel); v != nil {
+				if fnName, isAtomic := atomicFields[v]; isAtomic {
+					pass.Report(sel.Pos(), "plain access of %s.%s, which is accessed via atomic.%s elsewhere: use sync/atomic here too",
+						exprString(sel.X), sel.Sel.Name, fnName)
+				}
+			}
+			return true
+		})
+	}
+
+	// --- rule 2: Load-then-Store on typed atomics -----------------------
+
+	isTypedAtomic := func(v *types.Var) bool {
+		t := v.Type()
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			return false
+		}
+		if named.Obj().Pkg().Path() != "sync/atomic" {
+			return false
+		}
+		switch named.Obj().Name() {
+		case "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Bool":
+			return true
+		}
+		return false
+	}
+
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			loads := map[*types.Var]bool{}
+			stores := map[*types.Var]ast.Expr{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				method := sel.Sel.Name
+				if method != "Load" && method != "Store" {
+					return true
+				}
+				v := fieldOf(sel.X)
+				if v == nil || !isTypedAtomic(v) {
+					return true
+				}
+				if method == "Load" {
+					loads[v] = true
+				} else {
+					stores[v] = sel.X
+				}
+				return true
+			})
+			for v, at := range stores {
+				if loads[v] {
+					pass.Report(at.Pos(), "%s both Loads and Stores atomic field %s: the gap is a lost-update window; use Add or a CompareAndSwap loop (or justify the single writer with an ignore)",
+						funcName(fd), exprString(at))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// BoundedSend enforces the PR 2/PR 4 fan-out contract: a publisher must
+// never block on a consumer. Shard workers and the pub/sub hub deliver
+// through bounded per-subscriber queues and count drops; one blocking
+// send on a publish path lets a single stuck subscriber wedge every
+// vessel behind it.
+//
+// A send is "bounded" only when it is a case of a select statement that
+// also has a default (drop) arm. The analyzer flags unbounded sends in
+// two scopes:
+//
+//   - inside publish-path functions — any function whose name matches
+//     publish/broadcast/fanout/offer (case-insensitive);
+//   - on subscriber queues anywhere — sends to a channel-typed field of
+//     a struct whose type name contains "Subscription" (or "Subscriber").
+//
+// Ordinary pipeline sends between owned goroutines (shard worker ->
+// flusher, etc.) are intentional backpressure and are not flagged.
+var BoundedSend = &Analyzer{
+	Name: "boundedsend",
+	Doc:  "publish paths and subscriber queues must send via select with a default/drop arm",
+	Run:  runBoundedSend,
+}
+
+var publishNameRe = regexp.MustCompile(`(?i)publish|broadcast|fanout|offer`)
+
+func runBoundedSend(pass *Pass) {
+	pkg := pass.Pkg
+
+	// subscriberChan reports whether the channel expression is a field of
+	// a *Subscription-like struct.
+	subscriberChan := func(ch ast.Expr) bool {
+		sel, ok := ch.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		s, ok := pkg.Info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return false
+		}
+		recv := s.Recv()
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = p.Elem()
+		}
+		named, ok := recv.(*types.Named)
+		if !ok {
+			return false
+		}
+		name := named.Obj().Name()
+		return strings.Contains(name, "Subscription") || strings.Contains(name, "Subscriber")
+	}
+
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			inPublishPath := publishNameRe.MatchString(fd.Name.Name)
+
+			// bounded holds every send that sits in a select with a
+			// default arm.
+			bounded := map[*ast.SendStmt]bool{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectStmt)
+				if !ok {
+					return true
+				}
+				hasDefault := false
+				for _, c := range sel.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+						hasDefault = true
+					}
+				}
+				if !hasDefault {
+					return true
+				}
+				for _, c := range sel.Body.List {
+					cc, ok := c.(*ast.CommClause)
+					if !ok {
+						continue
+					}
+					if send, ok := cc.Comm.(*ast.SendStmt); ok {
+						bounded[send] = true
+					}
+				}
+				return true
+			})
+
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				send, ok := n.(*ast.SendStmt)
+				if !ok || bounded[send] {
+					return true
+				}
+				switch {
+				case subscriberChan(send.Chan):
+					pass.Report(send.Pos(), "blocking send on subscriber queue %s: use select with a default arm and count the drop",
+						exprString(send.Chan))
+				case inPublishPath:
+					pass.Report(send.Pos(), "blocking send in publish path %s: a stuck consumer stalls every producer behind it; use select with a default arm",
+						funcName(fd))
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package lint
+
+import "testing"
+
+// TestRepoIsLintClean is the dogfood gate: the committed tree must have
+// zero findings. New violations either get fixed or get an explicit
+// //lint:ignore with a written reason — silent regressions fail CI here
+// even before the cmd/maritimelint step runs.
+func TestRepoIsLintClean(t *testing.T) {
+	loader, err := NewLoader(moduleRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.ModulePackages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("%s: type error: %v", pkg.Path, terr)
+		}
+		for _, d := range RunPackage(pkg, Analyzers()) {
+			t.Errorf("%s", d)
+		}
+	}
+}

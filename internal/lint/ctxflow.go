@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces the PR 3/PR 4 cancellation contract: a request's
+// context flows from the HTTP edge through every query, stream and peer
+// hop. Re-rooting a call chain at context.Background() silently detaches
+// it from the caller's deadline — the peer fan-out keeps running after
+// the client gave up.
+//
+// Three rules:
+//
+//   - a function that already has a context.Context parameter must not
+//     call context.Background()/context.TODO() — thread the parameter;
+//   - a function without a ctx parameter must not conjure a context
+//     inline at a call site (context.Background()/TODO() nested inside
+//     another call's arguments). A named root (ctx := context.Background())
+//     at a process or experiment entry point is deliberate and exempt, as
+//     is func main and the Foo -> FooContext wrapper idiom (the wrapped
+//     sibling is where callers with a real ctx go);
+//   - IO helpers must accept cancellation: http.NewRequest is flagged in
+//     favour of http.NewRequestWithContext.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "thread context.Context; no inline context.Background()/TODO() re-rooting, no ctx-less HTTP requests",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	pkg := pass.Pkg
+
+	isContextFunc := func(call *ast.CallExpr, names ...string) string {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return ""
+		}
+		fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			return ""
+		}
+		for _, n := range names {
+			if fn.Name() == n {
+				return n
+			}
+		}
+		return ""
+	}
+
+	// hasCtxParam reports whether the function type declares a
+	// context.Context parameter.
+	hasCtxParam := func(ft *ast.FuncType) bool {
+		if ft.Params == nil {
+			return false
+		}
+		for _, fld := range ft.Params.List {
+			if tv, ok := pkg.Info.Types[fld.Type]; ok {
+				if named, ok := tv.Type.(*types.Named); ok &&
+					named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context" {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	// siblings: every function/method name declared in this package, to
+	// recognise the Foo -> FooContext wrapper idiom.
+	siblings := map[string]bool{}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				siblings[fd.Name.Name] = true
+			}
+		}
+	}
+
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctxParam := hasCtxParam(fd.Type)
+			isWrapper := !ctxParam && siblings[fd.Name.Name+"Context"]
+			isMain := fd.Recv == nil && (fd.Name.Name == "main" || fd.Name.Name == "init")
+
+			// Track call nesting so we can tell an inline
+			// context.Background() argument from a named root.
+			var callStack []*ast.CallExpr
+			var visit func(n ast.Node) bool
+			visit = func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name := isContextFunc(call, "Background", "TODO"); name != "" {
+					switch {
+					case ctxParam:
+						pass.Report(call.Pos(), "%s has a context.Context parameter but calls context.%s(): thread the parameter instead of re-rooting",
+							funcName(fd), name)
+					case len(callStack) > 0 && !isWrapper && !isMain:
+						pass.Report(call.Pos(), "%s conjures context.%s() inline at a call site: accept a ctx parameter (add a %sContext variant) or hoist a named root",
+							funcName(fd), name, fd.Name.Name)
+					}
+				}
+				if fn, ok := pkg.Info.Uses[calleeIdent(call)].(*types.Func); ok &&
+					fn.Pkg() != nil && fn.Pkg().Path() == "net/http" && fn.Name() == "NewRequest" {
+					pass.Report(call.Pos(), "%s builds a request without cancellation: use http.NewRequestWithContext", funcName(fd))
+				}
+				callStack = append(callStack, call)
+				for _, arg := range call.Args {
+					ast.Inspect(arg, visit)
+				}
+				callStack = callStack[:len(callStack)-1]
+				// Fun was not walked above; do it outside the arg context.
+				ast.Inspect(call.Fun, visit)
+				return false
+			}
+			ast.Inspect(fd.Body, visit)
+		}
+	}
+}
+
+// calleeIdent returns the identifier naming the called function, if any.
+func calleeIdent(call *ast.CallExpr) *ast.Ident {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun
+	case *ast.SelectorExpr:
+		return fun.Sel
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrSink enforces the PR 2–5 error-routing contract: background storage
+// stages cannot return errors to a caller, so every append / flush /
+// spill / upload error must land in a named sink the operator can read
+// (FlushErr, PageErr, UploadErr, SourceStats.Err) — a swallowed flush
+// error is silent data loss, the exact failure mode the paper's
+// data-integrity argument is about.
+//
+// The analyzer flags a call whose callee name contains one of the
+// storage verbs (append, flush, spill, upload, sync, compact, rotate,
+// seal, evict, remove, delete, put, migrate, page) when the call returns
+// an error that is discarded: a bare expression statement, or an
+// assignment sending the error result to blank. Routing the error
+// anywhere — a variable, a sink setter, a return — satisfies the rule;
+// genuinely ignorable errors take a //lint:ignore errsink <reason>.
+var ErrSink = &Analyzer{
+	Name: "errsink",
+	Doc:  "append/flush/spill/upload-family errors must reach a named error sink, not be discarded",
+	Run:  runErrSink,
+}
+
+var errSinkVerbs = []string{
+	"append", "flush", "spill", "upload", "sync", "compact", "rotate",
+	"seal", "evict", "remove", "delete", "put", "migrate", "page",
+}
+
+func errSinkVerb(name string) string {
+	lower := strings.ToLower(name)
+	for _, v := range errSinkVerbs {
+		if strings.Contains(lower, v) {
+			return v
+		}
+	}
+	return ""
+}
+
+func runErrSink(pass *Pass) {
+	pkg := pass.Pkg
+
+	// errResults returns the indices of error-typed results of the call,
+	// or nil if it returns no error.
+	errResults := func(call *ast.CallExpr) []int {
+		tv, ok := pkg.Info.Types[call]
+		if !ok {
+			return nil
+		}
+		var idxs []int
+		switch t := tv.Type.(type) {
+		case *types.Tuple:
+			for i := 0; i < t.Len(); i++ {
+				if isErrorType(t.At(i).Type()) {
+					idxs = append(idxs, i)
+				}
+			}
+		default:
+			if isErrorType(tv.Type) {
+				idxs = []int{0}
+			}
+		}
+		return idxs
+	}
+
+	check := func(call *ast.CallExpr, discarded func(i int) bool) {
+		id := calleeIdent(call)
+		if id == nil {
+			return
+		}
+		verb := errSinkVerb(id.Name)
+		if verb == "" {
+			return
+		}
+		for _, i := range errResults(call) {
+			if discarded(i) {
+				pass.Report(call.Pos(), "error from %s discarded: route it to an error sink (FlushErr/PageErr/UploadErr) or //lint:ignore errsink with a reason",
+					id.Name)
+				return
+			}
+		}
+	}
+
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := stmt.X.(*ast.CallExpr); ok {
+					check(call, func(int) bool { return true })
+				}
+			case *ast.DeferStmt:
+				check(stmt.Call, func(int) bool { return true })
+			case *ast.GoStmt:
+				check(stmt.Call, func(int) bool { return true })
+			case *ast.AssignStmt:
+				// Single call on the RHS: results map positionally to the
+				// LHS; an error landing on blank is discarded.
+				if len(stmt.Rhs) != 1 {
+					return true
+				}
+				call, ok := stmt.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				check(call, func(i int) bool {
+					if i >= len(stmt.Lhs) {
+						return false
+					}
+					id, ok := stmt.Lhs[i].(*ast.Ident)
+					return ok && id.Name == "_"
+				})
+			}
+			return true
+		})
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq enforces the PR 1 geometry contract: coordinates are float64
+// degrees and propagate rounding from projection, interpolation and
+// great-circle math — exact ==/!= on them encodes an assumption the
+// arithmetic does not honour. Compare with a tolerance, or use
+// math.IsInf/math.IsNaN for sentinel values.
+//
+// The analyzer flags ==/!= where either operand is a float (or a struct
+// or array whose fields include a float — Point identity is coordinate
+// equality too). Two exemptions, both "the value was stored verbatim,
+// never computed": comparisons against compile-time constants
+// (`cfg.Eps == 0` is the idiomatic unset-config check) and against an
+// empty composite literal (`p == (geo.Point{})` is the zero-value
+// sentinel check).
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "no ==/!= on float64 coordinates outside tests; use a tolerance or math.IsInf/IsNaN",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	pkg := pass.Pkg
+
+	var hasFloat func(t types.Type, depth int) bool
+	hasFloat = func(t types.Type, depth int) bool {
+		if depth > 4 {
+			return false
+		}
+		switch u := t.Underlying().(type) {
+		case *types.Basic:
+			return u.Kind() == types.Float32 || u.Kind() == types.Float64 ||
+				u.Kind() == types.UntypedFloat
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				if hasFloat(u.Field(i).Type(), depth+1) {
+					return true
+				}
+			}
+		case *types.Array:
+			return hasFloat(u.Elem(), depth+1)
+		}
+		return false
+	}
+
+	isConst := func(e ast.Expr) bool {
+		tv, ok := pkg.Info.Types[e]
+		return ok && tv.Value != nil
+	}
+
+	// isZeroLit recognises the zero-value sentinel idiom: an empty
+	// (possibly parenthesised) composite literal like (geo.Point{}).
+	var isZeroLit func(e ast.Expr) bool
+	isZeroLit = func(e ast.Expr) bool {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			return isZeroLit(x.X)
+		case *ast.CompositeLit:
+			return len(x.Elts) == 0
+		}
+		return false
+	}
+
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if isConst(be.X) || isConst(be.Y) || isZeroLit(be.X) || isZeroLit(be.Y) {
+				return true
+			}
+			tv, ok := pkg.Info.Types[be.X]
+			if !ok || !hasFloat(tv.Type, 0) {
+				return true
+			}
+			what := "float"
+			if _, isStruct := tv.Type.Underlying().(*types.Struct); isStruct {
+				what = tv.Type.String() + " (contains floats)"
+			}
+			pass.Report(be.OpPos, "%s equality on %s: compare with a tolerance (math.Abs(a-b) <= eps) or use math.IsInf/IsNaN for sentinels",
+				be.Op, what)
+			return true
+		})
+	}
+}

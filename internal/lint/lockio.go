@@ -1,0 +1,294 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockIO enforces the PR 5 storage contract: no sync.Mutex/RWMutex may
+// be held across a call that can do network or bulk disk IO — a slow
+// remote ObjectStore.Put under the backend lock stalls every concurrent
+// append (the exact upload-on-seal hazard the ROADMAP flagged).
+//
+// Detection is deliberately an under-approximation tuned for zero noise:
+//
+//   - Locked regions are tracked per function in source order — a
+//     Lock/RLock opens a region on its receiver, the next Unlock/RUnlock
+//     on the same receiver closes it, a deferred unlock (or none) keeps
+//     it open to the end of the function.
+//   - Functions named *Locked are, by this codebase's convention, called
+//     with the lock already held: their whole body is a locked region.
+//   - Inside a locked region, both direct IO calls and calls to
+//     same-package functions whose bodies directly perform IO (one
+//     interprocedural level) are findings. Function-literal bodies are
+//     skipped on both sides: a closure is typically run later, on a
+//     different goroutine or after the unlock.
+//
+// IO means: ObjectStore.{Put,Get,List,Delete} (by interface name —
+// remote storage), net/http Client calls and package-level requests,
+// net dials and Conn reads/writes, and whole-file os.ReadFile/WriteFile.
+// The WAL's own buffered segment writes are deliberately NOT in the set:
+// the disk backend serialises its segment under its lock by design, and
+// the async Flusher exists to keep that latency off the ingest path.
+var LockIO = &Analyzer{
+	Name: "lockio",
+	Doc:  "no mutex held across network/disk IO (ObjectStore, net/http, net, whole-file os calls)",
+	Run:  runLockIO,
+}
+
+// ioCall classifies a call expression as IO, returning a description or
+// "".
+func ioCall(pkg *Package, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	// Method call: classify by receiver type.
+	if s, ok := pkg.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+		recv := s.Recv()
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = p.Elem()
+		}
+		named, ok := recv.(*types.Named)
+		if !ok {
+			return ""
+		}
+		name, method := named.Obj().Name(), sel.Sel.Name
+		pkgPath := ""
+		if named.Obj().Pkg() != nil {
+			pkgPath = named.Obj().Pkg().Path()
+		}
+		switch {
+		case name == "ObjectStore" && (method == "Put" || method == "Get" || method == "List" || method == "Delete"):
+			return "ObjectStore." + method + " (remote object store)"
+		case pkgPath == "net/http" && name == "Client" &&
+			(method == "Do" || method == "Get" || method == "Post" || method == "PostForm" || method == "Head"):
+			return "http.Client." + method + " (network)"
+		case pkgPath == "net" && name == "Conn" && (method == "Read" || method == "Write"):
+			return "net.Conn." + method + " (network)"
+		}
+		return ""
+	}
+	// Package-level function call.
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	switch fn.Pkg().Path() {
+	case "os":
+		if fn.Name() == "ReadFile" || fn.Name() == "WriteFile" {
+			return "os." + fn.Name() + " (whole-file disk IO)"
+		}
+	case "net/http":
+		switch fn.Name() {
+		case "Get", "Post", "Head", "PostForm":
+			return "http." + fn.Name() + " (network)"
+		}
+	case "net":
+		switch fn.Name() {
+		case "Dial", "DialTimeout":
+			return "net." + fn.Name() + " (network)"
+		}
+	}
+	return ""
+}
+
+// directIO scans a function body (skipping nested function literals) for
+// the first direct IO call, returning its description or "".
+func directIO(pkg *Package, body *ast.BlockStmt) string {
+	found := ""
+	walkSkipFuncLits(body, func(n ast.Node) {
+		if found != "" {
+			return
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			found = ioCall(pkg, call)
+		}
+	})
+	return found
+}
+
+// walkSkipFuncLits walks n in source order, not descending into function
+// literals.
+func walkSkipFuncLits(n ast.Node, fn func(ast.Node)) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// lockRegions computes the held-lock intervals of one function body:
+// position ranges during which some mutex receiver is locked.
+type lockRegion struct {
+	from, to token.Pos
+	key      string // receiver expression, for the diagnostic
+}
+
+// mutexMethod reports whether the call is a Lock/RLock/Unlock/RUnlock on
+// a sync.Mutex or sync.RWMutex, and which.
+func mutexMethod(pkg *Package, call *ast.CallExpr) (recv string, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	s, isMeth := pkg.Info.Selections[sel]
+	if !isMeth || s.Kind() != types.MethodVal {
+		return "", "", false
+	}
+	recvT := s.Recv()
+	if p, isPtr := recvT.(*types.Pointer); isPtr {
+		recvT = p.Elem()
+	}
+	named, isNamed := recvT.(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	if n := named.Obj().Name(); n != "Mutex" && n != "RWMutex" {
+		return "", "", false
+	}
+	return exprString(sel.X), sel.Sel.Name, true
+}
+
+func regionsOf(pkg *Package, fd *ast.FuncDecl) []lockRegion {
+	if fd.Body == nil {
+		return nil
+	}
+	if strings.HasSuffix(fd.Name.Name, "Locked") || strings.HasSuffix(fd.Name.Name, "locked") {
+		// Convention: called with the caller's lock held.
+		return []lockRegion{{from: fd.Body.Pos(), to: fd.Body.End(), key: "caller's lock (name ends in Locked)"}}
+	}
+	type event struct {
+		pos     token.Pos
+		key     string
+		lock    bool
+		defered bool
+	}
+	var events []event
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			// A deferred unlock keeps the region open to function end; a
+			// deferred lock makes no sense — skip the whole statement.
+			if recv, method, ok := mutexMethod(pkg, x.Call); ok && (method == "Unlock" || method == "RUnlock") {
+				events = append(events, event{pos: x.Pos(), key: recv, lock: false, defered: true})
+			}
+			return false
+		case *ast.CallExpr:
+			if recv, method, ok := mutexMethod(pkg, x); ok {
+				events = append(events, event{pos: x.Pos(), key: recv, lock: method == "Lock" || method == "RLock"})
+			}
+		}
+		return true
+	})
+	// events arrive in source order (ast.Inspect is a pre-order walk).
+	open := map[string]token.Pos{}
+	var regions []lockRegion
+	for _, e := range events {
+		if e.lock {
+			if _, isOpen := open[e.key]; !isOpen {
+				open[e.key] = e.pos
+			}
+			continue
+		}
+		if e.defered {
+			continue // region stays open to the end
+		}
+		if from, isOpen := open[e.key]; isOpen {
+			regions = append(regions, lockRegion{from: from, to: e.pos, key: e.key})
+			delete(open, e.key)
+		}
+	}
+	for key, from := range open {
+		regions = append(regions, lockRegion{from: from, to: fd.Body.End(), key: key})
+	}
+	return regions
+}
+
+func runLockIO(pass *Pass) {
+	pkg := pass.Pkg
+	// Map function objects to their declarations for the one-level
+	// interprocedural check.
+	decls := map[types.Object]*ast.FuncDecl{}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if obj := pkg.Info.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	calleeObj := func(call *ast.CallExpr) types.Object {
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			return pkg.Info.Uses[fun]
+		case *ast.SelectorExpr:
+			return pkg.Info.Uses[fun.Sel]
+		}
+		return nil
+	}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			regions := regionsOf(pkg, fd)
+			if len(regions) == 0 {
+				continue
+			}
+			held := func(pos token.Pos) (lockRegion, bool) {
+				for _, r := range regions {
+					if pos > r.from && pos < r.to {
+						return r, true
+					}
+				}
+				return lockRegion{}, false
+			}
+			walkSkipFuncLits(fd.Body, func(n ast.Node) {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return
+				}
+				r, isHeld := held(call.Pos())
+				if !isHeld {
+					return
+				}
+				if io := ioCall(pkg, call); io != "" {
+					pass.Report(call.Pos(), "%s holds %s across %s: move the IO off the lock (background stage or copy-then-release)",
+						funcName(fd), r.key, io)
+					return
+				}
+				// One interprocedural level: a call to a same-package
+				// function that directly does IO.
+				obj := calleeObj(call)
+				if obj == nil || obj.Pkg() == nil || obj.Pkg() != pkg.Types {
+					return
+				}
+				callee, ok := decls[obj]
+				if !ok || callee.Body == nil || callee == fd {
+					return
+				}
+				if io := directIO(pkg, callee.Body); io != "" {
+					pass.Report(call.Pos(), "%s holds %s across call to %s, which does %s: move the IO off the lock",
+						funcName(fd), r.key, fmt.Sprintf("%s", funcName(callee)), io)
+				}
+			})
+		}
+	}
+}

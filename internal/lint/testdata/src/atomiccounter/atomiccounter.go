@@ -1,0 +1,55 @@
+// Fixture for the atomiccounter analyzer: atomic fields stay atomic.
+package atomiccounter
+
+import "sync/atomic"
+
+type metrics struct {
+	clock int64         // old-style: accessed via atomic package functions
+	hits  atomic.Uint64 // typed atomic
+}
+
+func (m *metrics) touch() int64 {
+	return atomic.AddInt64(&m.clock, 1) // ok: sanctioned atomic access
+}
+
+func (m *metrics) load() int64 {
+	return atomic.LoadInt64(&m.clock) // ok
+}
+
+func (m *metrics) peek() int64 {
+	return m.clock // want "plain access"
+}
+
+func (m *metrics) reset() {
+	m.clock = 0 // want "plain access"
+}
+
+func (m *metrics) bumpMax(n uint64) {
+	if n > m.hits.Load() {
+		m.hits.Store(n) // want "lost-update window"
+	}
+}
+
+func (m *metrics) casMax(n uint64) {
+	for {
+		cur := m.hits.Load()
+		if n <= cur || m.hits.CompareAndSwap(cur, n) { // ok: CAS closes the window
+			return
+		}
+	}
+}
+
+func (m *metrics) count() uint64 {
+	return m.hits.Load() // ok: Load alone is fine
+}
+
+func (m *metrics) set(n uint64) {
+	m.hits.Store(n) // ok: Store alone is fine
+}
+
+func (m *metrics) singleWriter(n uint64) {
+	if m.hits.Load() != n {
+		//lint:ignore atomiccounter fixture demonstrates a justified suppression
+		m.hits.Store(n) // ok: justified ignore
+	}
+}

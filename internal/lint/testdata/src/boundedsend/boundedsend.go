@@ -1,0 +1,57 @@
+// Fixture for the boundedsend analyzer: publish paths and subscriber
+// queues must not block.
+package boundedsend
+
+// Subscription mirrors the project type the analyzer keys on.
+type Subscription struct {
+	ch      chan int
+	dropped int
+}
+
+type hub struct {
+	subs []*Subscription
+}
+
+func (h *hub) publish(v int) {
+	for _, s := range h.subs {
+		select {
+		case s.ch <- v: // ok: default arm bounds the send
+		default:
+			s.dropped++
+		}
+	}
+}
+
+func (h *hub) publishBlocking(v int) {
+	for _, s := range h.subs {
+		s.ch <- v // want "subscriber queue"
+	}
+}
+
+func (h *hub) broadcastResult(out chan int, v int) {
+	out <- v // want "publish path"
+}
+
+// deliver is not a publish-path name, but the channel is a subscriber
+// queue: still flagged (a ctx arm alone does not bound the send).
+func deliver(s *Subscription, v int, done chan struct{}) bool {
+	select {
+	case s.ch <- v: // want "subscriber queue"
+		return true
+	case <-done:
+		return false
+	}
+}
+
+// worker sends on a plain pipeline channel outside any publish path:
+// intentional backpressure, not flagged.
+func worker(out chan int, vs []int) {
+	for _, v := range vs {
+		out <- v // ok
+	}
+}
+
+func (h *hub) publishIgnored(out chan int, v int) {
+	//lint:ignore boundedsend fixture demonstrates a justified suppression
+	out <- v // ok: justified ignore
+}

@@ -1,0 +1,54 @@
+// Fixture for the ctxflow analyzer: contexts are threaded, not
+// re-rooted.
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+func query(ctx context.Context, q string) error {
+	<-ctx.Done()
+	_ = q
+	return ctx.Err()
+}
+
+func hasParam(ctx context.Context, q string) error {
+	return query(context.Background(), q) // want "thread the parameter"
+}
+
+func inlineRoot(q string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second) // want "conjures"
+	defer cancel()
+	return query(ctx, q)
+}
+
+func namedRoot(q string) error {
+	ctx := context.Background() // ok: a named root is deliberate
+	return query(ctx, q)
+}
+
+// Run is the wrapper idiom: callers with a real ctx use RunContext.
+func Run(q string) error {
+	return query(context.Background(), q) // ok: RunContext sibling exists
+}
+
+func RunContext(ctx context.Context, q string) error {
+	return query(ctx, q)
+}
+
+func buildRequest(url string) (*http.Request, error) {
+	return http.NewRequest("GET", url, nil) // want "NewRequestWithContext"
+}
+
+func buildRequestCtx(ctx context.Context, url string) (*http.Request, error) {
+	return http.NewRequestWithContext(ctx, "GET", url, nil) // ok
+}
+
+func inlineIgnored(q string) error {
+	//lint:ignore ctxflow fixture demonstrates a justified suppression
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	return query(ctx, q)
+}

@@ -1,0 +1,50 @@
+// Fixture for the errsink analyzer: storage-verb errors must be routed,
+// not discarded.
+package errsink
+
+import "os"
+
+type backend struct {
+	flushErr error
+}
+
+func (b *backend) setErr(err error) {
+	if b.flushErr == nil {
+		b.flushErr = err
+	}
+}
+
+func flushSegment(f *os.File) error {
+	return f.Sync()
+}
+
+func uploadSegment(key string) (int, error) {
+	return len(key), nil
+}
+
+func (b *backend) sealAndMigrate(f *os.File, key string) {
+	flushSegment(f)                         // want "error from flushSegment discarded"
+	_ = flushSegment(f)                     // want "error from flushSegment discarded"
+	_, _ = uploadSegment(key)               // want "error from uploadSegment discarded"
+	if err := flushSegment(f); err != nil { // ok: routed to a sink
+		b.setErr(err)
+	}
+	n, err := uploadSegment(key) // ok: error bound to a variable
+	_ = n
+	if err != nil {
+		b.setErr(err)
+	}
+	//lint:ignore errsink fixture demonstrates a justified suppression
+	flushSegment(f) // ok: justified ignore
+	b.report()      // ok: no storage verb, no error
+}
+
+func (b *backend) deferredFlush(f *os.File) {
+	defer flushSegment(f) // want "error from flushSegment discarded"
+}
+
+func cleanup(path string) {
+	os.Remove(path) // want "error from Remove discarded"
+}
+
+func (b *backend) report() {}

@@ -1,0 +1,46 @@
+// Fixture for the floateq analyzer: no exact equality on computed
+// floats.
+package floateq
+
+import "math"
+
+type point struct {
+	lat, lon float64
+}
+
+func eqFloat(a, b float64) bool {
+	return a == b // want "equality on float"
+}
+
+func neqFloat(a, b float64) bool {
+	return a != b // want "equality on float"
+}
+
+func eqPoint(a, b point) bool {
+	return a == b // want "contains floats"
+}
+
+func withinTolerance(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9 // ok: the recommended form
+}
+
+func sentinelInf(x float64) bool {
+	return math.IsInf(x, 1) // ok: the recommended sentinel check
+}
+
+func unsetConfig(eps float64) bool {
+	return eps == 0 // ok: constant comparison, value stored verbatim
+}
+
+func zeroPoint(p point) bool {
+	return p == (point{}) // ok: zero-value sentinel, value stored verbatim
+}
+
+func eqInt(a, b int) bool {
+	return a == b // ok: not a float
+}
+
+func tieBreak(a, b float64) bool {
+	//lint:ignore floateq fixture demonstrates a justified suppression
+	return a == b // ok: justified ignore
+}

@@ -1,0 +1,22 @@
+// Fixture for the ignore-directive audit: a suppression without a
+// justification is itself a finding, and an unjustified directive does
+// not suppress anything. Expected findings are asserted by line in
+// TestIgnoreAudit (want-comments cannot sit on a directive's own line).
+package ignore
+
+func noReason(x, y float64) bool {
+	//lint:ignore floateq
+	return x == y
+}
+
+func unknownAnalyzer(x, y float64) bool {
+	//lint:ignore nosuchcheck the analyzer name is misspelled
+	return x == y
+}
+
+//lint:ignore
+
+func justified(x, y float64) bool {
+	//lint:ignore floateq fixture demonstrates a justified suppression
+	return x == y
+}

@@ -1,0 +1,67 @@
+// Fixture for the lockio analyzer: mutexes held across IO.
+package lockio
+
+import (
+	"os"
+	"sync"
+)
+
+// ObjectStore mirrors the project interface the analyzer keys on.
+type ObjectStore interface {
+	Put(key string, data []byte) error
+	Get(key string) ([]byte, error)
+}
+
+type disk struct {
+	mu     sync.Mutex
+	remote ObjectStore
+}
+
+// uploadLocked runs entirely under the caller's lock by convention.
+func (d *disk) uploadLocked(path string) {
+	data, err := os.ReadFile(path) // want "os.ReadFile"
+	if err != nil {
+		return
+	}
+	d.remote.Put(path, data) // want "ObjectStore.Put"
+}
+
+func (d *disk) lockThenIO(key string) {
+	d.mu.Lock()
+	d.remote.Put(key, nil) // want "ObjectStore.Put"
+	d.mu.Unlock()
+	d.remote.Put(key, nil) // ok: lock released
+}
+
+func (d *disk) deferUnlockInterprocedural(key string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.helper(key) // want "which does ObjectStore.Put"
+}
+
+// helper does direct IO but holds no lock itself: clean on its own.
+func (d *disk) helper(key string) {
+	d.remote.Put(key, nil) // ok: no lock held here
+}
+
+func (d *disk) copyThenRelease(key string) {
+	d.mu.Lock()
+	k := key + "-suffix"
+	d.mu.Unlock()
+	d.remote.Put(k, nil) // ok: IO after the critical section
+}
+
+func (d *disk) backgroundClosure(key string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	go func() {
+		d.remote.Put(key, nil) // ok: closure runs on another goroutine
+	}()
+}
+
+func (d *disk) ignored(key string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	//lint:ignore lockio fixture demonstrates a justified suppression
+	d.remote.Put(key, nil) // ok: justified ignore
+}

@@ -224,22 +224,34 @@ func serverError(resp *http.Response, data []byte) error {
 }
 
 // Wait polls the server's stats until it answers or the timeout elapses —
-// a readiness probe for daemons that bind asynchronously. Wait is its
-// own retry loop, so each poll runs without the client's retry policy
-// and under a context bounded by the remaining budget.
+// a readiness probe for daemons that bind asynchronously. See WaitContext.
 func (c *Client) Wait(timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := c.WaitContext(ctx); err != nil {
+		return fmt.Errorf("query: server not ready after %v: %w", timeout, err)
+	}
+	return nil
+}
+
+// WaitContext polls the server's stats until it answers or ctx is done,
+// returning the last poll error in the latter case. WaitContext is its
+// own retry loop, so each poll runs without the client's retry policy
+// and under the caller's ctx budget.
+func (c *Client) WaitContext(ctx context.Context) error {
 	for {
-		ctx, cancel := context.WithDeadline(context.Background(), deadline)
 		_, err := c.queryContext(ctx, Request{Kind: KindStats}, RetryPolicy{})
-		cancel()
 		if err == nil {
 			return nil
 		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("query: server not ready after %v: %w", timeout, err)
+		if ctx.Err() != nil {
+			return err
 		}
-		time.Sleep(50 * time.Millisecond)
+		select {
+		case <-time.After(50 * time.Millisecond):
+		case <-ctx.Done():
+			return err
+		}
 	}
 }
 
@@ -376,13 +388,20 @@ func (c *Client) streamLoop(ctx context.Context, sub *Subscription, conn *stream
 	deliver := func(u Update) bool {
 		if u.Kind == UpdateHeartbeat {
 			// Transport bookkeeping, not a result: fold the server-side
-			// drop count into the local counter and move on.
-			if d := dropBase + u.Dropped; d > sub.dropped.Load() {
-				sub.dropped.Store(d)
+			// drop count into the local counter and move on. Monotonic
+			// max via CAS — a plain Load/Store pair would lose a
+			// concurrent increment on the same counter.
+			for {
+				cur := sub.dropped.Load()
+				d := dropBase + u.Dropped
+				if d <= cur || sub.dropped.CompareAndSwap(cur, d) {
+					break
+				}
 			}
 			return true
 		}
 		select {
+		//lint:ignore boundedsend ordered-delivery pump: blocking here is the remote backpressure contract, bounded by ctx; drops are accounted server-side and folded in via heartbeats
 		case sub.ch <- u:
 			sub.delivered.Add(1)
 			return true
@@ -438,6 +457,7 @@ func (c *Client) streamLoop(ctx context.Context, sub *Subscription, conn *stream
 			// closes. Server-side drops also restarted with the epoch, so
 			// the accumulated base already covers everything older.
 			lastSeq = f.Seq
+			//lint:ignore atomiccounter single-writer: only this pump goroutine stores epoch; readers are concurrent, writers are not
 			sub.epoch.Store(f.Epoch)
 			sub.rewinds.Add(1)
 			if !deliver(Update{Kind: UpdateRewound, Seq: f.Seq, Epoch: f.Epoch}) {

@@ -78,6 +78,7 @@ func (c *Client) peerTimeout() time.Duration {
 // retrying is the next query's job.
 func (c *Client) peerQuery(req Request) (*Result, error) {
 	req.Local = true
+	//lint:ignore ctxflow the Source interface is ctx-free (ROADMAP: ctx threading lands with the cluster refactor); the peer timeout bounds this detached call
 	ctx, cancel := context.WithTimeout(context.Background(), c.peerTimeout())
 	defer cancel()
 	res, err := c.queryContext(ctx, req, RetryPolicy{})

@@ -31,7 +31,7 @@ func collect(t *testing.T, sub *Subscription, n int) []Update {
 
 func TestHubFiltersByKind(t *testing.T) {
 	hub := NewHub(HubConfig{})
-	states := testStates(4, 10) // vessels 201000001..4 marching NE
+	states := testStates(4, 10)                                       // vessels 201000001..4 marching NE
 	box := Box{MinLat: 42.0, MinLon: 5.0, MaxLat: 42.04, MaxLon: 5.2} // vessel 1's lane only
 
 	follow, err := hub.Subscribe(Request{Kind: KindTrajectory, MMSI: 201000002}, SubOptions{})

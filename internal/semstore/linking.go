@@ -75,6 +75,7 @@ func DiscoverLinks(a, b *registry.Register, cfg LinkConfig) []LinkedPair {
 			if diff := ra.LengthM - e.rec.LengthM; diff > cfg.LengthToleranceM || diff < -cfg.LengthToleranceM {
 				continue
 			}
+			//lint:ignore floateq deterministic tie-break on equal scores; exact equality is the intent
 			if sim > bestScore || (best != nil && sim == bestScore && e.rec.MMSI < best.MMSI) {
 				bestScore = sim
 				best = e.rec

@@ -146,6 +146,7 @@ func (st *Store) Add(tr Triple) {
 	defer st.mu.Unlock()
 	sk := tr.S.Key()
 	for _, ex := range st.spo[sk] {
+		//lint:ignore floateq duplicate detection over stored triples: values are stored verbatim, bitwise identity is the intent
 		if ex == tr {
 			return
 		}

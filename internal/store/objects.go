@@ -113,21 +113,25 @@ func (f *FSObjects) Put(key string, data []byte) error {
 	}
 	if _, err := t.Write(data); err != nil {
 		t.Close()
+		//lint:ignore errsink best-effort .tmp cleanup on a path already returning the write error
 		os.Remove(tmp)
 		return err
 	}
 	if !f.noSync {
 		if err := t.Sync(); err != nil {
 			t.Close()
+			//lint:ignore errsink best-effort .tmp cleanup on a path already returning the sync error
 			os.Remove(tmp)
 			return err
 		}
 	}
 	if err := t.Close(); err != nil {
+		//lint:ignore errsink best-effort .tmp cleanup on a path already returning the close error
 		os.Remove(tmp)
 		return err
 	}
 	if err := os.Rename(tmp, p); err != nil {
+		//lint:ignore errsink best-effort .tmp cleanup on a path already returning the rename error
 		os.Remove(tmp)
 		return err
 	}

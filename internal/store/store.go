@@ -179,6 +179,17 @@ type Disk struct {
 	lock      *os.File // flock-held LOCK file; released on Close
 	closed    bool
 	uploadErr error // first failed segment/snapshot migration (degraded to local)
+
+	// Upload-on-seal runs on a background goroutine so a slow remote Put
+	// never stalls the append path (it used to run under mu). The queue
+	// and in-flight marker live under mu; upCond (on mu) is signalled on
+	// enqueue, on upload completion and on close.
+	upQ        []uint64        // sealed segments awaiting upload, FIFO
+	upInflight map[uint64]bool // segment currently being uploaded
+	upClosed   bool            // tells the uploader to drain and exit
+	upCond     *sync.Cond
+	upWG       sync.WaitGroup
+	compacting bool // re-entrancy guard: compactLocked waits on upCond, releasing mu
 }
 
 func segName(seq uint64) string  { return fmt.Sprintf("wal-%08d.log", seq) }
@@ -258,37 +269,94 @@ func (d *Disk) rotateLocked() error {
 		return err
 	}
 	d.sealed = append(d.sealed, d.seq)
-	d.uploadSealedLocked(d.seq)
+	d.enqueueUploadLocked(d.seq)
 	if err := d.openSegmentLocked(d.seq + 1); err != nil {
 		return err
 	}
 	if d.cfg.CompactEvery > 0 && len(d.sealed) >= d.cfg.CompactEvery {
+		//lint:ignore lockio compaction is documented stop-the-world (see Compact); streaming compaction is a ROADMAP item
 		return d.compactLocked()
 	}
 	return nil
 }
 
-// uploadSealedLocked migrates one sealed segment to the remote store and
-// removes the local file. The local copy is removed only after the Put
-// succeeded, so a crash anywhere in between leaves the segment local and
-// the next Open re-uploads it. A failed upload degrades to local-only
-// (the WAL stays durable on local disk) and parks in uploadErr; it does
-// not fail the append path.
-func (d *Disk) uploadSealedLocked(seq uint64) {
+// enqueueUploadLocked hands a sealed segment to the background uploader.
+// Called with d.mu held; the actual IO happens on the uploader goroutine
+// with no lock, so a slow or blocked remote Put cannot stall appends.
+func (d *Disk) enqueueUploadLocked(seq uint64) {
 	if d.remote() == nil {
 		return
 	}
+	d.upQ = append(d.upQ, seq)
+	d.upCond.Signal()
+}
+
+// startUploader initialises the queue state and, for tiered archives,
+// launches the upload-on-seal goroutine. Called once from open, before
+// the Disk is shared.
+func (d *Disk) startUploader() {
+	d.upInflight = make(map[uint64]bool)
+	d.upCond = sync.NewCond(&d.mu)
+	if d.remote() == nil {
+		return
+	}
+	d.upWG.Add(1)
+	go d.uploader()
+}
+
+// uploader drains the seal queue: dequeue under mu, do the IO unlocked,
+// re-acquire to record the outcome. Exits once Close marks upClosed and
+// the queue is empty — Close waits for that, so pending migrations
+// complete before Close returns.
+func (d *Disk) uploader() {
+	defer d.upWG.Done()
+	d.mu.Lock()
+	for {
+		for !d.upClosed && len(d.upQ) == 0 {
+			d.upCond.Wait()
+		}
+		if len(d.upQ) == 0 {
+			d.mu.Unlock()
+			return
+		}
+		seq := d.upQ[0]
+		d.upQ = d.upQ[1:]
+		d.upInflight[seq] = true
+		d.mu.Unlock()
+
+		err := d.uploadSegment(seq)
+
+		d.mu.Lock()
+		delete(d.upInflight, seq)
+		if err != nil {
+			d.setUploadErrLocked(err)
+		}
+		d.upCond.Broadcast()
+	}
+}
+
+// uploadSegment migrates one sealed segment to the remote store and
+// removes the local file. No lock is held. The local copy is removed
+// only after the Put succeeded, so a crash anywhere in between leaves
+// the segment local and the next Open re-uploads it. A failed upload
+// degrades to local-only (the WAL stays durable on local disk) and
+// parks in uploadErr; it does not fail the append path.
+func (d *Disk) uploadSegment(seq uint64) error {
 	path := segPath(d.cfg.Dir, seq)
 	data, err := os.ReadFile(path)
 	if err != nil {
-		d.setUploadErrLocked(fmt.Errorf("store: reading sealed segment for upload: %w", err))
-		return
+		return fmt.Errorf("store: reading sealed segment for upload: %w", err)
 	}
 	if err := d.remote().Put(segName(seq), data); err != nil {
-		d.setUploadErrLocked(fmt.Errorf("store: uploading %s: %w", segName(seq), err))
-		return
+		return fmt.Errorf("store: uploading %s: %w", segName(seq), err)
 	}
-	os.Remove(path)
+	if err := os.Remove(path); err != nil {
+		// The migration itself succeeded; the stale local copy just gets
+		// re-uploaded (identical bytes) at the next Open. Still worth the
+		// operator's attention.
+		return fmt.Errorf("store: removing migrated segment %s: %w", path, err)
+	}
+	return nil
 }
 
 func (d *Disk) remote() ObjectStore { return d.cfg.Remote }
@@ -381,12 +449,28 @@ func (d *Disk) Compact() error {
 	if d.closed {
 		return fmt.Errorf("store: compact on closed archive %s", d.cfg.Dir)
 	}
+	//lint:ignore lockio compaction is documented stop-the-world (see Compact); streaming compaction is a ROADMAP item
 	return d.compactLocked()
 }
 
 func (d *Disk) compactLocked() error {
-	if len(d.sealed) == 0 {
+	if len(d.sealed) == 0 || d.compacting {
 		return nil
+	}
+	// Settle the background uploader before folding: still-queued
+	// segments are dropped from the queue (the fold reads them from
+	// local disk; uploading first would be wasted work), and in-flight
+	// ones are waited out so the fold and the uploader don't race on the
+	// segment files. upCond.Wait releases d.mu, so appends can slip in
+	// and seal more segments meanwhile — the compacting flag keeps a
+	// second rotation from folding concurrently, and d.sealed is read
+	// only after the queue is quiet.
+	d.compacting = true
+	defer func() { d.compacting = false }()
+	d.upQ = d.upQ[:0]
+	for len(d.upInflight) > 0 {
+		d.upCond.Wait()
+		d.upQ = d.upQ[:0]
 	}
 	folded := tstore.New()
 	if d.snapSeq > 0 {
@@ -409,6 +493,7 @@ func (d *Disk) compactLocked() error {
 		if _, err := folded.WriteTo(&buf); err != nil {
 			return err
 		}
+		//lint:ignore lockio compaction is documented stop-the-world (see Compact); streaming compaction is a ROADMAP item
 		if err := d.remote().Put(snapName(newSeq), buf.Bytes()); err != nil {
 			return fmt.Errorf("store: uploading %s: %w", snapName(newSeq), err)
 		}
@@ -427,11 +512,15 @@ func (d *Disk) compactLocked() error {
 	// objects both. A crash anywhere below re-deletes on the next Open
 	// (covered files are ignored by recovery).
 	if d.snapSeq > 0 {
+		//lint:ignore errsink covered file; a leftover is ignored by recovery and re-deleted at the next Open
 		os.Remove(snapPath(d.cfg.Dir, d.snapSeq))
+		//lint:ignore lockio compaction is documented stop-the-world (see Compact); streaming compaction is a ROADMAP item
 		d.removeRemote(snapName(d.snapSeq))
 	}
 	for _, seq := range d.sealed {
+		//lint:ignore errsink covered file; a leftover is ignored by recovery and re-deleted at the next Open
 		os.Remove(segPath(d.cfg.Dir, seq))
+		//lint:ignore lockio compaction is documented stop-the-world (see Compact); streaming compaction is a ROADMAP item
 		d.removeRemote(segName(seq))
 	}
 	d.snapSeq = newSeq
@@ -439,14 +528,18 @@ func (d *Disk) compactLocked() error {
 	return syncDir(d.cfg.Dir)
 }
 
-// removeRemote deletes a migrated object (and its cache entry),
-// best-effort: a leftover object below the snapshot horizon is ignored
-// by recovery and re-deleted at the next Open.
+// removeRemote deletes a migrated object (and its cache entry). Caller
+// holds d.mu. A leftover object below the snapshot horizon is ignored by
+// recovery and re-deleted at the next Open, so a failed Delete costs
+// only garbage — but it is still surfaced through UploadErr so a
+// misbehaving object store is visible to the operator.
 func (d *Disk) removeRemote(key string) {
 	if d.remote() == nil {
 		return
 	}
-	d.remote().Delete(key)
+	if err := d.remote().Delete(key); err != nil {
+		d.setUploadErrLocked(fmt.Errorf("store: deleting compacted %s: %w", key, err))
+	}
 	d.rcache.Drop(key)
 }
 
@@ -464,21 +557,26 @@ func syncDir(dir string) error {
 	return err
 }
 
-// Close flushes and fsyncs the active segment, releases the directory
-// lock and retires the backend.
+// Close flushes and fsyncs the active segment, drains pending segment
+// migrations (so a Close-then-assert sequence observes the final remote
+// state), releases the directory lock and retires the backend.
 func (d *Disk) Close() error {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if d.closed {
+		d.mu.Unlock()
 		return nil
 	}
 	d.closed = true
-	defer releaseLock(d.lock)
-	if err := d.syncLocked(); err != nil {
-		d.seg.Close()
-		return err
+	err := d.syncLocked()
+	if cerr := d.seg.Close(); err == nil {
+		err = cerr
 	}
-	return d.seg.Close()
+	d.upClosed = true
+	d.upCond.Broadcast()
+	d.mu.Unlock()
+	d.upWG.Wait()
+	releaseLock(d.lock)
+	return err
 }
 
 // Dir returns the archive directory.
@@ -500,15 +598,18 @@ func writeSnapshot(path string, st *tstore.Store) error {
 	}
 	if _, err := st.WriteTo(f); err != nil {
 		f.Close()
+		//lint:ignore errsink best-effort .tmp cleanup on a path already returning the write error; Open removes leftovers
 		os.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
+		//lint:ignore errsink best-effort .tmp cleanup on a path already returning the sync error; Open removes leftovers
 		os.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
+		//lint:ignore errsink best-effort .tmp cleanup on a path already returning the close error; Open removes leftovers
 		os.Remove(tmp)
 		return err
 	}
@@ -538,6 +639,7 @@ type RecoverStats struct {
 	TornBytes      int64 // bytes truncated off the newest segment's torn tail
 	RemoteSegments int   // segments replayed from the object store
 	Reuploaded     int   // local sealed segments (re-)migrated during recovery
+	CleanupErrs    int   // stale local files / remote objects that failed to delete (retried next Open)
 }
 
 // Total returns the recovered point count.
@@ -634,6 +736,16 @@ func open(cfg Config, readOnly bool) (*Archive, error) {
 		releaseLock(lock)
 		return nil, err
 	}
+	var stats RecoverStats
+	// cleanup deletes a stale file or object, best-effort: recovery
+	// ignores leftovers and re-deletes them at the next Open, but a
+	// failing janitor is counted so operators can see a directory or
+	// object store that has stopped accepting deletes.
+	cleanup := func(err error) {
+		if err != nil {
+			stats.CleanupErrs++
+		}
+	}
 	localSeg := map[uint64]bool{}
 	localSnap := map[uint64]bool{}
 	for _, e := range entries {
@@ -650,7 +762,7 @@ func open(cfg Config, readOnly bool) (*Archive, error) {
 			}
 		case filepath.Ext(name) == ".tmp" && !readOnly:
 			// Leftover from a crashed compaction; never referenced.
-			os.Remove(filepath.Join(cfg.Dir, name))
+			cleanup(os.Remove(filepath.Join(cfg.Dir, name)))
 		}
 	}
 	// A tiered archive spreads across the directory and the object store:
@@ -688,7 +800,6 @@ func open(cfg Config, readOnly bool) (*Archive, error) {
 	}
 
 	st := tstore.New()
-	var stats RecoverStats
 	var snapSeq uint64
 	if len(snaps) > 0 {
 		snapSeq = snaps[len(snaps)-1]
@@ -710,10 +821,10 @@ func open(cfg Config, readOnly bool) (*Archive, error) {
 		if !readOnly {
 			for _, s := range snaps[:len(snaps)-1] {
 				if localSnap[s] {
-					os.Remove(snapPath(cfg.Dir, s))
+					cleanup(os.Remove(snapPath(cfg.Dir, s)))
 				}
 				if remoteSnap[s] {
-					cfg.Remote.Delete(snapName(s))
+					cleanup(cfg.Remote.Delete(snapName(s)))
 				}
 			}
 		}
@@ -730,10 +841,10 @@ func open(cfg Config, readOnly bool) (*Archive, error) {
 		if seq <= snapSeq {
 			if !readOnly {
 				if localSeg[seq] {
-					os.Remove(segPath(cfg.Dir, seq))
+					cleanup(os.Remove(segPath(cfg.Dir, seq)))
 				}
 				if remoteSeg[seq] {
-					cfg.Remote.Delete(segName(seq))
+					cleanup(cfg.Remote.Delete(segName(seq)))
 				}
 			}
 			continue
@@ -789,16 +900,21 @@ func open(cfg Config, readOnly bool) (*Archive, error) {
 		return &Archive{Store: st, Stats: stats, ReadOnly: true, cfg: cfg}, nil
 	}
 	d := &Disk{cfg: cfg, rcache: rcache, sealed: sealed, snapSeq: snapSeq, lock: lock}
+	d.startUploader()
 	if cfg.Remote != nil {
 		// Migrate every sealed segment still sitting on local disk: a
 		// crash between seal and upload (or a previously failed upload,
 		// or a half-written object next to a surviving local copy) left
 		// it here, and the local copy is authoritative until a Put
 		// confirms. Re-putting an already-uploaded segment just
-		// overwrites it with identical bytes.
+		// overwrites it with identical bytes. Recovery uploads
+		// synchronously — nothing else can touch the archive yet, and
+		// Open's contract is a settled directory.
 		for _, seq := range sealed {
 			if _, err := os.Stat(segPath(d.cfg.Dir, seq)); err == nil {
-				d.uploadSealedLocked(seq)
+				if uerr := d.uploadSegment(seq); uerr != nil {
+					d.setUploadErrLocked(uerr) // not yet shared; no lock needed
+				}
 				if _, err := os.Stat(segPath(d.cfg.Dir, seq)); err != nil {
 					stats.Reuploaded++
 				}

@@ -1,0 +1,122 @@
+package store
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// gatedStore wraps an ObjectStore, parking every Put on a gate until the
+// test releases it — a stand-in for a slow or stalled object store.
+type gatedStore struct {
+	ObjectStore
+	gate    chan struct{} // closed to release parked Puts
+	entered chan struct{} // one token per Put that reached the gate
+}
+
+func newGatedStore(inner ObjectStore) *gatedStore {
+	return &gatedStore{ObjectStore: inner, gate: make(chan struct{}), entered: make(chan struct{}, 64)}
+}
+
+func (g *gatedStore) Put(key string, data []byte) error {
+	select {
+	case g.entered <- struct{}{}:
+	default:
+	}
+	<-g.gate
+	return g.ObjectStore.Put(key, data)
+}
+
+// TestBlockedUploadDoesNotBlockAppend pins the PR 6 lockio fix: upload-
+// on-seal runs on a background goroutine, so an ObjectStore.Put that
+// never returns must not stall the append path. Before the fix the
+// upload ran under the backend lock and the second rotation would hang.
+func TestBlockedUploadDoesNotBlockAppend(t *testing.T) {
+	cfg, objects := remoteFixture(t, -1)
+	gated := newGatedStore(objects)
+	cfg.Remote = gated
+	arch, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First batch rotates at least once; the uploader parks in Put.
+	appendN(t, arch.Backend, 10, 1)
+	select {
+	case <-gated.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("uploader never reached Put")
+	}
+
+	// With the upload parked, appends (including further rotations) must
+	// still complete promptly.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		appendN(t, arch.Backend, 30, 2)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("append blocked behind a stalled ObjectStore.Put")
+	}
+
+	// Release the store: Close drains the queue, after which every sealed
+	// segment has migrated and only the active tail is local.
+	close(gated.gate)
+	if err := arch.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := arch.Backend.UploadErr(); err != nil {
+		t.Fatalf("upload error after drain: %v", err)
+	}
+	keys, err := objects.List("wal-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) < 3 {
+		t.Fatalf("expected several migrated segments after Close drained the queue, got %v", keys)
+	}
+	if got := localWALs(t, cfg.Dir); len(got) != 1 {
+		t.Fatalf("local dir should hold only the active segment, has %v", got)
+	}
+}
+
+// failingDeleteStore delegates everything but fails Delete.
+type failingDeleteStore struct {
+	ObjectStore
+}
+
+func (f *failingDeleteStore) Delete(key string) error {
+	return errors.New("object store refused the delete")
+}
+
+// TestCompactRemoteDeleteFailureSurfaces is the errsink regression test:
+// removeRemote used to discard ObjectStore.Delete errors during
+// compaction, so an object store that silently stopped accepting deletes
+// leaked garbage without a trace. The error now parks in UploadErr.
+func TestCompactRemoteDeleteFailureSurfaces(t *testing.T) {
+	cfg, objects := remoteFixture(t, -1)
+	cfg.Remote = &failingDeleteStore{ObjectStore: objects}
+	arch, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer arch.Close()
+
+	appendN(t, arch.Backend, 40, 3)
+	if len(arch.Backend.SealedSegments()) == 0 {
+		t.Fatal("fixture never sealed a segment")
+	}
+	if err := arch.Backend.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	err = arch.Backend.UploadErr()
+	if err == nil {
+		t.Fatal("Delete failure during compaction was swallowed; want it surfaced in UploadErr")
+	}
+	if !strings.Contains(err.Error(), "deleting compacted") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

@@ -173,7 +173,7 @@ func (c SquishE) Compress(tr *model.Trajectory) *model.Trajectory {
 		}
 		base := sedAt(buf[i].state, buf[i-1].state, buf[i+1].state)
 		// Keep the accumulated component: priority only grows over time.
-		if buf[i].priority == math.Inf(1) || buf[i].priority < base {
+		if math.IsInf(buf[i].priority, 1) || buf[i].priority < base {
 			buf[i].priority = base
 		}
 	}

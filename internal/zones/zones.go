@@ -154,6 +154,7 @@ func (s *ZoneSet) Nearest(p geo.Point, k Kind, maxDist float64) (z *Zone, dist f
 				d = cand.Area.DistanceToBoundary(p)
 			}
 			if d <= best {
+				//lint:ignore floateq deterministic tie-break on equal distances; exact equality is the intent
 				if z == nil || d < dist || (d == dist && cand.ID < z.ID) {
 					z, dist, ok = cand, d, true
 					best = d
