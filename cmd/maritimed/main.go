@@ -34,6 +34,14 @@
 // surfaced under /v1/stats) instead of failing the query, and federated
 // reads are marked local-only so mutually-peered daemons cannot loop.
 //
+// The daemon is fully instrumented through the obs registry: with -http,
+// GET /metrics serves the Prometheus text exposition and GET /debug/vars
+// a JSON snapshot of the same registry — counters, gauges and latency
+// histograms from every layer (ingest, store, tier, query, hub). -pprof
+// additionally mounts net/http/pprof under /debug/pprof/. With
+// -stats-every the daemon prints a periodic one-line health summary read
+// from the same registry the scrape endpoints serve.
+//
 // With -mem-budget the archive exceeds RAM: once resident points pass
 // the budget, the coldest vessels are evicted down to compact stubs and
 // their history spills to the object store (-remote-dir, or a tier/
@@ -45,7 +53,7 @@
 //
 // Usage:
 //
-//	aisgen -vessels 200 -minutes 60 | maritimed [-shards N] [-decoders N] [-data-dir DIR] [-fsync MODE] [-remote-dir DIR] [-mem-budget SIZE] [-http ADDR] [-peer URL]...
+//	aisgen -vessels 200 -minutes 60 | maritimed [-shards N] [-decoders N] [-data-dir DIR] [-fsync MODE] [-remote-dir DIR] [-mem-budget SIZE] [-http ADDR] [-pprof] [-stats-every D] [-peer URL]...
 package main
 
 import (
@@ -105,12 +113,18 @@ func main() {
 	remoteDir := flag.String("remote-dir", "", "migrate sealed WAL segments, snapshots and evicted chunks to this object-store directory (local disk keeps only the active segment)")
 	memBudget := flag.String("mem-budget", "", "resident archive memory budget (e.g. 64MiB): evict cold vessels past it, paging them back on demand (needs -data-dir or -remote-dir)")
 	httpAddr := flag.String("http", "", "serve the query API on this address (e.g. :8080) while ingesting")
+	pprofOn := flag.Bool("pprof", false, "with -http, mount net/http/pprof under /debug/pprof/")
+	statsEvery := flag.Duration("stats-every", 0, "print a periodic health line read from the metrics registry (0 = off)")
 	var peers []string
 	flag.Func("peer", "federate another maritimed -http daemon's picture into query answers (repeatable)",
 		func(u string) error { peers = append(peers, u); return nil })
 	flag.Parse()
 
 	world := sim.MediterraneanWorld(1)
+	// One registry is the single source of truth for every stat the
+	// daemon reports: the /metrics and /debug/vars scrapes, the periodic
+	// -stats-every line and the final summary all read from it.
+	reg := maritime.NewObsRegistry()
 	cfg := maritime.IngestConfig{
 		Pipeline: maritime.PipelineConfig{
 			Zones:              world.Zones,
@@ -118,6 +132,7 @@ func main() {
 		},
 		Shards:        *shards,
 		DecodeWorkers: *decoders,
+		Obs:           reg,
 	}
 	for _, u := range peers {
 		cfg.Peers = append(cfg.Peers, maritime.NewQueryClient(u))
@@ -186,6 +201,7 @@ func main() {
 			os.Exit(1)
 		}
 		cfg.Backend = arch.Backend
+		arch.Instrument(reg) // recovery stats + WAL/upload latency series
 	}
 
 	engine := maritime.NewIngestEngine(cfg)
@@ -218,13 +234,21 @@ func main() {
 			fmt.Fprintln(os.Stderr, "maritimed: query API listen:", err)
 			os.Exit(1)
 		}
-		httpSrv = &http.Server{Handler: maritime.NewQueryServer(engine)}
+		srv := maritime.NewQueryServer(engine)
+		srv.ServeMetrics(reg)
+		if *pprofOn {
+			srv.ServePprof()
+		}
+		httpSrv = &http.Server{Handler: srv}
 		go func() {
 			if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "maritimed: query API:", err)
 			}
 		}()
-		fmt.Printf("[query] serving /v1 (one-shot + /v1/stream standing queries) on %s\n", ln.Addr())
+		fmt.Printf("[query] serving /v1 (one-shot + /v1/stream standing queries) and /metrics on %s\n", ln.Addr())
+		if *pprofOn {
+			fmt.Printf("[query] profiling on http://%s/debug/pprof/\n", ln.Addr())
+		}
 	}
 
 	// Static/voyage quality issues surface from decode workers; serialise
@@ -242,6 +266,31 @@ func main() {
 	}
 	lines := make(chan maritime.IngestLine, 1024)
 	engine.StartLines(ctx, lines, onStatic)
+
+	// Periodic health line: the same registry the scrape endpoints
+	// serve, printed. reg.Value tolerates series that are not registered
+	// yet (no backend / no tier), reading as zero.
+	if *statsEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*statsEvery)
+			defer tick.Stop()
+			for range tick.C {
+				in, _ := reg.Value("ingest_messages_in_total")
+				out, _ := reg.Value("ingest_messages_out_total")
+				queued, _ := reg.Value("ingest_queue_depth")
+				flushQ, _ := reg.Value("store_flush_queue_depth")
+				resident, _ := reg.Value("tier_resident_points")
+				evicted, _ := reg.Value("tier_evicted_points")
+				p50, _ := reg.Quantile("ingest_batch_append_ns", 0.50)
+				p99, _ := reg.Quantile("ingest_batch_append_ns", 0.99)
+				outMu.Lock()
+				fmt.Printf("[stats] in=%.0f out=%.0f queued=%.0f flushq=%.0f resident=%.0f evicted=%.0f batch p50=%s p99=%s\n",
+					in, out, queued, flushQ, resident, evicted,
+					time.Duration(p50), time.Duration(p99))
+				outMu.Unlock()
+			}
+		}()
+	}
 
 	// Alert printer: drains the merged alert stream until the engine has
 	// fully flushed; doubles as the completion barrier.
@@ -309,23 +358,31 @@ func main() {
 	fmt.Println()
 	fmt.Print(sharded.Situation(end, world.Bounds, 12, 48).Summary())
 
+	// Final summaries read from the registry — the same numbers a
+	// /metrics scrape would have reported at this instant.
 	if arch != nil {
 		engine.Wait() // flush stage drained and final-synced
-		fm := engine.FlushMetrics()
 		if err := engine.FlushErr(); err != nil {
 			fmt.Fprintln(os.Stderr, "maritimed: persistence:", err)
 		}
 		if err := arch.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "maritimed: closing archive:", err)
 		}
-		fmt.Printf("[archive] persisted %d records to %s (%d dropped)\n", fm.Out, *dataDir, fm.Dropped)
+		persisted, _ := reg.Value("store_flush_out_total")
+		dropped, _ := reg.Value("store_flush_dropped_total")
+		fmt.Printf("[archive] persisted %.0f records to %s (%.0f dropped)\n", persisted, *dataDir, dropped)
 	}
 	if cfg.MemoryBudget > 0 {
 		engine.Wait()
-		ts := engine.TierStats()
-		fmt.Printf("[tier] %d resident / %d evicted points (%d stub vessels); %d evictions, %d page-ins (%d points back), %.1f MiB spilled\n",
-			ts.ResidentPoints, ts.EvictedPoints, ts.EvictedVessels,
-			ts.Evictions, ts.PageIns, ts.PagedPoints, float64(ts.SpilledBytes)/(1<<20))
+		resident, _ := reg.Value("tier_resident_points")
+		evicted, _ := reg.Value("tier_evicted_points")
+		stubs, _ := reg.Value("tier_evicted_vessels")
+		evictions, _ := reg.Value("tier_evictions_total")
+		pageIns, _ := reg.Value("tier_pageins_total")
+		pagedPts, _ := reg.Value("tier_paged_points_total")
+		spilled, _ := reg.Value("tier_spilled_bytes_total")
+		fmt.Printf("[tier] %.0f resident / %.0f evicted points (%.0f stub vessels); %.0f evictions, %.0f page-ins (%.0f points back), %.1f MiB spilled\n",
+			resident, evicted, stubs, evictions, pageIns, pagedPts, spilled/(1<<20))
 	}
 
 	if httpSrv != nil {

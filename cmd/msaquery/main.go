@@ -18,7 +18,9 @@
 // Exactly one query flag (-vessel, -box, -knn, -live, -situation,
 // -alerts, -stats) runs per invocation; -from/-to/-at bound time where
 // the kind supports it, and -json dumps the raw Result encoding instead
-// of the human summary.
+// of the human summary. -trace asks the executor to record where the
+// query spent its time and prints the per-stage breakdown (per-source
+// fan-out, merge/dedup, end-to-end) under the answer.
 //
 // With -http the same requests also run as standing queries over
 // /v1/stream — updates stream until interrupted (or -count updates
@@ -69,6 +71,7 @@ func main() {
 	tol := flag.Duration("tol", 0, "time tolerance around -at for -knn (default 30m when -at is set)")
 	limit := flag.Int("limit", 0, "cap returned states/alerts (0 = unlimited)")
 	asJSON := flag.Bool("json", false, "print the raw Result JSON instead of a summary")
+	trace := flag.Bool("trace", false, "request a per-stage trace and print where the query spent its time")
 
 	watch := flag.String("watch", "", "standing box watch (requires -http): minLat,minLon,maxLat,maxLon")
 	follow := flag.Uint("follow", 0, "standing per-vessel follow (requires -http): MMSI")
@@ -97,6 +100,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	req.Trace = *trace
 
 	exec, describe, err := openExecutor(*read, *data, *remote, *httpAddr)
 	if err != nil {
@@ -118,6 +122,35 @@ func main() {
 		return
 	}
 	printResult(req, res)
+	if *trace {
+		printTrace(res)
+	}
+}
+
+// printTrace renders the per-stage breakdown a Trace: true request
+// returns — one line per span with its offset, duration and share of
+// the end-to-end time.
+func printTrace(res *query.Result) {
+	if len(res.Trace) == 0 {
+		fmt.Println("trace: (empty — the executor does not record stage spans)")
+		return
+	}
+	var total int64
+	for _, sp := range res.Trace {
+		if sp.Name == "total" {
+			total = sp.DurNS
+		}
+	}
+	fmt.Println("trace:")
+	for _, sp := range res.Trace {
+		line := fmt.Sprintf("  %-24s @%-10v %10v", sp.Name,
+			time.Duration(sp.StartNS).Round(time.Microsecond),
+			time.Duration(sp.DurNS).Round(time.Microsecond))
+		if total > 0 && sp.Name != "total" {
+			line += fmt.Sprintf("  %5.1f%%", 100*float64(sp.DurNS)/float64(total))
+		}
+		fmt.Println(line)
+	}
 }
 
 // reqFlags collects the raw query flags for translation into a Request.

@@ -152,6 +152,11 @@ func New(cfg Config) *Pipeline {
 type TimedReport struct {
 	At  time.Time
 	Rep *ais.PositionReport
+	// Arrived is the wall-clock submission instant, stamped on a sampled
+	// subset of reports when the ingest engine is instrumented so the
+	// shard-queue wait can be measured without a clock read per message.
+	// Zero on unsampled reports; never serialised.
+	Arrived time.Time
 }
 
 // Ingest runs one position report through every stage and returns the

@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction harness: one function
-// per experiment in DESIGN.md's index (E1–E18), each returning the
+// per experiment in DESIGN.md's index (E1–E19), each returning the
 // paper-style table rows that EXPERIMENTS.md records. Everything is
 // seeded and deterministic (E5/E14/E15/E16/E17/E18 wall-clock columns
 // vary with the hardware; counts do not).
@@ -12,7 +12,6 @@ import (
 	"net/http/httptest"
 	"os"
 	"runtime"
-	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -25,6 +24,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/ingest"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/quality"
 	"repro/internal/query"
 	"repro/internal/registry"
@@ -80,14 +80,20 @@ func (t Table) Format() string {
 
 func f(format string, args ...any) string { return fmt.Sprintf(format, args...) }
 
-// percentile sorts the latencies in place and returns the p-quantile by
-// nearest-rank (shared by the latency experiments; zero on empty input).
+// percentile reports the p-quantile of the latencies by feeding them
+// through the same bounded-bucket histogram the production metrics use
+// (obs.Histogram), so experiments and /metrics report percentiles from
+// one implementation. Zero on empty input; resolution is the
+// histogram's bucket width (≤ ~3.2% relative error).
 func percentile(lat []time.Duration, p float64) time.Duration {
 	if len(lat) == 0 {
 		return 0
 	}
-	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-	return lat[int(p*float64(len(lat)-1))]
+	h := obs.NewHistogram()
+	for _, d := range lat {
+		h.Observe(int64(d))
+	}
+	return time.Duration(h.Quantile(p))
 }
 
 func truthTrajectories(run *sim.Run) []*model.Trajectory {
@@ -1559,5 +1565,133 @@ func E18(seed int64) Table {
 		"cold = first read after eviction (chunks fetched from the object store); cached = same reads with the block cache warm (chunk decode still runs per read)",
 		"page-back is singleflighted per chunk: concurrent queries of one evicted vessel share a single object read",
 	)
+	return t
+}
+
+// E19 measures what full observability costs: the same replayed traffic
+// through two identical ingest engines — one with Config.Obs nil (every
+// hot-path instrumentation site reduces to a nil check), one reporting
+// through a live obs.Registry that a background goroutine scrapes the
+// way Prometheus would — and the same spacetime query mix against both.
+// The target that justifies maritimed wiring the registry in
+// unconditionally is ≤3% ingest-throughput overhead; decode/shard-wait
+// sampling (1 in 64) and per-batch (not per-message) timing are what
+// keep it there. Each config runs reps times and reports its best rate,
+// squeezing scheduler noise out of a ratio of two wall-clocks.
+func E19(seed int64) Table {
+	cfg := sim.Config{Seed: seed, NumVessels: 1500, Duration: 20 * time.Minute, TickSec: 2}
+	cfg.DefaultAnomalyRates()
+	run, err := sim.Simulate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	bounds := run.Config.World.Bounds
+	start := run.Positions[0].At
+	span := run.Positions[len(run.Positions)-1].At.Sub(start)
+	const queries = 200
+	rng := rand.New(rand.NewSource(seed))
+	reqs := make([]query.Request, queries)
+	for i := range reqs {
+		cLat := bounds.MinLat + rng.Float64()*(bounds.MaxLat-bounds.MinLat)
+		cLon := bounds.MinLon + rng.Float64()*(bounds.MaxLon-bounds.MinLon)
+		at := start.Add(time.Duration(rng.Int63n(int64(span))))
+		reqs[i] = query.Request{
+			Kind: query.KindSpaceTime,
+			Box:  &query.Box{MinLat: cLat - 1, MinLon: cLon - 1.5, MaxLat: cLat + 1, MaxLon: cLon + 1.5},
+			From: at.Add(-10 * time.Minute), To: at.Add(10 * time.Minute),
+		}
+	}
+
+	ctx := context.Background()
+	const reps = 3
+	measure := func(instrument bool) (rate float64, p50 time.Duration) {
+		for rep := 0; rep < reps; rep++ {
+			var reg *obs.Registry
+			if instrument {
+				reg = obs.NewRegistry()
+			}
+			e := ingest.New(ingest.Config{
+				Pipeline: core.Config{Zones: run.Config.World.Zones, SynopsisToleranceM: 60},
+				Obs:      reg,
+			})
+			e.Start(ctx)
+			drained := make(chan struct{})
+			go func() {
+				defer close(drained)
+				for range e.Alerts() {
+				}
+			}()
+			scrapeDone := make(chan struct{})
+			if reg != nil {
+				// A live scraper, so the measured overhead includes what a
+				// real /metrics consumer costs the hot paths.
+				go func() {
+					tick := time.NewTicker(50 * time.Millisecond)
+					defer tick.Stop()
+					for {
+						select {
+						case <-scrapeDone:
+							return
+						case <-tick.C:
+							var sb strings.Builder
+							if err := reg.WritePrometheus(&sb); err != nil {
+								panic(err)
+							}
+						}
+					}
+				}()
+			}
+			t0 := time.Now()
+			for i := range run.Positions {
+				o := &run.Positions[i]
+				e.Ingest(ctx, o.At, &o.Report)
+			}
+			e.Close()
+			<-drained
+			wall := time.Since(t0)
+			if r := float64(len(run.Positions)) / wall.Seconds(); r > rate {
+				rate = r
+			}
+			qe := e.QueryEngine()
+			if _, err := qe.Query(reqs[0]); err != nil { // warm the spatial snapshot
+				panic(err)
+			}
+			lats := make([]time.Duration, 0, queries)
+			for _, req := range reqs {
+				q0 := time.Now()
+				if _, err := qe.Query(req); err != nil {
+					panic(err)
+				}
+				lats = append(lats, time.Since(q0))
+			}
+			if p := percentile(lats, 0.50); p50 == 0 || p < p50 {
+				p50 = p
+			}
+			if reg != nil {
+				close(scrapeDone)
+			}
+			e.Wait()
+		}
+		return rate, p50
+	}
+
+	offRate, offP50 := measure(false)
+	onRate, onP50 := measure(true)
+	t := Table{
+		ID: "E19", Title: "observability overhead (obs registry on vs off)",
+		Cols: []string{"config", "msgs", "msg/s", "ingest overhead", "spacetime p50", "query overhead"},
+	}
+	t.Rows = append(t.Rows,
+		[]string{"obs off", f("%d", len(run.Positions)), f("%.0f", offRate), "—",
+			offP50.Round(time.Microsecond).String(), "—"},
+		[]string{"obs on + scrape", f("%d", len(run.Positions)), f("%.0f", onRate),
+			f("%+.1f%%", 100*(offRate-onRate)/offRate),
+			onP50.Round(time.Microsecond).String(),
+			f("%+.1f%%", 100*(float64(onP50)-float64(offP50))/float64(offP50))},
+	)
+	t.Notes = append(t.Notes,
+		f("best of %d runs per config; 'obs on' includes a 50ms-interval Prometheus-text scrape running concurrently with ingest", reps),
+		"instrumented sites: message counters, sampled (1/64) decode + shard-wait latency, per-batch pipeline timing, flush/WAL/tier/hub/query series — all single atomic ops on the hot path",
+		"target: ≤3% ingest-throughput overhead (positive = instrumented slower)")
 	return t
 }

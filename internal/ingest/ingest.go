@@ -56,6 +56,7 @@ package ingest
 import (
 	"context"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -63,6 +64,7 @@ import (
 	"repro/internal/ais"
 	"repro/internal/core"
 	"repro/internal/events"
+	"repro/internal/obs"
 	"repro/internal/quality"
 	"repro/internal/query"
 	"repro/internal/store"
@@ -126,6 +128,13 @@ type Config struct {
 	// deduplicated on (MMSI, timestamp). A degraded peer is skipped, not
 	// fatal — see query.PeerSource.
 	Peers []query.Source
+	// Obs, when non-nil, instruments every stage of the dataflow through
+	// the registry: message and decode counters, sampled decode and
+	// shard-queue-wait latency, per-batch pipeline latency, flush-stage
+	// and WAL timings, tier eviction/page-back stats, hub fan-out and
+	// query latency. Nil keeps every hot path on its uninstrumented
+	// no-op branch.
+	Obs *obs.Registry
 }
 
 func (c *Config) normalize() {
@@ -170,6 +179,15 @@ type Engine struct {
 	flusher   *store.Flusher
 	flushDone chan struct{}
 	tier      *tier.Manager
+
+	// Instrumentation handles, set in Start (before any worker goroutine
+	// launches) when Config.Obs is non-nil; nil means "don't measure".
+	// Decode and shard-wait are sampled (1 in 64); batches are timed
+	// whole, which amortises the clock reads across the batch.
+	decodeNS    *obs.Histogram
+	shardWaitNS *obs.Histogram
+	batchNS     *obs.Histogram
+	batchSizeH  *obs.Histogram
 
 	hub       *query.Hub
 	queryOnce sync.Once
@@ -238,6 +256,11 @@ func (e *Engine) Start(ctx context.Context) {
 	}
 	e.in = make(chan stream.Event[core.TimedReport], e.cfg.ShardBuf)
 	e.shards = stream.Partition(ctx, e.in, e.cfg.Shards, e.cfg.ShardBuf)
+	// Instrument before the shard workers launch so the histogram fields
+	// are plainly visible to them without atomics.
+	if e.cfg.Obs != nil {
+		e.instrument(e.cfg.Obs)
+	}
 	outs := make([]<-chan stream.Event[events.Alert], e.cfg.Shards)
 	for i, part := range e.shards {
 		out := make(chan stream.Event[events.Alert], e.cfg.AlertBuf)
@@ -266,6 +289,46 @@ func (e *Engine) Start(ctx context.Context) {
 			e.tier.Close()
 		}
 	}()
+}
+
+// instrument wires every stage into the registry. Called from Start
+// (after the dataflow channels exist, before any shard worker launches)
+// so the hot-path histogram fields are set once and read plainly.
+func (e *Engine) instrument(reg *obs.Registry) {
+	e.decodeNS = reg.Histogram("ingest_decode_ns")
+	e.shardWaitNS = reg.Histogram("ingest_shard_wait_ns")
+	e.batchNS = reg.Histogram("ingest_batch_append_ns")
+	e.batchSizeH = reg.Histogram("ingest_batch_size")
+	reg.CounterFunc("ingest_messages_in_total", func() float64 { return float64(e.Metrics.In.Load()) })
+	reg.CounterFunc("ingest_messages_out_total", func() float64 { return float64(e.Metrics.Out.Load()) })
+	reg.CounterFunc("ingest_messages_dropped_total", func() float64 { return float64(e.Metrics.Dropped.Load()) })
+	reg.CounterFunc("ingest_decode_lines_total", func() float64 { return float64(e.DecodeMetrics.In.Load()) })
+	reg.CounterFunc("ingest_decoded_total", func() float64 { return float64(e.DecodeMetrics.Out.Load()) })
+	reg.CounterFunc("ingest_decode_failures_total", func() float64 { return float64(e.DecodeMetrics.Dropped.Load()) })
+	for i, ch := range e.shards {
+		ch := ch
+		reg.GaugeFunc("ingest_shard_depth",
+			func() float64 { return float64(len(ch)) },
+			"shard", strconv.Itoa(i))
+	}
+	in, shards := e.in, e.shards
+	reg.GaugeFunc("ingest_queue_depth", func() float64 {
+		d := len(in)
+		for _, ch := range shards {
+			d += len(ch)
+		}
+		return float64(d)
+	})
+	if e.flusher != nil {
+		e.flusher.Instrument(reg)
+	}
+	if d, ok := e.cfg.Backend.(*store.Disk); ok {
+		d.Instrument(reg)
+	}
+	if e.tier != nil {
+		e.tier.Instrument(reg)
+	}
+	e.hub.Instrument(reg)
 }
 
 // Resume preloads a recovered archive (store.Open) into the engine's
@@ -316,7 +379,22 @@ func (e *Engine) shardWorker(ctx context.Context, p *core.Pipeline,
 				break drain
 			}
 		}
+		if e.shardWaitNS != nil {
+			for _, tr := range batch {
+				if !tr.Arrived.IsZero() {
+					e.shardWaitNS.ObserveSince(tr.Arrived)
+				}
+			}
+		}
+		var t0 time.Time
+		if e.batchNS != nil {
+			t0 = time.Now()
+		}
 		alerts := p.IngestBatch(batch)
+		if e.batchNS != nil {
+			e.batchNS.ObserveSince(t0)
+			e.batchSizeH.Observe(int64(len(batch)))
+		}
 		e.Metrics.Out.Add(int64(len(batch)))
 		for _, a := range alerts {
 			e.hub.PublishAlert(a) // no-op until something subscribes
@@ -337,10 +415,17 @@ func (e *Engine) Ingest(ctx context.Context, at time.Time, rep *ais.PositionRepo
 	if !e.started {
 		panic("ingest: Ingest before Start")
 	}
-	e.Metrics.In.Add(1)
+	n := e.Metrics.In.Add(1)
+	tr := core.TimedReport{At: at, Rep: rep}
+	if e.shardWaitNS != nil && n&63 == 0 {
+		// Sample the shard-queue wait on every 64th submission: one clock
+		// read here, one in the shard worker — negligible against the
+		// full-rate path, yet enough observations to hold a percentile.
+		tr.Arrived = time.Now()
+	}
 	select {
 	case e.in <- stream.Event[core.TimedReport]{
-		Time: at, Key: uint64(rep.MMSI), Value: core.TimedReport{At: at, Rep: rep},
+		Time: at, Key: uint64(rep.MMSI), Value: tr,
 	}:
 		return true
 	case <-ctx.Done():
@@ -389,15 +474,6 @@ func (e *Engine) FlushMetrics() stream.MetricsSnapshot {
 		return stream.MetricsSnapshot{}
 	}
 	return e.flusher.Metrics.Snapshot()
-}
-
-// FlushDepth reports the persistence queue depth (0 without a Backend) —
-// the flush-side analogue of Depths.
-func (e *Engine) FlushDepth() int {
-	if e.flusher == nil {
-		return 0
-	}
-	return e.flusher.Depth()
 }
 
 // FlushErr returns the first error the storage stages have seen — the
@@ -468,6 +544,9 @@ func (e *Engine) QueryEngine() *query.Engine {
 	e.queryOnce.Do(func() {
 		sources := append([]query.Source{query.NewLiveSource(e.sharded)}, e.cfg.Peers...)
 		e.query = query.NewEngine(sources...)
+		if e.cfg.Obs != nil {
+			e.query.Instrument(e.cfg.Obs)
+		}
 		e.streamer = query.NewStreamer(e.hub, e.query)
 	})
 	return e.query
@@ -477,6 +556,13 @@ func (e *Engine) QueryEngine() *query.Engine {
 // ingest engine's read surface, same contract as query.Engine.Query.
 func (e *Engine) Query(req query.Request) (*query.Result, error) {
 	return e.QueryEngine().Query(req)
+}
+
+// QueryContext is Query under a caller context: traces attached with
+// obs.WithTrace propagate into the stage spans, and query.Server routes
+// HTTP requests here so &trace=1 reaches the engine.
+func (e *Engine) QueryContext(ctx context.Context, req query.Request) (*query.Result, error) {
+	return e.QueryEngine().QueryContext(ctx, req)
 }
 
 // Hub is the engine's publish/subscribe stage: it carries every record
@@ -497,17 +583,6 @@ func (e *Engine) Subscribe(req query.Request, opt query.SubOptions) (*query.Subs
 
 // Snapshot sums the per-shard pipeline metrics.
 func (e *Engine) Snapshot() core.Snapshot { return e.sharded.Snapshot() }
-
-// Depths reports the current per-shard input queue depth — the live
-// backpressure picture; a persistently full shard is the scaling
-// bottleneck (one hot vessel cluster hashing together).
-func (e *Engine) Depths() []int {
-	out := make([]int, len(e.shards))
-	for i, ch := range e.shards {
-		out[i] = len(ch)
-	}
-	return out
-}
 
 // Line is one raw NMEA sentence with its receive timestamp.
 type Line struct {
@@ -563,8 +638,18 @@ func (e *Engine) StartLines(ctx context.Context, lines <-chan Line,
 				addDecoderStats(&e.decodeStats, dec.Stats)
 				e.statsMu.Unlock()
 			}()
+			var n int
 			for sl := range in {
+				n++
+				var t0 time.Time
+				timed := e.decodeNS != nil && n&63 == 0
+				if timed {
+					t0 = time.Now()
+				}
 				msg, err := dec.Decode(sl.line.Text)
+				if timed {
+					e.decodeNS.ObserveSince(t0)
+				}
 				if err != nil {
 					e.DecodeMetrics.Dropped.Add(1)
 					msg = nil

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/ais"
 	"repro/internal/core"
 	"repro/internal/events"
+	"repro/internal/obs"
 	"repro/internal/quality"
 	"repro/internal/query"
 	"repro/internal/sim"
@@ -358,12 +360,14 @@ func TestFragmentKey(t *testing.T) {
 	}
 }
 
-// Depths must report one entry per shard and only ever legal values; with
-// a tiny buffer the engine still completes under backpressure.
+// The per-shard depth gauges must exist for every shard and only ever
+// report legal values; with a tiny buffer the engine still completes
+// under backpressure.
 func TestBackpressureTinyBuffers(t *testing.T) {
 	run := simTraffic(t, 5, 30, 20*time.Minute)
 	pcfg := core.Config{Zones: run.Config.World.Zones}
-	e := New(Config{Pipeline: pcfg, Shards: 3, ShardBuf: 1, BatchSize: 2, AlertBuf: 1})
+	reg := obs.NewRegistry()
+	e := New(Config{Pipeline: pcfg, Shards: 3, ShardBuf: 1, BatchSize: 2, AlertBuf: 1, Obs: reg})
 	e.Start(context.Background())
 	done := make(chan int)
 	go func() {
@@ -378,13 +382,13 @@ func TestBackpressureTinyBuffers(t *testing.T) {
 		o := &run.Positions[i]
 		e.Ingest(ctx, o.At, &o.Report)
 		if i%1000 == 0 {
-			d := e.Depths()
-			if len(d) != 3 {
-				t.Fatalf("Depths() len = %d, want 3", len(d))
-			}
-			for s, v := range d {
+			for s := 0; s < 3; s++ {
+				v, ok := reg.Value("ingest_shard_depth", "shard", strconv.Itoa(s))
+				if !ok {
+					t.Fatalf("ingest_shard_depth{shard=%d} not registered", s)
+				}
 				if v < 0 || v > 1 {
-					t.Fatalf("shard %d depth %d out of [0,1]", s, v)
+					t.Fatalf("shard %d depth %g out of [0,1]", s, v)
 				}
 			}
 		}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// sample is one series captured at scrape time. Scalars land in val;
+// histograms land in hist. Capturing under the registry lock and
+// formatting outside it keeps IO out of the critical section and the
+// scrape consistent-enough: every value is from the same pass.
+type sample struct {
+	id   string
+	name string
+	kind kind
+	val  float64
+	hist HistSnapshot
+}
+
+// capture snapshots every series. Func metrics are evaluated here, on
+// the scraping goroutine.
+func (r *Registry) capture() []sample {
+	r.mu.Lock()
+	out := make([]sample, 0, len(r.byID))
+	for _, m := range r.byID {
+		s := sample{id: m.id, name: m.name, kind: m.kind}
+		switch m.kind {
+		case kindCounter:
+			s.val = float64(m.ctr.Value())
+		case kindGauge:
+			s.val = float64(m.gauge.Value())
+		case kindCounterFunc, kindGaugeFunc:
+			s.val = m.fn()
+		case kindHistogram:
+			s.hist = m.hist.Snapshot()
+		}
+		out = append(out, s)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// WritePrometheus renders every series in the Prometheus text
+// exposition format (version 0.0.4). Histograms are rendered as
+// summaries: {quantile="0.5"|"0.9"|"0.99"}, _sum and _count. The whole
+// page is built in one buffer and written once.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	samples := r.capture()
+	buf := make([]byte, 0, 64+96*len(samples))
+	lastFamily := ""
+	for _, s := range samples {
+		if s.name != lastFamily {
+			buf = append(buf, "# TYPE "...)
+			buf = append(buf, s.name...)
+			buf = append(buf, ' ')
+			buf = append(buf, s.kind.String()...)
+			buf = append(buf, '\n')
+			lastFamily = s.name
+		}
+		if s.kind == kindHistogram {
+			buf = appendQuantileLine(buf, s.id, "0.5", s.hist.P50)
+			buf = appendQuantileLine(buf, s.id, "0.9", s.hist.P90)
+			buf = appendQuantileLine(buf, s.id, "0.99", s.hist.P99)
+			buf = appendSuffixed(buf, s.id, "_sum", s.hist.Sum)
+			buf = appendSuffixed(buf, s.id, "_count", s.hist.Count)
+			continue
+		}
+		buf = append(buf, s.id...)
+		buf = append(buf, ' ')
+		buf = appendValue(buf, s.val)
+		buf = append(buf, '\n')
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// appendQuantileLine emits id{quantile="q"} v, splicing the quantile
+// label into an id that may already carry labels.
+func appendQuantileLine(buf []byte, id, q string, v int64) []byte {
+	name, labels := splitID(id)
+	buf = append(buf, name...)
+	buf = append(buf, '{')
+	if labels != "" {
+		buf = append(buf, labels...)
+		buf = append(buf, ',')
+	}
+	buf = append(buf, `quantile="`...)
+	buf = append(buf, q...)
+	buf = append(buf, `"} `...)
+	buf = strconv.AppendInt(buf, v, 10)
+	return append(buf, '\n')
+}
+
+// appendSuffixed emits name<suffix>{labels} v for _sum/_count lines.
+func appendSuffixed(buf []byte, id, suffix string, v int64) []byte {
+	name, labels := splitID(id)
+	buf = append(buf, name...)
+	buf = append(buf, suffix...)
+	if labels != "" {
+		buf = append(buf, '{')
+		buf = append(buf, labels...)
+		buf = append(buf, '}')
+	}
+	buf = append(buf, ' ')
+	buf = strconv.AppendInt(buf, v, 10)
+	return append(buf, '\n')
+}
+
+// splitID separates a rendered series id into family name and the bare
+// label list (no braces).
+func splitID(id string) (name, labels string) {
+	for i := 0; i < len(id); i++ {
+		if id[i] == '{' {
+			return id[:i], id[i+1 : len(id)-1]
+		}
+	}
+	return id, ""
+}
+
+// appendValue renders a scalar in shortest form; 'g' prints integral
+// floats without a fraction, so counters read as plain integers.
+func appendValue(buf []byte, v float64) []byte {
+	return strconv.AppendFloat(buf, v, 'g', -1, 64)
+}
+
+// WriteJSON renders a /debug/vars-style snapshot: one key per series,
+// scalars as numbers, histograms as {count,sum,max,p50,p90,p99}
+// objects. Keys sort lexically (encoding/json orders map keys).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	samples := r.capture()
+	doc := make(map[string]any, len(samples))
+	for _, s := range samples {
+		if s.kind == kindHistogram {
+			doc[s.id] = s.hist
+			continue
+		}
+		doc[s.id] = s.val
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

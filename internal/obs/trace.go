@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Span is one named stage of a traced request: its offset from the
+// start of the trace and how long it ran.
+type Span struct {
+	Name  string
+	Start time.Duration
+	Dur   time.Duration
+}
+
+// Trace collects named stage spans for a single request. It rides in a
+// context.Context (WithTrace/FromContext) so layers that never see each
+// other — HTTP handler, query engine, per-source goroutines — append to
+// the same record. A nil *Trace is valid and records nothing, which is
+// how untraced requests pay only a nil check.
+type Trace struct {
+	start time.Time
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTrace starts an empty trace anchored at now.
+func NewTrace() *Trace { return &Trace{start: time.Now()} }
+
+// StartSpan begins a span and returns the func that ends it. Safe on a
+// nil trace and from concurrent goroutines:
+//
+//	defer tr.StartSpan("merge")()
+func (t *Trace) StartSpan(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	t0 := time.Now()
+	return func() {
+		d := time.Since(t0)
+		t.mu.Lock()
+		t.spans = append(t.spans, Span{Name: name, Start: t0.Sub(t.start), Dur: d})
+		t.mu.Unlock()
+	}
+}
+
+// Spans returns a copy of the spans recorded so far, in completion
+// order. Nil-safe.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	t.mu.Unlock()
+	return out
+}
+
+type traceKey struct{}
+
+// WithTrace returns a context carrying t. A nil trace returns ctx
+// unchanged.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// FromContext returns the trace carried by ctx, or nil.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}

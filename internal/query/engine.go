@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/events"
 	"repro/internal/geo"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/tstore"
 	"repro/internal/va"
 )
@@ -58,12 +60,19 @@ type StatsSetSource interface {
 // concurrent use when its sources are (both shipped sources are).
 type Engine struct {
 	sources []Source
+	reg     *obs.Registry // nil when uninstrumented
 }
 
 // NewEngine builds an engine over the given sources (at least one).
 func NewEngine(sources ...Source) *Engine {
 	return &Engine{sources: sources}
 }
+
+// Instrument points the engine at a metrics registry: every query then
+// records per-kind end-to-end latency (query_latency_ns), per-source
+// fan-out latency (query_source_ns) and request/error counts. Call
+// before serving; the field is read without synchronisation.
+func (e *Engine) Instrument(reg *obs.Registry) { e.reg = reg }
 
 // Sources returns the source names in answer order.
 func (e *Engine) Sources() []string {
@@ -90,16 +99,50 @@ func (e *Engine) sourcesFor(req Request) []Source {
 	return local
 }
 
+// qobs carries the per-request observability hooks through the helper
+// chain: the engine's registry (nil when uninstrumented) and the
+// request's trace (nil when untraced). The zero value records nothing,
+// so the uninstrumented path pays only nil checks.
+type qobs struct {
+	reg *obs.Registry
+	tr  *obs.Trace
+}
+
+// span starts a named stage span; ending it is the returned func.
+func (q qobs) span(name string) func() { return q.tr.StartSpan(name) }
+
+// sourceStart begins the per-source measurement inside a gather
+// goroutine: a query_source_ns sample and a "source:<name>" span.
+func (q qobs) sourceStart(s Source) func() {
+	if q.reg == nil && q.tr == nil {
+		return func() {}
+	}
+	var h *obs.Histogram
+	if q.reg != nil {
+		h = q.reg.Histogram("query_source_ns", "source", s.Name())
+	}
+	end := q.tr.StartSpan("source:" + s.Name())
+	t0 := time.Now()
+	return func() {
+		if h != nil {
+			h.ObserveSince(t0)
+		}
+		end()
+	}
+}
+
 // gather runs one read against every source concurrently and returns the
 // per-source results in source order (so downstream merges stay
 // deterministic). Sources are required to be safe for concurrent use
 // already; fanning out bounds a multi-source query at its slowest source
 // — with federation peers in the mix, a timing-out peer costs one
 // PeerTimeout, not one per peer serially.
-func gather[T any](srcs []Source, read func(Source) T) []T {
+func gather[T any](q qobs, srcs []Source, read func(Source) T) []T {
 	out := make([]T, len(srcs))
 	if len(srcs) == 1 { // common case: no goroutine overhead
+		done := q.sourceStart(srcs[0])
 		out[0] = read(srcs[0])
+		done()
 		return out
 	}
 	var wg sync.WaitGroup
@@ -107,7 +150,9 @@ func gather[T any](srcs []Source, read func(Source) T) []T {
 		wg.Add(1)
 		go func(i int, s Source) {
 			defer wg.Done()
+			done := q.sourceStart(s)
 			out[i] = read(s)
+			done()
 		}(i, s)
 	}
 	wg.Wait()
@@ -116,13 +161,29 @@ func gather[T any](srcs []Source, read func(Source) T) []T {
 
 // Query validates and executes one request.
 func (e *Engine) Query(req Request) (*Result, error) {
+	return e.QueryContext(context.Background(), req)
+}
+
+// QueryContext validates and executes one request. A trace carried by
+// ctx (obs.WithTrace) collects stage spans; setting req.Trace without
+// one starts a fresh trace and returns its spans in Result.Trace.
+func (e *Engine) QueryContext(ctx context.Context, req Request) (*Result, error) {
 	if len(e.sources) == 0 {
 		return nil, fmt.Errorf("query: engine has no sources")
 	}
 	if err := req.Validate(); err != nil {
+		if e.reg != nil {
+			e.reg.Counter("query_errors_total").Inc()
+		}
 		return nil, err
 	}
 	req = req.normalize()
+	tr := obs.FromContext(ctx)
+	if tr == nil && req.Trace {
+		tr = obs.NewTrace()
+	}
+	q := qobs{reg: e.reg, tr: tr}
+	t0 := time.Now()
 	srcs := e.sourcesFor(req)
 	names := make([]string, len(srcs))
 	for i, s := range srcs {
@@ -132,38 +193,51 @@ func (e *Engine) Query(req Request) (*Result, error) {
 	switch req.Kind {
 	case KindTrajectory:
 		from, to := req.timeRange()
-		lists := gather(srcs, func(s Source) []model.VesselState {
+		lists := gather(q, srcs, func(s Source) []model.VesselState {
 			return s.Trajectory(req.MMSI, from, to)
 		})
-		finishStates(req, res, flatten(lists))
+		finishStates(q, req, res, flatten(lists))
 	case KindSpaceTime:
 		from, to := req.timeRange()
-		lists := gather(srcs, func(s Source) []model.VesselState {
+		lists := gather(q, srcs, func(s Source) []model.VesselState {
 			return s.SpaceTime(req.Box.Rect(), from, to)
 		})
-		finishStates(req, res, flatten(lists))
+		finishStates(q, req, res, flatten(lists))
 	case KindNearest:
-		nearest(srcs, req, res)
+		nearest(q, srcs, req, res)
 	case KindLivePicture:
-		states := livePicture(srcs, req.Box.Rect())
+		states := livePicture(q, srcs, req.Box.Rect())
 		res.Count = len(states)
 		for _, s := range truncateStates(states, req.Limit, res) {
 			res.States = append(res.States, StateOf(s))
 		}
 	case KindSituation:
-		res.Situation = situation(srcs, req)
+		res.Situation = situation(q, srcs, req)
 		res.Count = len(res.Situation.Vessels)
 	case KindAlertHistory:
-		alertHistory(srcs, req, res)
+		alertHistory(q, srcs, req, res)
 	case KindStats:
-		res.Stats = stats(srcs, req.MMSIs)
+		res.Stats = stats(q, srcs, req.MMSIs)
 		res.Count = res.Stats.Points
+	}
+	if e.reg != nil {
+		e.reg.Counter("query_requests_total", "kind", string(req.Kind)).Inc()
+		e.reg.Histogram("query_latency_ns", "kind", string(req.Kind)).ObserveSince(t0)
+	}
+	if req.Trace && tr != nil {
+		for _, sp := range tr.Spans() {
+			res.Trace = append(res.Trace, TraceSpan{
+				Name: sp.Name, StartNS: int64(sp.Start), DurNS: int64(sp.Dur),
+			})
+		}
+		res.Trace = append(res.Trace, TraceSpan{Name: "total", DurNS: int64(time.Since(t0))})
 	}
 	return res, nil
 }
 
 // finishStates dedupes, orders, truncates and encodes a merged sample set.
-func finishStates(req Request, res *Result, merged []model.VesselState) {
+func finishStates(q qobs, req Request, res *Result, merged []model.VesselState) {
+	defer q.span("merge")()
 	merged = DedupeStates(merged)
 	res.Count = len(merged)
 	for _, s := range truncateStates(merged, req.Limit, res) {
@@ -215,11 +289,12 @@ func flatten(lists [][]model.VesselState) []model.VesselState {
 // nearest merges per-source candidate lists: order every candidate by
 // distance to the reference point, keep the nearest sample per vessel,
 // take k.
-func nearest(srcs []Source, req Request, res *Result) {
+func nearest(q qobs, srcs []Source, req Request, res *Result) {
 	p := geo.Point{Lat: req.Lat, Lon: req.Lon}
-	cands := flatten(gather(srcs, func(s Source) []model.VesselState {
+	cands := flatten(gather(q, srcs, func(s Source) []model.VesselState {
 		return s.Nearest(p, req.At, time.Duration(req.Tol), req.K)
 	}))
+	defer q.span("merge")()
 	sort.SliceStable(cands, func(i, j int) bool {
 		return geo.Distance(p, cands[i].Pos) < geo.Distance(p, cands[j].Pos)
 	})
@@ -239,9 +314,11 @@ func nearest(srcs []Source, req Request, res *Result) {
 
 // livePicture merges the sources' current pictures, keeping the newest
 // state per vessel (a live pipeline beats a stale archive), MMSI-ordered.
-func livePicture(srcs []Source, r geo.Rect) []model.VesselState {
+func livePicture(q qobs, srcs []Source, r geo.Rect) []model.VesselState {
+	lists := gather(q, srcs, func(s Source) []model.VesselState { return s.Live(r) })
+	defer q.span("merge")()
 	newest := make(map[uint32]model.VesselState)
-	for _, states := range gather(srcs, func(s Source) []model.VesselState { return s.Live(r) }) {
+	for _, states := range lists {
 		for _, st := range states {
 			if prev, ok := newest[st.MMSI]; !ok || st.At.After(prev.At) {
 				newest[st.MMSI] = st
@@ -259,7 +336,7 @@ func livePicture(srcs []Source, r geo.Rect) []model.VesselState {
 // situation assembles the merged operational picture: the deduplicated
 // live states plus the merged alert board, aggregated exactly as
 // core.Pipeline.Situation aggregates a single pipeline's.
-func situation(srcs []Source, req Request) *Situation {
+func situation(q qobs, srcs []Source, req Request) *Situation {
 	bounds := req.Box.Rect()
 	// Like stats: the two fan-outs run concurrently so a hanging peer
 	// costs one timeout per situation, not two.
@@ -269,13 +346,14 @@ func situation(srcs []Source, req Request) *Situation {
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		vessels = livePicture(srcs, bounds)
+		vessels = livePicture(q, srcs, bounds)
 	}()
 	go func() {
 		defer wg.Done()
-		merged = mergedAlerts(srcs)
+		merged = mergedAlerts(q, srcs)
 	}()
 	wg.Wait()
+	defer q.span("assemble")()
 	at := req.At
 	if at.IsZero() {
 		for _, v := range vessels {
@@ -298,10 +376,12 @@ func situation(srcs []Source, req Request) *Situation {
 }
 
 // alertHistory merges, filters and time-orders the sources' alerts.
-func alertHistory(srcs []Source, req Request, res *Result) {
+func alertHistory(q qobs, srcs []Source, req Request, res *Result) {
 	from, to := req.timeRange()
+	merged := mergedAlerts(q, srcs)
+	defer q.span("merge")()
 	var kept []events.Alert
-	for _, a := range mergedAlerts(srcs) {
+	for _, a := range merged {
 		if a.Severity < req.MinSeverity || a.At.Before(from) || a.At.After(to) {
 			continue
 		}
@@ -320,7 +400,7 @@ func alertHistory(srcs []Source, req Request, res *Result) {
 
 // mergedAlerts concatenates the sources' alert histories, dropping exact
 // duplicates (same kind, vessels and instant) from overlapping sources.
-func mergedAlerts(srcs []Source) []events.Alert {
+func mergedAlerts(q qobs, srcs []Source) []events.Alert {
 	type key struct {
 		kind        events.Kind
 		mmsi, other uint32
@@ -328,7 +408,7 @@ func mergedAlerts(srcs []Source) []events.Alert {
 	}
 	var out []events.Alert
 	seen := make(map[key]bool)
-	for _, alerts := range gather(srcs, func(s Source) []events.Alert { return s.Alerts() }) {
+	for _, alerts := range gather(q, srcs, func(s Source) []events.Alert { return s.Alerts() }) {
 		for _, a := range alerts {
 			k := key{kind: a.Kind, mmsi: a.MMSI, other: a.Other, unixNano: a.At.UnixNano()}
 			if seen[k] {
@@ -349,7 +429,7 @@ func mergedAlerts(srcs []Source) []events.Alert {
 // fetch. Exactness of the headline counts is unchanged (and stays
 // test-pinned): every shipped source reports exactly the vessels its
 // worldwide Live read would.
-func stats(srcs []Source, withSets bool) *Stats {
+func stats(q qobs, srcs []Source, withSets bool) *Stats {
 	st := &Stats{}
 	// One combined fan-out: a source implementing StatsWithMMSI (peers
 	// do) answers both reads in one exchange, everything else pays two
@@ -359,13 +439,14 @@ func stats(srcs []Source, withSets bool) *Stats {
 		ss  SourceStats
 		set []uint32
 	}
-	list := gather(srcs, func(s Source) combined {
+	list := gather(q, srcs, func(s Source) combined {
 		if c, ok := s.(StatsSetSource); ok {
 			ss, set := c.StatsWithMMSI()
 			return combined{ss: ss, set: set}
 		}
 		return combined{ss: s.Stats(), set: s.DistinctMMSI()}
 	})
+	defer q.span("merge")()
 	union := make(map[uint32]bool)
 	for _, c := range list {
 		ss := c.ss

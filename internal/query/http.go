@@ -1,11 +1,15 @@
 package query
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Executor is anything that can answer a Request: the in-process Engine,
@@ -13,6 +17,14 @@ import (
 // daemon. The HTTP server serves any of them.
 type Executor interface {
 	Query(Request) (*Result, error)
+}
+
+// ContextExecutor is the context-aware executor. When the server's
+// executor implements it (Engine and the ingest engine do), requests
+// run under the HTTP request context, so traces started there propagate
+// and client disconnects can cancel.
+type ContextExecutor interface {
+	QueryContext(ctx context.Context, req Request) (*Result, error)
 }
 
 // Server serves the unified query surface over HTTP as JSON:
@@ -26,6 +38,10 @@ type Executor interface {
 //	GET  /v1/situation    ?box=&rows=&cols=&severity=
 //	GET  /v1/alerts       ?from=&to=&severity=&limit=
 //	GET  /v1/stats
+//
+// ServeMetrics adds GET /metrics and GET /debug/vars; ServePprof adds
+// /debug/pprof/ (both opt-in mounts on the same mux). Every GET query
+// route accepts &trace=1 to request a Result.Trace stage breakdown.
 //
 // Every one-shot route returns a Result; the GET routes are conveniences
 // that build the same Request the POST route accepts (times are RFC 3339,
@@ -62,6 +78,43 @@ func NewServer(exec Executor) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// ServeMetrics mounts the observability read surface on the server's
+// mux: GET /metrics (Prometheus text exposition) and GET /debug/vars
+// (JSON snapshot of the same registry, histograms as
+// count/sum/max/p50/p90/p99 objects).
+func (s *Server) ServeMetrics(reg *obs.Registry) {
+	s.mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			return // headers are gone; nothing more to do
+		}
+	})
+	s.mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := reg.WriteJSON(w); err != nil {
+			return
+		}
+	})
+}
+
+// ServePprof mounts net/http/pprof under /debug/pprof/ — opt-in
+// (maritimed -pprof) because profiles expose internals and cost CPU.
+func (s *Server) ServePprof() {
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
 // handlePost decodes a Request body and executes it.
 func (s *Server) handlePost(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
@@ -75,7 +128,7 @@ func (s *Server) handlePost(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	s.run(w, req)
+	s.run(w, r, req)
 }
 
 // handleGet adapts a per-kind query-string parser into a handler.
@@ -85,21 +138,31 @@ func (s *Server) handleGet(parse func(qs urlValues) (Request, error)) http.Handl
 			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
 			return
 		}
-		req, err := parse(urlValues{r.URL.Query()})
+		u := urlValues{r.URL.Query()}
+		req, err := parse(u)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		s.run(w, req)
+		if b, _ := strconv.ParseBool(u.str("trace")); b {
+			req.Trace = true
+		}
+		s.run(w, r, req)
 	}
 }
 
-func (s *Server) run(w http.ResponseWriter, req Request) {
+func (s *Server) run(w http.ResponseWriter, r *http.Request, req Request) {
 	if err := req.Validate(); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := s.exec.Query(req)
+	var res *Result
+	var err error
+	if cx, ok := s.exec.(ContextExecutor); ok {
+		res, err = cx.QueryContext(r.Context(), req)
+	} else {
+		res, err = s.exec.Query(req)
+	}
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return

@@ -248,6 +248,10 @@ type Request struct {
 	// read, which keeps federation one hop deep — mutually-peered daemons
 	// cannot create a query cycle.
 	Local bool `json:"local,omitempty"`
+
+	// Trace asks the engine to record a per-stage breakdown (source
+	// fan-out, merge, total) into Result.Trace — `msaquery -trace`.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // normalize fills kind-specific defaults; called after Validate.
@@ -479,6 +483,18 @@ type Result struct {
 	Alerts    []Alert    `json:"alerts,omitempty"`
 	Situation *Situation `json:"situation,omitempty"`
 	Stats     *Stats     `json:"stats,omitempty"`
+
+	// Trace is the per-stage breakdown, present when the request set
+	// Trace: true. Spans appear in completion order; "total" is last.
+	Trace []TraceSpan `json:"trace,omitempty"`
+}
+
+// TraceSpan is one named stage of a traced request as it appears on the
+// wire: offset from request start and duration, both in nanoseconds.
+type TraceSpan struct {
+	Name    string `json:"name"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns"`
 }
 
 // ModelStates converts the result's states back into model form.

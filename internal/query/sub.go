@@ -11,6 +11,7 @@ import (
 	"repro/internal/events"
 	"repro/internal/geo"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/stream"
 )
 
@@ -281,6 +282,10 @@ type Hub struct {
 	seq  uint64
 	ring []Update // replay ring, len == cfg.Replay once armed
 	subs map[*Subscription]struct{}
+
+	// pubNS, set by Instrument before the hub sees traffic, samples the
+	// cost of one publication (ring write + fan-out) every 64th publish.
+	pubNS *obs.Histogram
 }
 
 // NewHub builds a hub with a fresh epoch nonce.
@@ -354,6 +359,11 @@ func (h *Hub) publish(u Update) {
 	h.Metrics.In.Add(1)
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	var t0 time.Time
+	timed := h.pubNS != nil && h.seq&63 == 0
+	if timed {
+		t0 = time.Now()
+	}
 	if h.ring == nil { // armed is set before Subscribe takes the lock
 		h.ring = make([]Update, h.cfg.Replay)
 	}
@@ -363,6 +373,43 @@ func (h *Hub) publish(u Update) {
 	for s := range h.subs {
 		s.offer(u, &h.Metrics)
 	}
+	if timed {
+		h.pubNS.ObserveSince(t0) // atomic adds; no IO under the lock
+	}
+}
+
+// Instrument registers the hub's fan-out series with reg — publication,
+// delivery and drop counters (windows onto Metrics), subscriber count,
+// aggregate and worst per-subscriber queue depth — and enables sampled
+// publish timing (hub_publish_ns, every 64th publication). Call before
+// the hub starts receiving traffic; pubNS is read without
+// synchronisation after that.
+func (h *Hub) Instrument(reg *obs.Registry) {
+	h.pubNS = reg.Histogram("hub_publish_ns")
+	reg.CounterFunc("hub_published_total", func() float64 { return float64(h.Metrics.In.Load()) })
+	reg.CounterFunc("hub_delivered_total", func() float64 { return float64(h.Metrics.Out.Load()) })
+	reg.CounterFunc("hub_dropped_total", func() float64 { return float64(h.Metrics.Dropped.Load()) })
+	reg.GaugeFunc("hub_subscribers", func() float64 { return float64(h.Subscribers()) })
+	reg.GaugeFunc("hub_queue_depth", func() float64 {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		total := 0
+		for s := range h.subs {
+			total += len(s.ch)
+		}
+		return float64(total)
+	})
+	reg.GaugeFunc("hub_queue_depth_max", func() float64 {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		mx := 0
+		for s := range h.subs {
+			if n := len(s.ch); n > mx {
+				mx = n
+			}
+		}
+		return float64(mx)
+	})
 }
 
 // Subscribe turns req into a standing query against the hub. Supported

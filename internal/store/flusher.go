@@ -3,9 +3,11 @@ package store
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/stream"
 )
 
@@ -56,7 +58,24 @@ type Flusher struct {
 	err     error
 	closing bool
 
+	// batchNS, when instrumented, times each Backend.Append batch. The
+	// flush goroutine is already running when Instrument is called, so
+	// the handoff is an atomic pointer.
+	batchNS atomic.Pointer[obs.Histogram]
+
 	done chan struct{}
+}
+
+// Instrument registers the flush stage's series with reg: record
+// counters (windows onto Metrics — In on enqueue, Out accepted by the
+// backend, Dropped refused or failed), the queue depth, and the
+// per-batch backend append latency (store_flush_batch_ns).
+func (f *Flusher) Instrument(reg *obs.Registry) {
+	f.batchNS.Store(reg.Histogram("store_flush_batch_ns"))
+	reg.CounterFunc("store_flush_in_total", func() float64 { return float64(f.Metrics.In.Load()) })
+	reg.CounterFunc("store_flush_out_total", func() float64 { return float64(f.Metrics.Out.Load()) })
+	reg.CounterFunc("store_flush_dropped_total", func() float64 { return float64(f.Metrics.Dropped.Load()) })
+	reg.GaugeFunc("store_flush_queue_depth", func() float64 { return float64(f.Depth()) })
 }
 
 // NewFlusher starts a flush stage over the backend.
@@ -133,16 +152,24 @@ func (f *Flusher) run() {
 		f.notFull.Broadcast()
 		f.mu.Unlock()
 
+		h := f.batchNS.Load()
 		for lo := 0; lo < len(buf); lo += f.cfg.Batch {
 			hi := lo + f.cfg.Batch
 			if hi > len(buf) {
 				hi = len(buf)
+			}
+			var t0 time.Time
+			if h != nil {
+				t0 = time.Now()
 			}
 			if err := f.b.Append(buf[lo:hi]); err != nil {
 				f.setErr(err)
 				f.Metrics.Dropped.Add(int64(hi - lo))
 			} else {
 				f.Metrics.Out.Add(int64(hi - lo))
+			}
+			if h != nil {
+				h.ObserveSince(t0)
 			}
 		}
 		dirty = true

@@ -32,8 +32,11 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/tstore"
 )
 
@@ -190,6 +193,38 @@ type Disk struct {
 	upCond     *sync.Cond
 	upWG       sync.WaitGroup
 	compacting bool // re-entrancy guard: compactLocked waits on upCond, releasing mu
+
+	// Observability instruments (Instrument). Atomic pointers because
+	// the uploader goroutine is already running when Instrument is
+	// called on a live backend.
+	appendNS     atomic.Pointer[obs.Histogram]
+	uploadNS     atomic.Pointer[obs.Histogram]
+	sealedCtr    atomic.Pointer[obs.Counter]
+	uploadCtr    atomic.Pointer[obs.Counter]
+	uploadErrCtr atomic.Pointer[obs.Counter]
+}
+
+// Instrument registers the backend's series with reg: WAL append
+// latency (store_wal_append_ns, the whole framed write including any
+// rotation it triggers), seal count, background upload latency and
+// outcomes, and queue-depth gauges. Safe on a live backend — the
+// running goroutines pick the instruments up atomically.
+func (d *Disk) Instrument(reg *obs.Registry) {
+	d.appendNS.Store(reg.Histogram("store_wal_append_ns"))
+	d.uploadNS.Store(reg.Histogram("store_upload_ns"))
+	d.sealedCtr.Store(reg.Counter("store_wal_sealed_total"))
+	d.uploadCtr.Store(reg.Counter("store_uploads_total"))
+	d.uploadErrCtr.Store(reg.Counter("store_upload_failures_total"))
+	reg.GaugeFunc("store_upload_queue_depth", func() float64 {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return float64(len(d.upQ) + len(d.upInflight))
+	})
+	reg.GaugeFunc("store_wal_sealed_segments", func() float64 {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return float64(len(d.sealed))
+	})
 }
 
 func segName(seq uint64) string  { return fmt.Sprintf("wal-%08d.log", seq) }
@@ -208,6 +243,9 @@ func snapPath(dir string, seq uint64) string {
 // Append frames the batch into the active segment, rotating when the
 // segment cap is reached. Durability follows the Sync policy.
 func (d *Disk) Append(recs []model.VesselState) error {
+	if h := d.appendNS.Load(); h != nil {
+		defer h.ObserveSince(time.Now()) // includes lock wait + any rotation
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
@@ -269,6 +307,9 @@ func (d *Disk) rotateLocked() error {
 		return err
 	}
 	d.sealed = append(d.sealed, d.seq)
+	if c := d.sealedCtr.Load(); c != nil {
+		c.Inc()
+	}
 	d.enqueueUploadLocked(d.seq)
 	if err := d.openSegmentLocked(d.seq + 1); err != nil {
 		return err
@@ -324,7 +365,23 @@ func (d *Disk) uploader() {
 		d.upInflight[seq] = true
 		d.mu.Unlock()
 
+		h := d.uploadNS.Load()
+		var t0 time.Time
+		if h != nil {
+			t0 = time.Now()
+		}
 		err := d.uploadSegment(seq)
+		if h != nil {
+			h.ObserveSince(t0)
+		}
+		if c := d.uploadCtr.Load(); c != nil {
+			c.Inc()
+		}
+		if err != nil {
+			if c := d.uploadErrCtr.Load(); c != nil {
+				c.Inc()
+			}
+		}
 
 		d.mu.Lock()
 		delete(d.upInflight, seq)
@@ -644,6 +701,19 @@ type RecoverStats struct {
 
 // Total returns the recovered point count.
 func (r RecoverStats) Total() int { return r.SnapshotPoints + r.WALRecords }
+
+// instrument exposes what recovery found as gauges. Recovery numbers
+// are facts about one Open, so they are set once, not computed at
+// scrape.
+func (r RecoverStats) instrument(reg *obs.Registry) {
+	reg.Gauge("store_recovered_snapshot_points").Set(int64(r.SnapshotPoints))
+	reg.Gauge("store_recovered_wal_records").Set(int64(r.WALRecords))
+	reg.Gauge("store_recovered_wal_segments").Set(int64(r.WALSegments))
+	reg.Gauge("store_recovered_torn_bytes").Set(r.TornBytes)
+	reg.Gauge("store_recovered_remote_segments").Set(int64(r.RemoteSegments))
+	reg.Gauge("store_recovery_reuploaded").Set(int64(r.Reuploaded))
+	reg.Gauge("store_recovery_cleanup_errors").Set(int64(r.CleanupErrs))
+}
 
 // Archive is an opened on-disk archive: the recovered store plus (for
 // writable opens) the disk backend positioned to continue appending.
@@ -972,4 +1042,14 @@ func (a *Archive) Close() error {
 		return nil
 	}
 	return a.Backend.Close()
+}
+
+// Instrument exposes the archive's recovery outcome as gauges and, for
+// writable archives, instruments the backend itself (see
+// Disk.Instrument).
+func (a *Archive) Instrument(reg *obs.Registry) {
+	a.Stats.instrument(reg)
+	if a.Backend != nil {
+		a.Backend.Instrument(reg)
+	}
 }

@@ -38,6 +38,7 @@ import (
 	"repro/internal/ais"
 	"repro/internal/geo"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/tstore"
 )
@@ -75,6 +76,13 @@ type ChunkStore struct {
 	fetches     atomic.Uint64
 	fetchBytes  atomic.Uint64
 	liveObjects atomic.Int64
+
+	// Page-back timing (Manager.Instrument): cold fetches hit the
+	// object store, cached ones are served by the block cache. Atomic
+	// pointers because the manager's budget loop is already running
+	// when instrumentation attaches.
+	fetchColdNS   atomic.Pointer[obs.Histogram]
+	fetchCachedNS atomic.Pointer[obs.Histogram]
 }
 
 // NewChunkStore builds a spill store over objects with a read cache of
@@ -138,9 +146,30 @@ func (cs *ChunkStore) Spill(mmsi uint32, pts []model.VesselState) (string, error
 // Fetch implements tstore.ChunkStore: page one run back, through the
 // cache (concurrent fetches of the same key share one object read).
 func (cs *ChunkStore) Fetch(key string, mmsi uint32, n int) ([]model.VesselState, error) {
-	data, err := cs.cache.Get(key, func() ([]byte, error) { return cs.objects.Get(key) })
+	coldH, cachedH := cs.fetchColdNS.Load(), cs.fetchCachedNS.Load()
+	var t0 time.Time
+	if coldH != nil || cachedH != nil {
+		t0 = time.Now()
+	}
+	// missed records whether our loader ran: under singleflight a
+	// concurrent fetch of the same key may do the load for us, which
+	// counts as cached here — this goroutine never touched the object
+	// store.
+	missed := false
+	data, err := cs.cache.Get(key, func() ([]byte, error) { missed = true; return cs.objects.Get(key) })
 	if err != nil {
 		return nil, err
+	}
+	if coldH != nil || cachedH != nil {
+		defer func() {
+			h := cachedH
+			if missed {
+				h = coldH
+			}
+			if h != nil {
+				h.ObserveSince(t0) // decode included: the cost a query waits for
+			}
+		}()
 	}
 	if len(data) < chunkHeaderSize {
 		return nil, fmt.Errorf("tier: chunk %s shorter than its header", key)
@@ -267,6 +296,46 @@ func NewManager(cfg Config, stores ...*tstore.Store) (*Manager, error) {
 
 // Chunks returns the spill store (shared with the watched stores).
 func (m *Manager) Chunks() *ChunkStore { return m.chunks }
+
+// Instrument registers the tiered-archive series with reg: eviction and
+// spill counters, resident/evicted gauges aggregated across the watched
+// stores at scrape time, block-cache hit accounting, and the page-back
+// latency histograms (tier_pageback_ns{path="cold"|"cached"}, the
+// fetch+decode cost a query waits for). Safe on a live manager.
+func (m *Manager) Instrument(reg *obs.Registry) {
+	m.chunks.fetchColdNS.Store(reg.Histogram("tier_pageback_ns", "path", "cold"))
+	m.chunks.fetchCachedNS.Store(reg.Histogram("tier_pageback_ns", "path", "cached"))
+	reg.CounterFunc("tier_evictions_total", func() float64 { return float64(m.evictions.Load()) })
+	reg.CounterFunc("tier_evicted_points_total", func() float64 { return float64(m.evictedPts.Load()) })
+	reg.CounterFunc("tier_hot_skips_total", func() float64 { return float64(m.hotSkips.Load()) })
+	reg.CounterFunc("tier_checks_total", func() float64 { return float64(m.checks.Load()) })
+	reg.CounterFunc("tier_spill_objects_total", func() float64 { return float64(m.chunks.spills.Load()) })
+	reg.CounterFunc("tier_spilled_bytes_total", func() float64 { return float64(m.chunks.spillBytes.Load()) })
+	reg.CounterFunc("tier_fetches_total", func() float64 { return float64(m.chunks.fetches.Load()) })
+	reg.CounterFunc("tier_fetched_bytes_total", func() float64 { return float64(m.chunks.fetchBytes.Load()) })
+	reg.CounterFunc("tier_cache_hits_total", func() float64 { return float64(m.chunks.CacheStats().Hits) })
+	reg.CounterFunc("tier_cache_misses_total", func() float64 { return float64(m.chunks.CacheStats().Misses) })
+	reg.GaugeFunc("tier_cache_bytes", func() float64 { return float64(m.chunks.CacheStats().Bytes) })
+	reg.GaugeFunc("tier_budget_bytes", func() float64 { return float64(m.cfg.Budget) })
+	reg.GaugeFunc("tier_resident_points", m.sumTier(func(tc tstore.TierCounters) float64 { return float64(tc.ResidentPoints) }))
+	reg.GaugeFunc("tier_evicted_points", m.sumTier(func(tc tstore.TierCounters) float64 { return float64(tc.EvictedPoints) }))
+	reg.GaugeFunc("tier_resident_vessels", m.sumTier(func(tc tstore.TierCounters) float64 { return float64(tc.ResidentVessels) }))
+	reg.GaugeFunc("tier_evicted_vessels", m.sumTier(func(tc tstore.TierCounters) float64 { return float64(tc.EvictedVessels) }))
+	reg.CounterFunc("tier_pageins_total", m.sumTier(func(tc tstore.TierCounters) float64 { return float64(tc.PageIns) }))
+	reg.CounterFunc("tier_paged_points_total", m.sumTier(func(tc tstore.TierCounters) float64 { return float64(tc.PagedPoints) }))
+}
+
+// sumTier builds a scrape-time aggregator over the watched stores'
+// tier counters.
+func (m *Manager) sumTier(pick func(tstore.TierCounters) float64) func() float64 {
+	return func() float64 {
+		var total float64
+		for _, st := range m.stores {
+			total += pick(st.Tier())
+		}
+		return total
+	}
+}
 
 func (m *Manager) loop() {
 	defer close(m.stopped)

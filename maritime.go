@@ -197,6 +197,8 @@
 package maritime
 
 import (
+	"context"
+
 	"repro/internal/ais"
 	"repro/internal/core"
 	"repro/internal/events"
@@ -204,6 +206,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/ingest"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/sim"
 	"repro/internal/store"
@@ -512,6 +515,46 @@ func NewQueryHub(cfg QueryHubConfig) *QueryHub { return query.NewHub(cfg) }
 
 // ParseQueryBox parses and validates "minLat,minLon,maxLat,maxLon".
 func ParseQueryBox(s string) (QueryBox, error) { return query.ParseBox(s) }
+
+// Observability: the unified metrics registry and per-request trace
+// (package internal/obs). Hand an ObsRegistry to IngestConfig.Obs and
+// every stage of the dataflow — ingest, store, tier, query, hub —
+// reports through it; QueryServer.ServeMetrics exposes it as GET
+// /metrics (Prometheus text) and GET /debug/vars (JSON).
+type (
+	// ObsRegistry holds named metrics and renders them for scraping.
+	ObsRegistry = obs.Registry
+	// ObsCounter is a monotonically increasing metric.
+	ObsCounter = obs.Counter
+	// ObsGauge is a metric that can go up and down.
+	ObsGauge = obs.Gauge
+	// ObsHistogram is a lock-free bounded-bucket latency histogram with
+	// p50/p90/p99 snapshots.
+	ObsHistogram = obs.Histogram
+	// ObsHistSnapshot is a point-in-time histogram summary.
+	ObsHistSnapshot = obs.HistSnapshot
+	// ObsTrace records named stage spans for one request; carry it with
+	// WithObsTrace and the query engine fills it in.
+	ObsTrace = obs.Trace
+	// ObsSpan is one recorded stage of a trace.
+	ObsSpan = obs.Span
+	// QueryTraceSpan is the wire form of one stage span on QueryResult
+	// (populated when QueryRequest.Trace is set).
+	QueryTraceSpan = query.TraceSpan
+)
+
+// NewObsRegistry returns an empty metrics registry.
+func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
+
+// NewObsTrace starts an empty per-request trace.
+func NewObsTrace() *ObsTrace { return obs.NewTrace() }
+
+// WithObsTrace attaches a trace to a context; QueryEngine.QueryContext
+// records its stage spans into it.
+func WithObsTrace(ctx context.Context, tr *ObsTrace) context.Context { return obs.WithTrace(ctx, tr) }
+
+// ObsTraceFromContext returns the trace carried by ctx, or nil.
+func ObsTraceFromContext(ctx context.Context) *ObsTrace { return obs.FromContext(ctx) }
 
 // Forecasting.
 type (
