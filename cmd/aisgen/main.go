@@ -4,7 +4,16 @@
 //
 // Usage:
 //
-//	aisgen [-vessels N] [-minutes M] [-seed S] [-world med|global]
+//	aisgen [-vessels N] [-minutes M] [-seed S] [-world med|global] [-radar-range M]
+//
+// With -radar-range > 0 the simulated coastal radar stations are on and
+// their contacts are interleaved into the feed, in time order, as
+// proprietary sentences:
+//
+//	$PRADAR,<station>,<lat>,<lon>
+//
+// maritimed -detections parses these into the online track stage; every
+// other consumer skips non-!AIVDM lines as NMEA noise.
 package main
 
 import (
@@ -24,13 +33,15 @@ func main() {
 	minutes := flag.Int("minutes", 30, "simulated duration in minutes")
 	seed := flag.Int64("seed", 1, "random seed")
 	world := flag.String("world", "med", "world: med or global")
+	radarRange := flag.Float64("radar-range", 0, "coastal radar range in metres (0 = no radar); contacts interleave as $PRADAR sentences")
 	flag.Parse()
 
 	cfg := sim.Config{
-		Seed:       *seed,
-		NumVessels: *vessels,
-		Duration:   time.Duration(*minutes) * time.Minute,
-		TickSec:    2,
+		Seed:        *seed,
+		NumVessels:  *vessels,
+		Duration:    time.Duration(*minutes) * time.Minute,
+		TickSec:     2,
+		RadarRangeM: *radarRange,
 	}
 	if *world == "global" {
 		cfg.World = sim.GlobalWorld(*seed)
@@ -42,8 +53,21 @@ func main() {
 	}
 	w := bufio.NewWriter(os.Stdout)
 	n := 0
+	// Radar contacts merge into the position stream by simulated time
+	// (both slices are time-ordered), so a consumer replaying the feed
+	// line by line sees one consistent timeline.
+	radar := run.Radar
+	emitRadarUpTo := func(at time.Time) {
+		for len(radar) > 0 && !radar[0].At.After(at) {
+			c := &radar[0]
+			fmt.Fprintf(w, "$PRADAR,%d,%.6f,%.6f\n", c.Station, c.Pos.Lat, c.Pos.Lon)
+			n++
+			radar = radar[1:]
+		}
+	}
 	for i := range run.Positions {
 		obs := &run.Positions[i]
+		emitRadarUpTo(obs.At)
 		lines, err := ais.EncodeSentences(&obs.Report, i, "A")
 		if err != nil {
 			log.Fatal(err)
@@ -52,6 +76,9 @@ func main() {
 			fmt.Fprintln(w, l)
 			n++
 		}
+	}
+	if len(radar) > 0 {
+		emitRadarUpTo(radar[len(radar)-1].At)
 	}
 	for i := range run.Statics {
 		so := &run.Statics[i]
@@ -69,6 +96,6 @@ func main() {
 	if err := w.Flush(); err != nil {
 		log.Fatalf("aisgen: flushing stdout: %v", err)
 	}
-	fmt.Fprintf(os.Stderr, "aisgen: %d sentences (%d position reports, %d statics) from %d vessels over %dm\n",
-		n, len(run.Positions), len(run.Statics), *vessels, *minutes)
+	fmt.Fprintf(os.Stderr, "aisgen: %d sentences (%d position reports, %d statics, %d radar contacts) from %d vessels over %dm\n",
+		n, len(run.Positions), len(run.Statics), len(run.Radar), *vessels, *minutes)
 }

@@ -20,7 +20,8 @@
 // With -http the daemon serves the unified query surface while it
 // ingests: POST a QueryRequest to /v1/query (or use the per-kind GET
 // routes — /v1/trajectory, /v1/spacetime, /v1/nearest, /v1/live,
-// /v1/situation, /v1/alerts, /v1/stats) and read the live picture, the
+// /v1/situation, /v1/alerts, /v1/stats, /v1/track, /v1/predict,
+// /v1/quality) and read the live picture, the
 // accumulated archive, situation boards and alert history as JSON, from
 // any host, mid-ingest. POST a StreamRequest to /v1/stream and the same
 // typed request becomes a standing query: incremental updates pushed as
@@ -42,6 +43,14 @@
 // -stats-every the daemon prints a periodic one-line health summary read
 // from the same registry the scrape endpoints serve.
 //
+// With -track the daemon runs the online track-intelligence stage:
+// fused per-vessel Kalman state, incrementally learned route forecasts
+// and integrity scores, answering the track/predict/quality query kinds
+// live instead of by archive replay. With -detections it additionally
+// parses $PRADAR radar-contact lines interleaved in the feed (aisgen
+// -radar-range emits them) and fuses those identity-less contacts into
+// the vessel tracks.
+//
 // With -mem-budget the archive exceeds RAM: once resident points pass
 // the budget, the coldest vessels are evicted down to compact stubs and
 // their history spills to the object store (-remote-dir, or a tier/
@@ -53,7 +62,7 @@
 //
 // Usage:
 //
-//	aisgen -vessels 200 -minutes 60 | maritimed [-shards N] [-decoders N] [-data-dir DIR] [-fsync MODE] [-remote-dir DIR] [-mem-budget SIZE] [-http ADDR] [-pprof] [-stats-every D] [-peer URL]...
+//	aisgen -vessels 200 -minutes 60 | maritimed [-shards N] [-decoders N] [-data-dir DIR] [-fsync MODE] [-remote-dir DIR] [-mem-budget SIZE] [-http ADDR] [-pprof] [-stats-every D] [-track] [-detections] [-peer URL]...
 package main
 
 import (
@@ -103,6 +112,24 @@ func parseBytes(s string) (int64, error) {
 	return n * mult, nil
 }
 
+// parseRadarLine parses one "$PRADAR,<station>,<lat>,<lon>" contact
+// sentence, stamping it with the feed's synthesized timeline.
+func parseRadarLine(line string, at time.Time) (maritime.Detection, bool) {
+	parts := strings.Split(line, ",")
+	if len(parts) != 4 {
+		return maritime.Detection{}, false
+	}
+	station, err1 := strconv.Atoi(parts[1])
+	lat, err2 := strconv.ParseFloat(parts[2], 64)
+	lon, err3 := strconv.ParseFloat(parts[3], 64)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return maritime.Detection{}, false
+	}
+	return maritime.Detection{
+		At: at, Pos: maritime.Point{Lat: lat, Lon: lon}, Station: station,
+	}, true
+}
+
 func main() {
 	synopsisTol := flag.Float64("synopsis", 60, "synopsis tolerance in metres (0 = archive everything)")
 	minSeverity := flag.Int("severity", 2, "minimum alert severity to print")
@@ -115,6 +142,8 @@ func main() {
 	httpAddr := flag.String("http", "", "serve the query API on this address (e.g. :8080) while ingesting")
 	pprofOn := flag.Bool("pprof", false, "with -http, mount net/http/pprof under /debug/pprof/")
 	statsEvery := flag.Duration("stats-every", 0, "print a periodic health line read from the metrics registry (0 = off)")
+	trackOn := flag.Bool("track", false, "run the online track-intelligence stage (fused Kalman state, route forecasts, integrity scores behind the track/predict/quality query kinds)")
+	detections := flag.Bool("detections", false, "parse $PRADAR radar-contact lines from the feed into the track stage (implies -track); aisgen -radar-range emits them")
 	var peers []string
 	flag.Func("peer", "federate another maritimed -http daemon's picture into query answers (repeatable)",
 		func(u string) error { peers = append(peers, u); return nil })
@@ -137,6 +166,14 @@ func main() {
 	for _, u := range peers {
 		cfg.Peers = append(cfg.Peers, maritime.NewQueryClient(u))
 		fmt.Printf("[federation] peer %s merged into query answers\n", u)
+	}
+	if *trackOn || *detections {
+		cfg.Track = &maritime.TrackConfig{}
+		if *detections {
+			fmt.Println("[track] online tracker on; fusing $PRADAR radar contacts from the feed")
+		} else {
+			fmt.Println("[track] online tracker on")
+		}
 	}
 
 	// Tiered storage: -remote-dir is the object store sealed segments,
@@ -321,11 +358,28 @@ func main() {
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<16), 1<<16)
 	n := 0
+	radarSeen, radarFused, radarBad := 0, 0, 0
 	start := time.Now()
 	for sc.Scan() {
 		n++
 		at = at.Add(100 * time.Millisecond)
-		lines <- maritime.IngestLine{At: at, Text: sc.Text()}
+		line := sc.Text()
+		// $PRADAR contact lines (aisgen -radar-range) are not AIS: they
+		// never enter the decode path. With -detections they feed the
+		// track stage, stamped on the same synthesized timeline as the
+		// surrounding sentences.
+		if strings.HasPrefix(line, "$PRADAR,") {
+			if *detections {
+				radarSeen++
+				if d, ok := parseRadarLine(line, at); ok {
+					radarFused += engine.IngestDetections([]maritime.Detection{d})
+				} else {
+					radarBad++
+				}
+			}
+			continue
+		}
+		lines <- maritime.IngestLine{At: at, Text: line}
 	}
 	close(lines)
 	<-printed // engine auto-closes once decode drains; alerts close last
@@ -357,6 +411,19 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Print(sharded.Situation(end, world.Bounds, 12, 48).Summary())
+
+	if tracks := engine.Tracks(); tracks != nil {
+		fmt.Printf("[track] %d fused vessel tracks, %d anonymous radar tracks",
+			tracks.VesselCount(), tracks.OrphanCount())
+		if *detections {
+			fmt.Printf("; %d contacts (%d fused to vessels", radarSeen, radarFused)
+			if radarBad > 0 {
+				fmt.Printf(", %d malformed", radarBad)
+			}
+			fmt.Print(")")
+		}
+		fmt.Println()
+	}
 
 	// Final summaries read from the registry — the same numbers a
 	// /metrics scrape would have reported at this instant.

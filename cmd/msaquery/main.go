@@ -14,9 +14,13 @@
 //	msaquery -http localhost:8080 -live "42,4,44,9"
 //	msaquery -http localhost:8080 -situation "42,4,44,9"
 //	msaquery -data /var/lib/maritimed -stats -json
+//	msaquery -http localhost:8080 -track 201000091
+//	msaquery -http localhost:8080 -predict 201000091 -horizon 15m
+//	msaquery -http localhost:8080 -quality 201000091
 //
 // Exactly one query flag (-vessel, -box, -knn, -live, -situation,
-// -alerts, -stats) runs per invocation; -from/-to/-at bound time where
+// -alerts, -stats, -track, -predict, -quality) runs per invocation;
+// -from/-to/-at bound time where
 // the kind supports it, and -json dumps the raw Result encoding instead
 // of the human summary. -trace asks the executor to record where the
 // query spent its time and prints the per-stage breakdown (per-source
@@ -29,6 +33,11 @@
 //	msaquery -http localhost:8080 -watch "42,4,44,9"       # box watch
 //	msaquery -http localhost:8080 -follow 201000091        # vessel follow
 //	msaquery -http localhost:8080 -watch "42,4,44,9" -count 100 -json
+//	msaquery -http localhost:8080 -watch predict -predict 201000091 -horizon 10m
+//
+// The last form is the forecast ticker: a standing predict query that
+// pushes a fresh dead-reckoned (or route-model) fix every tick, showing
+// the vessel's expected motion between AIS reports.
 package main
 
 import (
@@ -37,6 +46,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"time"
 
 	"repro/internal/geo"
@@ -65,6 +75,10 @@ func main() {
 	alerts := flag.Bool("alerts", false, "alert-history query")
 	severity := flag.Int("severity", 0, "minimum severity for -alerts / -situation")
 	stats := flag.Bool("stats", false, "store statistics query")
+	track := flag.Uint("track", 0, "track query: fused Kalman state + error ellipse for this MMSI")
+	predict := flag.Uint("predict", 0, "predict query: forecast this MMSI's position -horizon ahead")
+	horizon := flag.Duration("horizon", 0, "forecast horizon for -predict (e.g. 15m; required, at most 24h)")
+	quality := flag.Uint("quality", 0, "quality query: data-integrity score for this MMSI")
 	from := flag.String("from", "", "lower time bound, RFC 3339")
 	to := flag.String("to", "", "upper time bound, RFC 3339")
 	at := flag.String("at", "", "reference instant for -knn, RFC 3339 (default: any time)")
@@ -73,7 +87,7 @@ func main() {
 	asJSON := flag.Bool("json", false, "print the raw Result JSON instead of a summary")
 	trace := flag.Bool("trace", false, "request a per-stage trace and print where the query spent its time")
 
-	watch := flag.String("watch", "", "standing box watch (requires -http): minLat,minLon,maxLat,maxLon")
+	watch := flag.String("watch", "", "standing box watch (requires -http): minLat,minLon,maxLat,maxLon — or the literal \"predict\" with -predict/-horizon for a forecast ticker")
 	follow := flag.Uint("follow", 0, "standing per-vessel follow (requires -http): MMSI")
 	count := flag.Int("count", 0, "stop a -watch/-follow stream after this many updates (0 = until interrupted)")
 	fromSeq := flag.Uint64("from-seq", 0, "resume a -watch/-follow stream after this sequence number")
@@ -88,13 +102,14 @@ func main() {
 		if *httpAddr == "" {
 			log.Fatal("-watch/-follow are standing queries against a daemon: pass -http ADDR")
 		}
-		streamUpdates(*httpAddr, *watch, uint32(*follow), *count, *fromSeq, *asJSON)
+		streamUpdates(*httpAddr, *watch, uint32(*follow), uint32(*predict), *horizon, *count, *fromSeq, *asJSON)
 		return
 	}
 
 	req, err := buildRequest(reqFlags{
 		vessel: uint32(*vessel), box: *box, knn: *knn, k: *k,
 		live: *live, situation: *situation, alerts: *alerts, stats: *stats,
+		track: uint32(*track), predict: uint32(*predict), horizon: *horizon, quality: uint32(*quality),
 		severity: *severity, from: *from, to: *to, at: *at, tol: *tol, limit: *limit,
 	})
 	if err != nil {
@@ -160,6 +175,9 @@ type reqFlags struct {
 	k               int
 	live, situation string
 	alerts, stats   bool
+	track, predict  uint32
+	horizon         time.Duration
+	quality         uint32
 	severity        int
 	from, to, at    string
 	tol             time.Duration
@@ -222,8 +240,24 @@ func buildRequest(f reqFlags) (query.Request, error) {
 		modes++
 		req.Kind = query.KindStats
 	}
+	if f.track != 0 {
+		modes++
+		req.Kind = query.KindTrack
+		req.MMSI = f.track
+	}
+	if f.predict != 0 {
+		modes++
+		req.Kind = query.KindPredict
+		req.MMSI = f.predict
+		req.Horizon = query.Duration(f.horizon)
+	}
+	if f.quality != 0 {
+		modes++
+		req.Kind = query.KindQuality
+		req.MMSI = f.quality
+	}
 	if modes != 1 {
-		return req, fmt.Errorf("pass exactly one of -vessel, -box, -knn, -live, -situation, -alerts, -stats (got %d)", modes)
+		return req, fmt.Errorf("pass exactly one of -vessel, -box, -knn, -live, -situation, -alerts, -stats, -track, -predict, -quality (got %d)", modes)
 	}
 	var err error
 	if req.From, err = parseTime(f.from, "-from"); err != nil {
@@ -313,12 +347,22 @@ func openExecutor(read, data, remote, httpAddr string) (query.Executor, string, 
 }
 
 // streamUpdates runs a standing query (-watch / -follow) over /v1/stream
-// and prints updates as they arrive.
-func streamUpdates(httpAddr, watch string, follow uint32, count int, fromSeq uint64, asJSON bool) {
+// and prints updates as they arrive. -watch predict (with -predict and
+// -horizon) is the forecast ticker: a fresh dead-reckoned or route-model
+// fix every tick, showing expected motion between AIS reports.
+func streamUpdates(httpAddr, watch string, follow, predict uint32, horizon time.Duration, count int, fromSeq uint64, asJSON bool) {
 	var req query.Request
 	switch {
 	case watch != "" && follow != 0:
 		log.Fatal("pass exactly one of -watch, -follow")
+	case watch == "predict":
+		if predict == 0 {
+			log.Fatal("-watch predict needs the vessel: pass -predict MMSI (and -horizon)")
+		}
+		req = query.Request{Kind: query.KindPredict, MMSI: predict, Horizon: query.Duration(horizon)}
+		if err := req.Validate(); err != nil {
+			log.Fatal(err)
+		}
 	case watch != "":
 		b, err := query.ParseBox(watch)
 		if err != nil {
@@ -349,6 +393,19 @@ func streamUpdates(httpAddr, watch string, follow uint32, count int, fromSeq uin
 		} else if u.Alert != nil {
 			a := u.Alert
 			fmt.Printf("#%-8d [sev%d] %-18s vessel %d: %s\n", u.Seq, a.Severity, a.Kind, a.MMSI, a.Note)
+		} else if u.Prediction != nil {
+			p := u.Prediction
+			fmt.Printf("#%-8d vessel %-9d %8.4f,%9.4f  at %s (+%s, %s, ±%.0f m)\n",
+				u.Seq, p.MMSI, p.Lat, p.Lon, p.At.Format("15:04:05"),
+				time.Duration(p.Horizon), p.Method, p.ConfidenceM)
+		} else if u.Track != nil {
+			s := u.Track
+			fmt.Printf("#%-8d vessel %-9d %8.4f,%9.4f  %5.1f kn  ±%.0f m  %s\n",
+				u.Seq, s.MMSI, s.Lat, s.Lon, s.SpeedKn, s.SigmaM, s.At.Format("15:04:05"))
+		} else if u.Quality != nil {
+			q := u.Quality
+			fmt.Printf("#%-8d vessel %-9d reliability %.3f (lower %.3f), %d/%d flagged\n",
+				u.Seq, q.MMSI, q.Reliability, q.LowerBound, q.Flagged, q.Checked)
 		} else if u.Kind == query.UpdateRewound {
 			fmt.Fprintf(os.Stderr, "(stream rewound: daemon restarted — cursor reset to seq %d in epoch %x; retained-but-undelivered updates from the old epoch are gone)\n",
 				u.Seq, u.Epoch)
@@ -418,6 +475,40 @@ func printResult(req query.Request, res *query.Result) {
 			fmt.Printf("  [%s] sev%d %-18s vessel %d: %s\n",
 				a.At.Format("15:04:05"), a.Severity, a.Kind, a.MMSI, a.Note)
 		}
+	case query.KindTrack:
+		if res.Track == nil {
+			log.Fatalf("vessel %d not found", req.MMSI)
+		}
+		s := res.Track
+		status := "tentative"
+		if s.Confirmed {
+			status = "confirmed"
+		}
+		fmt.Printf("vessel %d track (%s, %d hits): %.5f,%.5f  %.1f kn @ %.0f°  at %s\n",
+			s.MMSI, status, s.Hits, s.Lat, s.Lon, s.SpeedKn, s.CourseDeg, s.At.Format(time.RFC3339))
+		fmt.Printf("  uncertainty ±%.0f m (ellipse %.0f×%.0f m @ %.0f°)\n",
+			s.SigmaM, s.MajorM, s.MinorM, s.OrientDeg)
+		for _, src := range sortedKeys(s.Sources) {
+			fmt.Printf("  %d %s measurements\n", s.Sources[src], src)
+		}
+	case query.KindPredict:
+		if res.Prediction == nil {
+			log.Fatalf("vessel %d not found", req.MMSI)
+		}
+		p := res.Prediction
+		fmt.Printf("vessel %d at %s (+%s from %s): %.5f,%.5f  (%s, ±%.0f m)\n",
+			p.MMSI, p.At.Format(time.RFC3339), time.Duration(p.Horizon),
+			p.From.Format("15:04:05"), p.Lat, p.Lon, p.Method, p.ConfidenceM)
+	case query.KindQuality:
+		if res.Quality == nil {
+			log.Fatalf("vessel %d not found", req.MMSI)
+		}
+		q := res.Quality
+		fmt.Printf("vessel %d reliability %.3f (lower bound %.3f): %d of %d messages flagged\n",
+			q.MMSI, q.Reliability, q.LowerBound, q.Flagged, q.Checked)
+		for _, rule := range sortedKeys(q.Issues) {
+			fmt.Printf("  %-16s %d\n", rule, q.Issues[rule])
+		}
 	case query.KindStats:
 		st := res.Stats
 		fmt.Printf("%d points, %d vessels, %d live, %d alerts\n",
@@ -438,6 +529,16 @@ func printResult(req query.Request, res *query.Result) {
 	if res.Truncated {
 		fmt.Printf("(truncated to -limit %d of %d)\n", req.Limit, res.Count)
 	}
+}
+
+// sortedKeys returns a count map's keys in stable order for printing.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // renderDensity draws the situation's density surface the way va.Density

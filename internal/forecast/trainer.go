@@ -1,0 +1,69 @@
+package forecast
+
+import (
+	"repro/internal/geo"
+	"repro/internal/model"
+)
+
+// Trainer feeds one vessel's samples into a RouteModel incrementally, as
+// they arrive, accumulating exactly the statistics Train would for the
+// same point sequence: per-cell speed sums for every point, and directed
+// cell-transition counts once three distinct cells have been crossed.
+// The online tracker stage keeps one Trainer per vessel over a shared
+// per-shard model, so the route prior grows with the feed instead of
+// requiring an offline training pass.
+//
+// A Trainer is not safe for concurrent use; callers serialise Observe
+// with their own lock (the stage holds its shard mutex).
+type Trainer struct {
+	rm *RouteModel
+	// first buffers the opening sample: Train ignores one-point
+	// trajectories entirely, so nothing is committed to the model until
+	// a second sample proves the vessel has a track.
+	first     *model.VesselState
+	started   bool
+	prev, cur geo.CellID
+	distinct  int
+}
+
+// NewTrainer returns an incremental feeder for one vessel's samples.
+func (rm *RouteModel) NewTrainer() *Trainer { return &Trainer{rm: rm} }
+
+// Observe ingests the vessel's next sample (callers feed points in time
+// order, as Train does).
+func (t *Trainer) Observe(p model.VesselState) {
+	if !t.started {
+		if t.first == nil {
+			cp := p
+			t.first = &cp
+			return
+		}
+		t.started = true
+		t.rm.trained++
+		first := *t.first
+		t.first = nil
+		t.observe(first)
+	}
+	t.observe(p)
+}
+
+func (t *Trainer) observe(p model.VesselState) {
+	rm := t.rm
+	c := rm.grid.Cell(p.Pos)
+	rm.speedSum[c] += p.SpeedKn * geo.Knot
+	rm.speedN[c]++
+	if t.distinct > 0 && c == t.cur {
+		return
+	}
+	t.distinct++
+	if t.distinct >= 3 {
+		key := transKey(t.prev, t.cur)
+		m, ok := rm.next[key]
+		if !ok {
+			m = make(map[geo.CellID]int)
+			rm.next[key] = m
+		}
+		m[c]++
+	}
+	t.prev, t.cur = t.cur, c
+}

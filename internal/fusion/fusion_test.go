@@ -399,3 +399,50 @@ func BenchmarkTrackerScan50(b *testing.B) {
 		tk.Process(at, meas)
 	}
 }
+
+// TestPredictMatchesDenseAlgebra pins the specialised covariance
+// propagation in Predict against the dense P = F P Fᵀ + Q it replaced:
+// the zero/one entries of the CV transition contribute exact no-ops, so
+// the two must agree bit for bit — replay equivalence (online stage vs
+// offline derivation, evicted vs resident) depends on the filter being
+// deterministic, not merely close.
+func TestPredictMatchesDenseAlgebra(t *testing.T) {
+	densePredict := func(k *KalmanCV, at time.Time) {
+		dt := at.Sub(k.T).Seconds()
+		if dt <= 0 {
+			return
+		}
+		F := Identity4()
+		F[2] = dt
+		F[7] = dt
+		Q := processNoiseQ(k.ProcessNoise, dt)
+		k.X = mulVec4(F, k.X)
+		k.P = add4(mul4(mul4(F, k.P), transpose4(F)), Q)
+		k.T = at
+	}
+
+	rng := rand.New(rand.NewSource(5))
+	origin := geo.Point{Lat: 43.1, Lon: 5.2}
+	for trial := 0; trial < 50; trial++ {
+		a := NewKalmanCV(origin, 0.01+rng.Float64())
+		a.Init(t0(), origin, 5+20*rng.Float64())
+		b := *a
+		at := t0()
+		for step := 0; step < 20; step++ {
+			at = at.Add(time.Duration(1+rng.Intn(600)) * time.Second)
+			a.Predict(at)
+			densePredict(&b, at)
+			if a.X != b.X || a.P != b.P {
+				t.Fatalf("trial %d step %d: specialised Predict diverged from dense algebra\nX %v vs %v\nP %v vs %v",
+					trial, step, a.X, b.X, a.P, b.P)
+			}
+			// Occasional updates keep the covariance realistic (it would
+			// otherwise grow without bound and hide cancellation bugs).
+			if step%3 == 0 {
+				p := a.Plane.Inverse(a.X[0]+rng.NormFloat64()*50, a.X[1]+rng.NormFloat64()*50)
+				a.Update(p, 15)
+				b.Update(p, 15)
+			}
+		}
+	}
+}

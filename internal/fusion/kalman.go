@@ -125,17 +125,42 @@ func (k *KalmanCV) Init(at time.Time, p geo.Point, sigmaM float64) {
 }
 
 // Predict advances the state to time at without a measurement.
+//
+// The covariance propagation P = F P Fᵀ + Q is specialised for the CV
+// transition (F = I with F[0,2] = F[1,3] = dt): F·P adds dt-scaled rows
+// 2/3 into rows 0/1, then ·Fᵀ adds dt-scaled columns 2/3 into columns
+// 0/1. This is the ingest hot path (one Predict per archived record in
+// the track stage), and the specialised sums round identically to the
+// dense 4×4 multiplies they replace — the zero and one entries of F
+// contribute exact no-ops — so filter state is bit-for-bit unchanged.
 func (k *KalmanCV) Predict(at time.Time) {
 	dt := at.Sub(k.T).Seconds()
 	if dt <= 0 {
 		return
 	}
-	F := Identity4()
-	F[2] = dt // x += vx*dt
-	F[7] = dt // y += vy*dt
-	Q := processNoiseQ(k.ProcessNoise, dt)
-	k.X = mulVec4(F, k.X)
-	k.P = add4(mul4(mul4(F, k.P), transpose4(F)), Q)
+	k.X[0] += dt * k.X[2]
+	k.X[1] += dt * k.X[3]
+	p := &k.P
+	for j := 0; j < 4; j++ {
+		p[j] += dt * p[8+j]    // row 0 += dt·row 2
+		p[4+j] += dt * p[12+j] // row 1 += dt·row 3
+	}
+	for i := 0; i < 16; i += 4 {
+		p[i] += dt * p[i+2]   // col 0 += dt·col 2
+		p[i+1] += dt * p[i+3] // col 1 += dt·col 3
+	}
+	q := k.ProcessNoise
+	dt2 := dt * dt
+	dt3 := dt2 * dt
+	dt4 := dt3 * dt
+	p[0] += q * dt4 / 4
+	p[5] += q * dt4 / 4
+	p[2] += q * dt3 / 2
+	p[7] += q * dt3 / 2
+	p[8] += q * dt3 / 2
+	p[13] += q * dt3 / 2
+	p[10] += q * dt2
+	p[15] += q * dt2
 	k.T = at
 }
 

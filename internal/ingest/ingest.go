@@ -70,6 +70,7 @@ import (
 	"repro/internal/store"
 	"repro/internal/stream"
 	"repro/internal/tier"
+	"repro/internal/track"
 	"repro/internal/tstore"
 )
 
@@ -128,6 +129,15 @@ type Config struct {
 	// deduplicated on (MMSI, timestamp). A degraded peer is skipped, not
 	// fatal — see query.PeerSource.
 	Peers []query.Source
+	// Track, when non-nil, runs the online track-intelligence stage: a
+	// per-shard tracker attached to the post-synopsis tee (alongside the
+	// hub and the flusher) maintaining fused Kalman state, an incremental
+	// route model and an integrity profile per vessel, answering the
+	// track/predict/quality query kinds live (and accepting non-AIS
+	// detections through IngestDetections). Nil means no stage in the tee
+	// and zero cost — the query engine then derives those kinds from the
+	// archive on demand.
+	Track *track.Config
 	// Obs, when non-nil, instruments every stage of the dataflow through
 	// the registry: message and decode counters, sampled decode and
 	// shard-queue-wait latency, per-batch pipeline latency, flush-stage
@@ -179,6 +189,7 @@ type Engine struct {
 	flusher   *store.Flusher
 	flushDone chan struct{}
 	tier      *tier.Manager
+	tracks    track.Stages // nil unless Config.Track is set
 
 	// Instrumentation handles, set in Start (before any worker goroutine
 	// launches) when Config.Obs is non-nil; nil means "don't measure".
@@ -222,15 +233,28 @@ func (e *Engine) Start(ctx context.Context) {
 	if e.cfg.Backend != nil {
 		e.flusher = store.NewFlusher(e.cfg.Backend, e.cfg.Flush)
 	}
+	if e.cfg.Track != nil {
+		e.tracks = track.NewStages(len(e.sharded.Shards), *e.cfg.Track)
+	}
 	// Every shard store tees its post-synopsis appends into the hub
 	// (standing queries see exactly the records a one-shot replay would
-	// return) and, when persistence is on, the flush stage. The hub is a
-	// single atomic check per batch until something subscribes.
-	for _, p := range e.sharded.Shards {
+	// return), the flush stage when persistence is on, and the track
+	// stage when track intelligence is on. The hub is a single atomic
+	// check per batch until something subscribes.
+	for i, p := range e.sharded.Shards {
+		sinks := []tstore.Sink{e.hub}
 		if e.flusher != nil {
-			p.Store.Attach(tstore.Tee(e.hub, e.flusher))
+			sinks = append(sinks, e.flusher)
+		}
+		if e.tracks != nil {
+			// Same shard routing as the pipelines (stream.ShardOf), so each
+			// stage sees exactly its shard's vessels.
+			sinks = append(sinks, e.tracks[i])
+		}
+		if len(sinks) == 1 {
+			p.Store.Attach(sinks[0])
 		} else {
-			p.Store.Attach(e.hub)
+			p.Store.Attach(tstore.Tee(sinks...))
 		}
 	}
 	// Tiered archive: the eviction manager watches every shard store
@@ -327,6 +351,9 @@ func (e *Engine) instrument(reg *obs.Registry) {
 	}
 	if e.tier != nil {
 		e.tier.Instrument(reg)
+	}
+	if e.tracks != nil {
+		e.tracks.Instrument(reg)
 	}
 	e.hub.Instrument(reg)
 }
@@ -527,6 +554,25 @@ func (e *Engine) TierStats() tier.Stats {
 	return e.tier.Stats()
 }
 
+// IngestDetections feeds non-AIS sensor detections (radar contacts)
+// into the online track stage, which gates and assigns them to fused
+// vessel tracks (contacts no vessel gates become anonymous orphan
+// tracks). Detections are fused synchronously — callers interleave them
+// with Ingest in timeline order. Returns the number of contacts fused
+// into identified tracks; a no-op 0 when the stage is off (Config.Track
+// nil) or before Start.
+func (e *Engine) IngestDetections(ds []track.Detection) int {
+	if e.tracks == nil {
+		return 0
+	}
+	return e.tracks.Process(ds)
+}
+
+// Tracks exposes the online track stage (nil when Config.Track is nil):
+// fused per-vessel state, the TrackIntelSource the query engine reads,
+// and the stage counters.
+func (e *Engine) Tracks() track.Stages { return e.tracks }
+
 // Sharded exposes the underlying pipelines for synchronous queries —
 // situation pictures, forecasts, archive access. Quiesce (Close, or just
 // stop submitting) before deep reads if exact cut-off points matter.
@@ -542,7 +588,14 @@ func (e *Engine) Sharded() *core.Sharded { return e.sharded }
 // ingesting: reads see each shard's consistent current state.
 func (e *Engine) QueryEngine() *query.Engine {
 	e.queryOnce.Do(func() {
-		sources := append([]query.Source{query.NewLiveSource(e.sharded)}, e.cfg.Peers...)
+		// The live source answers the track-intelligence kinds straight
+		// from the online stage when one runs; a plain nil (not a typed
+		// nil in the interface) keeps the derive-from-archive fallback.
+		var ti query.TrackIntelSource
+		if e.tracks != nil {
+			ti = e.tracks
+		}
+		sources := append([]query.Source{query.NewLiveSourceTracked(e.sharded, ti)}, e.cfg.Peers...)
 		e.query = query.NewEngine(sources...)
 		if e.cfg.Obs != nil {
 			e.query.Instrument(e.cfg.Obs)

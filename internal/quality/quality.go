@@ -92,6 +92,11 @@ type KinematicChecker struct {
 	MaxSpeedKn float64
 	// SpeedSlackKn tolerates SOG-vs-displacement disagreement (default 8 kn).
 	SpeedSlackKn float64
+	// SkipNotes leaves Issue.Note empty. The notes are diagnostics for
+	// humans; accumulators that keep only rule counts (the track stage's
+	// per-record integrity fold) set this so a defect-heavy feed does not
+	// pay float formatting per flagged message.
+	SkipNotes bool
 
 	last    model.VesselState
 	started bool
@@ -111,12 +116,18 @@ func (k *KinematicChecker) Check(s model.VesselState) []Issue {
 		k.last = s
 		return nil
 	}
+	note := func(format string, args ...any) string {
+		if k.SkipNotes {
+			return ""
+		}
+		return fmt.Sprintf(format, args...)
+	}
 	var issues []Issue
 	dt := s.At.Sub(k.last.At).Seconds()
 	if dt <= 0 {
 		issues = append(issues, Issue{
 			MMSI: s.MMSI, Field: FieldPosition, Rule: "time-regression",
-			Note: fmt.Sprintf("timestamp not increasing (dt=%.1fs)", dt),
+			Note: note("timestamp not increasing (dt=%.1fs)", dt),
 		})
 		// Do not advance: judge the next message against the same anchor.
 		return issues
@@ -126,7 +137,7 @@ func (k *KinematicChecker) Check(s model.VesselState) []Issue {
 	if impliedKn > k.MaxSpeedKn {
 		issues = append(issues, Issue{
 			MMSI: s.MMSI, Field: FieldPosition, Rule: "teleport",
-			Note: fmt.Sprintf("implied speed %.0f kn over %.0fs", impliedKn, dt),
+			Note: note("implied speed %.0f kn over %.0fs", impliedKn, dt),
 		})
 	}
 	// SOG consistency only over short gaps; long gaps legitimately diverge.
@@ -135,7 +146,7 @@ func (k *KinematicChecker) Check(s model.VesselState) []Issue {
 		if diff := impliedKn - meanSOG; diff > k.SpeedSlackKn {
 			issues = append(issues, Issue{
 				MMSI: s.MMSI, Field: FieldSpeed, Rule: "sog-mismatch",
-				Note: fmt.Sprintf("implied %.1f kn vs reported %.1f kn", impliedKn, meanSOG),
+				Note: note("implied %.1f kn vs reported %.1f kn", impliedKn, meanSOG),
 			})
 		}
 	}

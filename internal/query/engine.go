@@ -219,6 +219,27 @@ func (e *Engine) QueryContext(ctx context.Context, req Request) (*Result, error)
 	case KindStats:
 		res.Stats = stats(q, srcs, req.MMSIs)
 		res.Count = res.Stats.Points
+	case KindTrack:
+		res.Track = bestAnswer(q, srcs,
+			func(s Source) *TrackState { return trackFrom(s, req.MMSI) },
+			func(a, b *TrackState) bool { return a.At.After(b.At) })
+		if res.Track != nil {
+			res.Count = 1
+		}
+	case KindPredict:
+		res.Prediction = bestAnswer(q, srcs,
+			func(s Source) *Prediction { return predictFrom(s, req.MMSI, time.Duration(req.Horizon)) },
+			func(a, b *Prediction) bool { return a.From.After(b.From) })
+		if res.Prediction != nil {
+			res.Count = 1
+		}
+	case KindQuality:
+		res.Quality = bestAnswer(q, srcs,
+			func(s Source) *QualityScore { return qualityFrom(s, req.MMSI) },
+			func(a, b *QualityScore) bool { return a.Checked > b.Checked })
+		if res.Quality != nil {
+			res.Count = 1
+		}
 	}
 	if e.reg != nil {
 		e.reg.Counter("query_requests_total", "kind", string(req.Kind)).Inc()
@@ -421,6 +442,59 @@ func mergedAlerts(q qobs, srcs []Source) []events.Alert {
 	return out
 }
 
+// --- track intelligence fan-out (trackintel.go holds the types) -----------------
+
+// bestAnswer fans a per-vessel track-intelligence read out to every
+// source and keeps the best non-nil answer under the given ordering
+// (ties keep the earlier source, so merged answers are deterministic).
+func bestAnswer[T any](q qobs, srcs []Source, read func(Source) *T, better func(a, b *T) bool) *T {
+	answers := gather(q, srcs, read)
+	defer q.span("merge")()
+	var best *T
+	for _, a := range answers {
+		if a == nil {
+			continue
+		}
+		if best == nil || better(a, best) {
+			best = a
+		}
+	}
+	return best
+}
+
+// fullHistory reads a source's entire stored trajectory for one vessel
+// (the track-intelligence kinds always score the whole known history).
+func fullHistory(s Source, mmsi uint32) []model.VesselState {
+	return s.Trajectory(mmsi, time.Time{}, time.Date(9999, 12, 31, 23, 59, 59, 0, time.UTC))
+}
+
+// trackFrom answers one source: live fused state when the source
+// maintains one (TrackIntelSource — its answer is authoritative, nil
+// included), a deterministic replay of its stored trajectory otherwise.
+func trackFrom(s Source, mmsi uint32) *TrackState {
+	if ti, ok := s.(TrackIntelSource); ok {
+		ts, _ := ti.Track(mmsi)
+		return ts
+	}
+	return DeriveTrack(mmsi, fullHistory(s, mmsi))
+}
+
+func predictFrom(s Source, mmsi uint32, horizon time.Duration) *Prediction {
+	if ti, ok := s.(TrackIntelSource); ok {
+		p, _ := ti.Predict(mmsi, horizon)
+		return p
+	}
+	return DerivePredict(mmsi, fullHistory(s, mmsi), horizon)
+}
+
+func qualityFrom(s Source, mmsi uint32) *QualityScore {
+	if ti, ok := s.(TrackIntelSource); ok {
+		qs, _ := ti.Quality(mmsi)
+		return qs
+	}
+	return DeriveQuality(mmsi, fullHistory(s, mmsi))
+}
+
 // stats aggregates per-source statistics. Vessels and Live are distinct
 // counts and therefore computed from merged per-source identifier sets,
 // not summed — DistinctMMSI moves one sorted uint32 list per source, so
@@ -480,6 +554,7 @@ func stats(q qobs, srcs []Source, withSets bool) *Stats {
 type liveSource struct {
 	sharded *core.Sharded
 	snaps   []*snapshotCache
+	tracks  TrackIntelSource // nil without an online track stage
 }
 
 // NewLiveSource builds a Source over the sharded pipelines (the
@@ -487,7 +562,16 @@ type liveSource struct {
 // queries build per-shard spatial snapshots, cached until the shard's
 // archive grows.
 func NewLiveSource(s *core.Sharded) Source {
-	src := &liveSource{sharded: s}
+	return NewLiveSourceTracked(s, nil)
+}
+
+// NewLiveSourceTracked builds the live Source with an online track
+// stage behind it: the track-intelligence reads answer from the stage's
+// fused state where it knows the vessel, and fall back to a
+// deterministic store replay where it does not (stage disabled, or
+// history preloaded before the stage started observing the feed).
+func NewLiveSourceTracked(s *core.Sharded, tracks TrackIntelSource) Source {
+	src := &liveSource{sharded: s, tracks: tracks}
 	for _, p := range s.Shards {
 		src.snaps = append(src.snaps, &snapshotCache{store: p.Store})
 	}
@@ -558,6 +642,41 @@ func (l *liveSource) Stats() SourceStats {
 	}
 	st.Alerts = len(l.sharded.Alerts())
 	return st
+}
+
+// Track implements TrackIntelSource: the online stage's fused state,
+// else a replay of the owning shard's store (which pages back evicted
+// history, so tiering keeps these reads exact).
+func (l *liveSource) Track(mmsi uint32) (*TrackState, bool) {
+	if l.tracks != nil {
+		if ts, ok := l.tracks.Track(mmsi); ok {
+			return ts, true
+		}
+	}
+	ts := DeriveTrack(mmsi, fullHistory(l, mmsi))
+	return ts, ts != nil
+}
+
+// Predict implements TrackIntelSource.
+func (l *liveSource) Predict(mmsi uint32, horizon time.Duration) (*Prediction, bool) {
+	if l.tracks != nil {
+		if p, ok := l.tracks.Predict(mmsi, horizon); ok {
+			return p, true
+		}
+	}
+	p := DerivePredict(mmsi, fullHistory(l, mmsi), horizon)
+	return p, p != nil
+}
+
+// Quality implements TrackIntelSource.
+func (l *liveSource) Quality(mmsi uint32) (*QualityScore, bool) {
+	if l.tracks != nil {
+		if qs, ok := l.tracks.Quality(mmsi); ok {
+			return qs, true
+		}
+	}
+	qs := DeriveQuality(mmsi, fullHistory(l, mmsi))
+	return qs, qs != nil
 }
 
 func (l *liveSource) DistinctMMSI() []uint32 {

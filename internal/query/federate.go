@@ -160,6 +160,35 @@ func (c *Client) Stats() SourceStats {
 	}
 }
 
+// Track implements TrackIntelSource: the peer computes (or reads) the
+// fused state server-side, so a federated track answer costs one
+// exchange, not a trajectory fetch plus a local replay.
+func (c *Client) Track(mmsi uint32) (*TrackState, bool) {
+	res, err := c.peerQuery(Request{Kind: KindTrack, MMSI: mmsi})
+	if err != nil || res.Track == nil {
+		return nil, false
+	}
+	return res.Track, true
+}
+
+// Predict implements TrackIntelSource.
+func (c *Client) Predict(mmsi uint32, horizon time.Duration) (*Prediction, bool) {
+	res, err := c.peerQuery(Request{Kind: KindPredict, MMSI: mmsi, Horizon: Duration(horizon)})
+	if err != nil || res.Prediction == nil {
+		return nil, false
+	}
+	return res.Prediction, true
+}
+
+// Quality implements TrackIntelSource.
+func (c *Client) Quality(mmsi uint32) (*QualityScore, bool) {
+	res, err := c.peerQuery(Request{Kind: KindQuality, MMSI: mmsi})
+	if err != nil || res.Quality == nil {
+		return nil, false
+	}
+	return res.Quality, true
+}
+
 // DistinctMMSI implements Source: one stats read with the identifier
 // sets requested — the peer answers with a sorted uint32 list, so a
 // federated stats poll moves O(vessels) integers instead of the peer's

@@ -38,6 +38,9 @@ type ContextExecutor interface {
 //	GET  /v1/situation    ?box=&rows=&cols=&severity=
 //	GET  /v1/alerts       ?from=&to=&severity=&limit=
 //	GET  /v1/stats
+//	GET  /v1/track        ?mmsi=
+//	GET  /v1/predict      ?mmsi=&horizon=
+//	GET  /v1/quality      ?mmsi=
 //
 // ServeMetrics adds GET /metrics and GET /debug/vars; ServePprof adds
 // /debug/pprof/ (both opt-in mounts on the same mux). Every GET query
@@ -72,6 +75,9 @@ func NewServer(exec Executor) *Server {
 	s.mux.HandleFunc("/v1/situation", s.handleGet(parseSituation))
 	s.mux.HandleFunc("/v1/alerts", s.handleGet(parseAlerts))
 	s.mux.HandleFunc("/v1/stats", s.handleGet(parseStats))
+	s.mux.HandleFunc("/v1/track", s.handleGet(parseTrack))
+	s.mux.HandleFunc("/v1/predict", s.handleGet(parsePredict))
+	s.mux.HandleFunc("/v1/quality", s.handleGet(parseQuality))
 	return s
 }
 
@@ -340,3 +346,33 @@ func parseAlerts(u urlValues) (Request, error) {
 }
 
 func parseStats(urlValues) (Request, error) { return Request{Kind: KindStats}, nil }
+
+func parseTrack(u urlValues) (Request, error) {
+	req := Request{Kind: KindTrack}
+	var err error
+	req.MMSI, err = u.uint32At("mmsi")
+	return req, err
+}
+
+func parsePredict(u urlValues) (Request, error) {
+	req := Request{Kind: KindPredict}
+	var err error
+	if req.MMSI, err = u.uint32At("mmsi"); err != nil {
+		return req, err
+	}
+	if s := u.str("horizon"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			return req, fmt.Errorf("query: horizon must be a duration (got %q)", s)
+		}
+		req.Horizon = Duration(d)
+	}
+	return req, nil
+}
+
+func parseQuality(u urlValues) (Request, error) {
+	req := Request{Kind: KindQuality}
+	var err error
+	req.MMSI, err = u.uint32At("mmsi")
+	return req, err
+}

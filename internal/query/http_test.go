@@ -37,6 +37,9 @@ func TestHTTPRoundTripMatchesInProcess(t *testing.T) {
 		{Kind: KindSituation, Box: &box, Rows: 6, Cols: 12},
 		{Kind: KindAlertHistory},
 		{Kind: KindStats},
+		{Kind: KindTrack, MMSI: 201000003},
+		{Kind: KindPredict, MMSI: 201000003, Horizon: Duration(15 * time.Minute)},
+		{Kind: KindQuality, MMSI: 201000003},
 		{Kind: KindSpaceTime, Box: &box, Limit: 5},
 	}
 	for _, req := range reqs {
@@ -83,6 +86,10 @@ func TestHTTPGetRoutesMatchPost(t *testing.T) {
 			Request{Kind: KindSituation, Box: &Box{MinLat: 41, MinLon: 4, MaxLat: 45, MaxLon: 9}, Rows: 6, Cols: 12}},
 		{"/v1/alerts?severity=2", Request{Kind: KindAlertHistory, MinSeverity: 2}},
 		{"/v1/stats", Request{Kind: KindStats}},
+		{"/v1/track?mmsi=201000003", Request{Kind: KindTrack, MMSI: 201000003}},
+		{"/v1/predict?mmsi=201000003&horizon=15m",
+			Request{Kind: KindPredict, MMSI: 201000003, Horizon: Duration(15 * time.Minute)}},
+		{"/v1/quality?mmsi=201000003", Request{Kind: KindQuality, MMSI: 201000003}},
 	}
 	for _, c := range cases {
 		t.Run(c.url, func(t *testing.T) {

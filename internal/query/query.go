@@ -80,12 +80,23 @@ const (
 	KindAlertHistory Kind = "alerts"
 	// KindStats reports per-source and aggregate store statistics.
 	KindStats Kind = "stats"
+	// KindTrack retrieves one vessel's fused track state: the smoothed
+	// position/velocity estimate and its covariance ellipse (trackintel.go).
+	KindTrack Kind = "track"
+	// KindPredict forecasts one vessel's position Horizon ahead of its last
+	// fix, with a 1-sigma confidence envelope radius.
+	KindPredict Kind = "predict"
+	// KindQuality reports one vessel's data-integrity score: a Beta-mean
+	// reliability with a conservative lower bound, plus per-rule issue
+	// counts from the kinematic checks.
+	KindQuality Kind = "quality"
 )
 
 // Kinds lists every request kind (stable order, used by CLIs and docs).
 func Kinds() []Kind {
 	return []Kind{KindTrajectory, KindSpaceTime, KindNearest,
-		KindLivePicture, KindSituation, KindAlertHistory, KindStats}
+		KindLivePicture, KindSituation, KindAlertHistory, KindStats,
+		KindTrack, KindPredict, KindQuality}
 }
 
 // Duration is a time.Duration with a human-readable JSON encoding: it
@@ -230,6 +241,10 @@ type Request struct {
 	Rows int `json:"rows,omitempty"`
 	Cols int `json:"cols,omitempty"`
 
+	// Horizon is how far ahead of the vessel's last fix a KindPredict
+	// request forecasts (required, positive, at most MaxPredictHorizon).
+	Horizon Duration `json:"horizon,omitempty"`
+
 	// MinSeverity filters alerts (history and situation boards).
 	MinSeverity int `json:"min_severity,omitempty"`
 
@@ -310,6 +325,21 @@ func (r Request) Validate() error {
 		}
 	case KindAlertHistory, KindStats:
 		// No required fields.
+	case KindTrack, KindQuality:
+		if r.MMSI == 0 {
+			return fmt.Errorf("query: %s requires mmsi", r.Kind)
+		}
+	case KindPredict:
+		if r.MMSI == 0 {
+			return fmt.Errorf("query: predict requires mmsi")
+		}
+		if r.Horizon <= 0 {
+			return fmt.Errorf("query: predict requires a positive horizon")
+		}
+		if time.Duration(r.Horizon) > MaxPredictHorizon {
+			return fmt.Errorf("query: predict horizon %s exceeds %s",
+				time.Duration(r.Horizon), MaxPredictHorizon)
+		}
 	case "":
 		return fmt.Errorf("query: missing kind (one of %v)", Kinds())
 	default:
@@ -483,6 +513,11 @@ type Result struct {
 	Alerts    []Alert    `json:"alerts,omitempty"`
 	Situation *Situation `json:"situation,omitempty"`
 	Stats     *Stats     `json:"stats,omitempty"`
+
+	// Track intelligence payloads (trackintel.go), one per kind.
+	Track      *TrackState   `json:"track,omitempty"`
+	Prediction *Prediction   `json:"prediction,omitempty"`
+	Quality    *QualityScore `json:"quality,omitempty"`
 
 	// Trace is the per-stage breakdown, present when the request set
 	// Trace: true. Spans appear in completion order; "total" is last.

@@ -37,6 +37,16 @@ const (
 	// UpdateSituation carries a periodically assembled situation picture
 	// (KindSituation subscriptions only).
 	UpdateSituation UpdateKind = "situation"
+	// UpdateTrack carries a periodically re-read fused track state
+	// (KindTrack subscriptions only).
+	UpdateTrack UpdateKind = "track"
+	// UpdatePredict carries a periodically recomputed position forecast
+	// (KindPredict subscriptions only) — between AIS reports the envelope
+	// grows and the position dead-reckons forward.
+	UpdatePredict UpdateKind = "predict"
+	// UpdateQuality carries a periodically re-read integrity score
+	// (KindQuality subscriptions only).
+	UpdateQuality UpdateKind = "quality"
 	// UpdateHeartbeat is a keep-alive: no payload, but Seq acknowledges
 	// the subscriber's position and Dropped surfaces queue overflow. The
 	// HTTP stream emits them; in-process subscriptions do not need them.
@@ -74,6 +84,11 @@ type Update struct {
 	Alert     *Alert     `json:"alert,omitempty"`
 	Situation *Situation `json:"situation,omitempty"`
 
+	// Ticker payloads of the track-intelligence kinds.
+	Track      *TrackState   `json:"track,omitempty"`
+	Prediction *Prediction   `json:"prediction,omitempty"`
+	Quality    *QualityScore `json:"quality,omitempty"`
+
 	// Dropped (heartbeats only) is the number of updates this
 	// subscription has lost to queue overflow so far.
 	Dropped uint64 `json:"dropped,omitempty"`
@@ -108,8 +123,9 @@ type SubOptions struct {
 	// Heartbeat is the keep-alive cadence of the HTTP stream (default
 	// 15s, minimum 100ms). In-process subscriptions ignore it.
 	Heartbeat time.Duration
-	// Tick is the assembly cadence of KindSituation subscriptions
-	// (default 2s, minimum 10ms). Other kinds ignore it.
+	// Tick is the recompute cadence of the ticker kinds — situation,
+	// track, predict, quality — (default 2s, minimum 10ms). Other kinds
+	// ignore it.
 	Tick time.Duration
 }
 
@@ -506,16 +522,33 @@ func filterFor(req Request) (func(*Update) bool, error) {
 				inWindow(u.Alert.At)
 		}, nil
 	default:
-		return nil, fmt.Errorf("query: kind %q is not streamable (one of %v, or situation via a Streamer)",
-			req.Kind, []Kind{KindTrajectory, KindSpaceTime, KindLivePicture, KindAlertHistory})
+		return nil, fmt.Errorf("query: kind %q is not streamable (one of %v, or %v via a Streamer)",
+			req.Kind, []Kind{KindTrajectory, KindSpaceTime, KindLivePicture, KindAlertHistory},
+			tickerKinds)
 	}
 }
 
+// tickerKinds are the standing queries a pure hub cannot serve: their
+// answers are recomputed through an executor on a cadence, not filtered
+// from the publication stream. The Streamer turns each into a ticker.
+var tickerKinds = []Kind{KindSituation, KindTrack, KindPredict, KindQuality}
+
+func isTickerKind(k Kind) bool {
+	for _, t := range tickerKinds {
+		if k == t {
+			return true
+		}
+	}
+	return false
+}
+
 // Streamer is the full Subscriber over a hub plus an executor: pub/sub
-// kinds go to the hub, KindSituation becomes a ticker that periodically
-// assembles the situation through the executor and pushes the picture.
-// It is also an Executor (delegating one-shot requests), so a Streamer
-// is a complete two-mode surface NewServer can serve on its own.
+// kinds go to the hub, the ticker kinds (situation, track, predict,
+// quality) periodically recompute their answer through the executor and
+// push it — a predict subscription shows dead-reckoned motion between
+// AIS reports this way. It is also an Executor (delegating one-shot
+// requests), so a Streamer is a complete two-mode surface NewServer can
+// serve on its own.
 type Streamer struct {
 	hub  *Hub
 	exec Executor
@@ -539,14 +572,14 @@ func (st *Streamer) Query(req Request) (*Result, error) {
 
 // Subscribe implements Subscriber.
 func (st *Streamer) Subscribe(req Request, opt SubOptions) (*Subscription, error) {
-	if req.Kind != KindSituation {
+	if !isTickerKind(req.Kind) {
 		return st.hub.Subscribe(req, opt)
 	}
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
 	if st.exec == nil {
-		return nil, fmt.Errorf("query: situation subscriptions need an executor")
+		return nil, fmt.Errorf("query: %s subscriptions need an executor", req.Kind)
 	}
 	req = req.normalize()
 	buf := opt.Buffer
@@ -576,11 +609,32 @@ func (st *Streamer) Subscribe(req Request, opt SubOptions) (*Subscription, error
 				sub.setErr(err)
 				return
 			}
+			u := Update{}
+			switch req.Kind {
+			case KindSituation:
+				u.Kind, u.Situation = UpdateSituation, res.Situation
+			case KindTrack:
+				if res.Track == nil { // vessel unknown yet: no tick
+					continue
+				}
+				u.Kind, u.Track = UpdateTrack, res.Track
+			case KindPredict:
+				if res.Prediction == nil {
+					continue
+				}
+				u.Kind, u.Prediction = UpdatePredict, res.Prediction
+			case KindQuality:
+				if res.Quality == nil {
+					continue
+				}
+				u.Kind, u.Quality = UpdateQuality, res.Quality
+			}
 			n++
+			u.Seq = n
 			// Ticks are assembled, not published: keep them out of the
 			// hub's In/Out accounting (drops still show on the
 			// subscription itself).
-			sub.offer(Update{Kind: UpdateSituation, Seq: n, Situation: res.Situation}, nil)
+			sub.offer(u, nil)
 		}
 	}()
 	return sub, nil

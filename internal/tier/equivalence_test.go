@@ -57,6 +57,9 @@ func TestQueryEquivalenceUnderEviction(t *testing.T) {
 			{Kind: query.KindNearest, Lat: 38, Lon: 12, At: t0.Add(10 * time.Minute), Tol: query.Duration(15 * time.Minute), K: 5},
 			{Kind: query.KindLivePicture, Box: &box},
 			{Kind: query.KindStats},
+			{Kind: query.KindTrack, MMSI: 201000003},
+			{Kind: query.KindPredict, MMSI: 201000005, Horizon: query.Duration(15 * time.Minute)},
+			{Kind: query.KindQuality, MMSI: 201000007},
 		}
 		for i := 0; ; i++ {
 			select {
@@ -131,6 +134,12 @@ func TestQueryEquivalenceUnderEviction(t *testing.T) {
 		"situation":        {Kind: query.KindSituation, Box: &box, At: t0.Add(30 * time.Minute), Rows: 8, Cols: 16},
 		"alerts":           {Kind: query.KindAlertHistory},
 		"stats":            {Kind: query.KindStats},
+		// Track intelligence replays the full trajectory, so an evicted
+		// vessel's fused state, forecast and integrity score are rebuilt
+		// from paged-back points — byte-identical or the page-back lost data.
+		"track":   {Kind: query.KindTrack, MMSI: 201000003},
+		"predict": {Kind: query.KindPredict, MMSI: 201000005, Horizon: query.Duration(15 * time.Minute)},
+		"quality": {Kind: query.KindQuality, MMSI: 201000007},
 	}
 	for name, req := range reqs {
 		wantRes, err := ctrlEng.Query(req)

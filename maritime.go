@@ -194,6 +194,36 @@
 //	qe := maritime.NewQueryEngine(maritime.NewLiveQuerySource(e.Sharded()), peer)
 //
 // maritimed -peer URL wires exactly this into a running daemon.
+//
+// # Track intelligence (fusion, forecasting, integrity)
+//
+// Three more query kinds answer per-vessel inference: track (the fused
+// Kalman state with its covariance error ellipse), predict (position at
+// t+Δ with a confidence envelope; learned route prior with
+// dead-reckoning fallback) and quality (a Beta-Bernoulli data-integrity
+// score with per-rule issue counts). With IngestConfig.Track set, an
+// online stage in each shard's dataflow maintains that state
+// incrementally — and fuses identity-less radar contacts into it via
+// IngestEngine.IngestDetections; without it, the engine derives the
+// same answers by replaying the archived trajectory, so the kinds work
+// against any source (and byte-identically across tiering eviction):
+//
+//	e := maritime.NewIngestEngine(maritime.IngestConfig{
+//	    Pipeline: maritime.PipelineConfig{Zones: run.Config.World.Zones},
+//	    Track:    &maritime.TrackConfig{}, // online stage on (zero value = defaults)
+//	})
+//	// ... ingest ...
+//	res, _ := e.Query(maritime.QueryRequest{
+//	    Kind: maritime.QueryPredict, MMSI: 235098765,
+//	    Horizon: maritime.QueryDuration(15 * time.Minute),
+//	})
+//	fmt.Println(res.Prediction.Lat, res.Prediction.Lon, res.Prediction.Method)
+//
+// Subscribed instead of executed, the same kinds become tickers: a
+// predict subscription pushes a fresh dead-reckoned (or route-model)
+// fix every tick, showing expected motion between AIS reports. msaquery
+// -track / -predict / -quality are the CLI forms (-watch predict for
+// the ticker).
 package maritime
 
 import (
@@ -212,6 +242,7 @@ import (
 	"repro/internal/store"
 	"repro/internal/synopsis"
 	"repro/internal/tier"
+	"repro/internal/track"
 	"repro/internal/tstore"
 	"repro/internal/va"
 	"repro/internal/zones"
@@ -475,6 +506,9 @@ const (
 	QueryUpdateAlert     = query.UpdateAlert
 	QueryUpdateSituation = query.UpdateSituation
 	QueryUpdateHeartbeat = query.UpdateHeartbeat
+	QueryUpdateTrack     = query.UpdateTrack
+	QueryUpdatePredict   = query.UpdatePredict
+	QueryUpdateQuality   = query.UpdateQuality
 )
 
 // The query kinds.
@@ -486,6 +520,9 @@ const (
 	QuerySituation    = query.KindSituation
 	QueryAlertHistory = query.KindAlertHistory
 	QueryStats        = query.KindStats
+	QueryTrack        = query.KindTrack
+	QueryPredict      = query.KindPredict
+	QueryQuality      = query.KindQuality
 )
 
 // NewQueryEngine builds a query engine over the given sources.
@@ -515,6 +552,32 @@ func NewQueryHub(cfg QueryHubConfig) *QueryHub { return query.NewHub(cfg) }
 
 // ParseQueryBox parses and validates "minLat,minLon,maxLat,maxLon".
 func ParseQueryBox(s string) (QueryBox, error) { return query.ParseBox(s) }
+
+// Track intelligence: online per-vessel fusion, forecasting and
+// integrity scoring behind the track/predict/quality query kinds
+// (packages internal/track and internal/query).
+type (
+	// QueryDuration is a JSON-friendly duration ("15m") used by
+	// QueryRequest.Horizon and the prediction wire form.
+	QueryDuration = query.Duration
+	// TrackState is a vessel's fused Kalman state with its covariance
+	// error ellipse — the track kind's answer.
+	TrackState = query.TrackState
+	// Prediction is a position forecast with a confidence envelope — the
+	// predict kind's answer.
+	Prediction = query.Prediction
+	// QualityScore is a vessel's data-integrity profile — the quality
+	// kind's answer.
+	QualityScore = query.QualityScore
+	// TrackConfig parameterises the online track stage; assign a
+	// (possibly zero) value to IngestConfig.Track to enable it.
+	TrackConfig = track.Config
+	// Detection is one identity-less sensor measurement (radar contact)
+	// for IngestEngine.IngestDetections.
+	Detection = track.Detection
+	// TrackStages is the sharded online tracker, readable directly.
+	TrackStages = track.Stages
+)
 
 // Observability: the unified metrics registry and per-request trace
 // (package internal/obs). Hand an ObsRegistry to IngestConfig.Obs and
