@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	aisgen [-vessels N] [-minutes M] [-seed S] [-world med|global] [-radar-range M]
+//	aisgen [-vessels N] [-minutes M] [-seed S] [-world med|global] [-radar-range M] [-truth FILE]
 //
 // With -radar-range > 0 the simulated coastal radar stations are on and
 // their contacts are interleaved into the feed, in time order, as
@@ -14,10 +14,16 @@
 //
 // maritimed -detections parses these into the online track stage; every
 // other consumer skips non-!AIVDM lines as NMEA noise.
+//
+// With -truth FILE the injected-anomaly ground truth (go-dark windows,
+// course deviations, loiters, rendezvous…) is written to FILE as one
+// JSON object per line — the scoring key experiments E8 and E21 compare
+// detector output against.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -28,12 +34,50 @@ import (
 	"repro/internal/sim"
 )
 
+// truthRecord is the ground-truth wire form: one injected anomaly per
+// line, stable field names so scoring tools need no sim import.
+type truthRecord struct {
+	Kind  string    `json:"kind"`
+	MMSI  uint32    `json:"mmsi"`
+	Other uint32    `json:"other,omitempty"`
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+	Lat   float64   `json:"lat,omitempty"`
+	Lon   float64   `json:"lon,omitempty"`
+}
+
+// writeTruth dumps the injected-anomaly log as JSON lines.
+func writeTruth(path string, events []sim.TruthEvent) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	for _, e := range events {
+		r := truthRecord{
+			Kind: string(e.Kind), MMSI: e.MMSI, Other: e.Other,
+			Start: e.Start, End: e.End, Lat: e.Where.Lat, Lon: e.Where.Lon,
+		}
+		if err := enc.Encode(r); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func main() {
 	vessels := flag.Int("vessels", 100, "fleet size")
 	minutes := flag.Int("minutes", 30, "simulated duration in minutes")
 	seed := flag.Int64("seed", 1, "random seed")
 	world := flag.String("world", "med", "world: med or global")
 	radarRange := flag.Float64("radar-range", 0, "coastal radar range in metres (0 = no radar); contacts interleave as $PRADAR sentences")
+	truthPath := flag.String("truth", "", "write injected-anomaly ground truth to this file (one JSON event per line)")
 	flag.Parse()
 
 	cfg := sim.Config{
@@ -50,6 +94,11 @@ func main() {
 	run, err := sim.Simulate(cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *truthPath != "" {
+		if err := writeTruth(*truthPath, run.Events); err != nil {
+			log.Fatalf("aisgen: writing truth log: %v", err)
+		}
 	}
 	w := bufio.NewWriter(os.Stdout)
 	n := 0
@@ -98,4 +147,7 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "aisgen: %d sentences (%d position reports, %d statics, %d radar contacts) from %d vessels over %dm\n",
 		n, len(run.Positions), len(run.Statics), len(run.Radar), *vessels, *minutes)
+	if *truthPath != "" {
+		fmt.Fprintf(os.Stderr, "aisgen: %d ground-truth events -> %s\n", len(run.Events), *truthPath)
+	}
 }

@@ -49,7 +49,22 @@
 // live instead of by archive replay. With -detections it additionally
 // parses $PRADAR radar-contact lines interleaved in the feed (aisgen
 // -radar-range emits them) and fuses those identity-less contacts into
-// the vessel tracks.
+// the vessel tracks. With -data-dir, anonymous radar-only tracks (which
+// exist nowhere in the archive) are snapshotted to orphans.json at
+// shutdown and resumed at startup, so the whole track picture survives
+// a restart.
+//
+// With -anomaly the daemon runs the streaming anomaly lane: a behavior
+// profile per vessel (sliding-window distribution shift against the
+// vessel's own history), stop/move episodes materialised into a
+// semantic store as they close, and continuous open-world CEP —
+// reporting gaps matched across vessels for physically feasible covert
+// meetings, raised as possible-rendezvous alerts on the daemon's alert
+// stream (and every /v1/stream alert subscription). The anomalies query
+// kind (/v1/anomalies, msaquery -anomalies / -watch anomalies) answers
+// live from the stage. Failure semantics: the stage never refuses
+// traffic or fails a query; without -anomaly the kind still answers,
+// derived from the archive on demand.
 //
 // With -mem-budget the archive exceeds RAM: once resident points pass
 // the budget, the coldest vessels are evicted down to compact stubs and
@@ -62,7 +77,7 @@
 //
 // Usage:
 //
-//	aisgen -vessels 200 -minutes 60 | maritimed [-shards N] [-decoders N] [-data-dir DIR] [-fsync MODE] [-remote-dir DIR] [-mem-budget SIZE] [-http ADDR] [-pprof] [-stats-every D] [-track] [-detections] [-peer URL]...
+//	aisgen -vessels 200 -minutes 60 | maritimed [-shards N] [-decoders N] [-data-dir DIR] [-fsync MODE] [-remote-dir DIR] [-mem-budget SIZE] [-http ADDR] [-pprof] [-stats-every D] [-track] [-detections] [-anomaly] [-peer URL]...
 package main
 
 import (
@@ -144,6 +159,7 @@ func main() {
 	statsEvery := flag.Duration("stats-every", 0, "print a periodic health line read from the metrics registry (0 = off)")
 	trackOn := flag.Bool("track", false, "run the online track-intelligence stage (fused Kalman state, route forecasts, integrity scores behind the track/predict/quality query kinds)")
 	detections := flag.Bool("detections", false, "parse $PRADAR radar-contact lines from the feed into the track stage (implies -track); aisgen -radar-range emits them")
+	anomalyOn := flag.Bool("anomaly", false, "run the streaming anomaly lane (behavior profiles behind the anomalies query kind, continuous episode extraction, possible-rendezvous CEP alerts)")
 	var peers []string
 	flag.Func("peer", "federate another maritimed -http daemon's picture into query answers (repeatable)",
 		func(u string) error { peers = append(peers, u); return nil })
@@ -174,6 +190,12 @@ func main() {
 		} else {
 			fmt.Println("[track] online tracker on")
 		}
+	}
+	var semantic *maritime.SemanticStore
+	if *anomalyOn {
+		semantic = maritime.NewSemanticStore()
+		cfg.Anomaly = &maritime.AnomalyConfig{Semantic: semantic, Zones: world.Zones}
+		fmt.Println("[anomaly] streaming anomaly lane on: behavior profiles, episode extraction, possible-rendezvous CEP")
 	}
 
 	// Tiered storage: -remote-dir is the object store sealed segments,
@@ -260,6 +282,24 @@ func main() {
 	}
 	ctx := context.Background()
 	engine.Start(ctx)
+
+	// Anonymous radar-only tracks exist nowhere in the archive (identified
+	// tracks rebuild from it), so with -track and -data-dir the orphan
+	// picture parked at the previous shutdown is resumed here.
+	orphansPath := ""
+	if *dataDir != "" && (*trackOn || *detections) {
+		orphansPath = filepath.Join(*dataDir, "orphans.json")
+		if data, err := os.ReadFile(orphansPath); err == nil {
+			if err := engine.Tracks().DecodeOrphans(data); err != nil {
+				// A stale or resharded snapshot starts fresh, not fatally.
+				fmt.Fprintln(os.Stderr, "maritimed: resuming orphan tracks:", err)
+			} else if n := engine.Tracks().OrphanCount(); n > 0 {
+				fmt.Printf("[track] resumed %d anonymous radar tracks from %s\n", n, orphansPath)
+			}
+		} else if !os.IsNotExist(err) {
+			fmt.Fprintln(os.Stderr, "maritimed: reading orphan snapshot:", err)
+		}
+	}
 
 	// Query API: the unified read surface over the ingesting shards,
 	// served concurrently with ingest (reads see each shard's consistent
@@ -423,6 +463,20 @@ func main() {
 			fmt.Print(")")
 		}
 		fmt.Println()
+		// Park the anonymous picture for the next process; identified
+		// tracks need no snapshot (the archive replays them).
+		if orphansPath != "" {
+			if data, err := tracks.EncodeOrphans(); err != nil {
+				fmt.Fprintln(os.Stderr, "maritimed: snapshotting orphan tracks:", err)
+			} else if err := os.WriteFile(orphansPath, data, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "maritimed: writing orphan snapshot:", err)
+			}
+		}
+	}
+
+	if anoms := engine.Anomalies(); anoms != nil {
+		fmt.Printf("[anomaly] %d vessels profiled; %d episodes closed (%d triples), %d reporting gaps, %d possible rendezvous\n",
+			anoms.VesselCount(), anoms.EpisodeCount(), semantic.Len(), anoms.GapCount(), anoms.RendezvousCount())
 	}
 
 	// Final summaries read from the registry — the same numbers a

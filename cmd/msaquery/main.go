@@ -17,10 +17,12 @@
 //	msaquery -http localhost:8080 -track 201000091
 //	msaquery -http localhost:8080 -predict 201000091 -horizon 15m
 //	msaquery -http localhost:8080 -quality 201000091
+//	msaquery -http localhost:8080 -anomalies ranked -limit 10
+//	msaquery -http localhost:8080 -anomalies 201000091
 //
 // Exactly one query flag (-vessel, -box, -knn, -live, -situation,
-// -alerts, -stats, -track, -predict, -quality) runs per invocation;
-// -from/-to/-at bound time where
+// -alerts, -stats, -track, -predict, -quality, -anomalies) runs per
+// invocation; -from/-to/-at bound time where
 // the kind supports it, and -json dumps the raw Result encoding instead
 // of the human summary. -trace asks the executor to record where the
 // query spent its time and prints the per-stage breakdown (per-source
@@ -34,10 +36,15 @@
 //	msaquery -http localhost:8080 -follow 201000091        # vessel follow
 //	msaquery -http localhost:8080 -watch "42,4,44,9" -count 100 -json
 //	msaquery -http localhost:8080 -watch predict -predict 201000091 -horizon 10m
+//	msaquery -http localhost:8080 -watch anomalies                    # ranked board ticker
+//	msaquery -http localhost:8080 -watch anomalies -anomalies 201000091
 //
-// The last form is the forecast ticker: a standing predict query that
+// -watch predict is the forecast ticker: a standing predict query that
 // pushes a fresh dead-reckoned (or route-model) fix every tick, showing
-// the vessel's expected motion between AIS reports.
+// the vessel's expected motion between AIS reports. -watch anomalies is
+// the deviation ticker: the fleet ranked by behavior-shift score (or one
+// vessel's report, with -anomalies MMSI) pushed every tick — a client
+// watching "vessels deviating from their own history".
 package main
 
 import (
@@ -47,6 +54,7 @@ import (
 	"log"
 	"os"
 	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/geo"
@@ -79,6 +87,7 @@ func main() {
 	predict := flag.Uint("predict", 0, "predict query: forecast this MMSI's position -horizon ahead")
 	horizon := flag.Duration("horizon", 0, "forecast horizon for -predict (e.g. 15m; required, at most 24h)")
 	quality := flag.Uint("quality", 0, "quality query: data-integrity score for this MMSI")
+	anomalies := flag.String("anomalies", "", "anomalies query: an MMSI for one vessel's deviation report, or \"ranked\" for the fleet board (cap with -limit)")
 	from := flag.String("from", "", "lower time bound, RFC 3339")
 	to := flag.String("to", "", "upper time bound, RFC 3339")
 	at := flag.String("at", "", "reference instant for -knn, RFC 3339 (default: any time)")
@@ -87,7 +96,7 @@ func main() {
 	asJSON := flag.Bool("json", false, "print the raw Result JSON instead of a summary")
 	trace := flag.Bool("trace", false, "request a per-stage trace and print where the query spent its time")
 
-	watch := flag.String("watch", "", "standing box watch (requires -http): minLat,minLon,maxLat,maxLon — or the literal \"predict\" with -predict/-horizon for a forecast ticker")
+	watch := flag.String("watch", "", "standing box watch (requires -http): minLat,minLon,maxLat,maxLon — or the literal \"predict\" with -predict/-horizon for a forecast ticker, or \"anomalies\" (optionally with -anomalies MMSI) for a deviation ticker")
 	follow := flag.Uint("follow", 0, "standing per-vessel follow (requires -http): MMSI")
 	count := flag.Int("count", 0, "stop a -watch/-follow stream after this many updates (0 = until interrupted)")
 	fromSeq := flag.Uint64("from-seq", 0, "resume a -watch/-follow stream after this sequence number")
@@ -102,7 +111,7 @@ func main() {
 		if *httpAddr == "" {
 			log.Fatal("-watch/-follow are standing queries against a daemon: pass -http ADDR")
 		}
-		streamUpdates(*httpAddr, *watch, uint32(*follow), uint32(*predict), *horizon, *count, *fromSeq, *asJSON)
+		streamUpdates(*httpAddr, *watch, uint32(*follow), uint32(*predict), *horizon, *anomalies, *count, *fromSeq, *asJSON)
 		return
 	}
 
@@ -110,7 +119,8 @@ func main() {
 		vessel: uint32(*vessel), box: *box, knn: *knn, k: *k,
 		live: *live, situation: *situation, alerts: *alerts, stats: *stats,
 		track: uint32(*track), predict: uint32(*predict), horizon: *horizon, quality: uint32(*quality),
-		severity: *severity, from: *from, to: *to, at: *at, tol: *tol, limit: *limit,
+		anomalies: *anomalies,
+		severity:  *severity, from: *from, to: *to, at: *at, tol: *tol, limit: *limit,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -178,6 +188,7 @@ type reqFlags struct {
 	track, predict  uint32
 	horizon         time.Duration
 	quality         uint32
+	anomalies       string
 	severity        int
 	from, to, at    string
 	tol             time.Duration
@@ -256,8 +267,17 @@ func buildRequest(f reqFlags) (query.Request, error) {
 		req.Kind = query.KindQuality
 		req.MMSI = f.quality
 	}
+	if f.anomalies != "" {
+		modes++
+		req.Kind = query.KindAnomalies
+		mmsi, err := parseAnomalyTarget(f.anomalies)
+		if err != nil {
+			return req, err
+		}
+		req.MMSI = mmsi
+	}
 	if modes != 1 {
-		return req, fmt.Errorf("pass exactly one of -vessel, -box, -knn, -live, -situation, -alerts, -stats, -track, -predict, -quality (got %d)", modes)
+		return req, fmt.Errorf("pass exactly one of -vessel, -box, -knn, -live, -situation, -alerts, -stats, -track, -predict, -quality, -anomalies (got %d)", modes)
 	}
 	var err error
 	if req.From, err = parseTime(f.from, "-from"); err != nil {
@@ -270,6 +290,20 @@ func buildRequest(f reqFlags) (query.Request, error) {
 		return req, err
 	}
 	return req, req.Validate()
+}
+
+// parseAnomalyTarget interprets the -anomalies value: "ranked" (or
+// "all") asks for the fleet board (MMSI 0), anything else must be the
+// MMSI of the vessel whose deviation report to fetch.
+func parseAnomalyTarget(s string) (uint32, error) {
+	if s == "ranked" || s == "all" {
+		return 0, nil
+	}
+	n, err := strconv.ParseUint(s, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad -anomalies (want an MMSI or \"ranked\"): %q", s)
+	}
+	return uint32(n), nil
 }
 
 func parseTime(s, flagName string) (time.Time, error) {
@@ -349,8 +383,10 @@ func openExecutor(read, data, remote, httpAddr string) (query.Executor, string, 
 // streamUpdates runs a standing query (-watch / -follow) over /v1/stream
 // and prints updates as they arrive. -watch predict (with -predict and
 // -horizon) is the forecast ticker: a fresh dead-reckoned or route-model
-// fix every tick, showing expected motion between AIS reports.
-func streamUpdates(httpAddr, watch string, follow, predict uint32, horizon time.Duration, count int, fromSeq uint64, asJSON bool) {
+// fix every tick, showing expected motion between AIS reports. -watch
+// anomalies is the deviation ticker: the ranked behavior-shift board
+// (or one vessel's report, with -anomalies MMSI) every tick.
+func streamUpdates(httpAddr, watch string, follow, predict uint32, horizon time.Duration, anomalies string, count int, fromSeq uint64, asJSON bool) {
 	var req query.Request
 	switch {
 	case watch != "" && follow != 0:
@@ -360,6 +396,19 @@ func streamUpdates(httpAddr, watch string, follow, predict uint32, horizon time.
 			log.Fatal("-watch predict needs the vessel: pass -predict MMSI (and -horizon)")
 		}
 		req = query.Request{Kind: query.KindPredict, MMSI: predict, Horizon: query.Duration(horizon)}
+		if err := req.Validate(); err != nil {
+			log.Fatal(err)
+		}
+	case watch == "anomalies":
+		var mmsi uint32
+		if anomalies != "" {
+			m, err := parseAnomalyTarget(anomalies)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mmsi = m
+		}
+		req = query.Request{Kind: query.KindAnomalies, MMSI: mmsi}
 		if err := req.Validate(); err != nil {
 			log.Fatal(err)
 		}
@@ -406,6 +455,21 @@ func streamUpdates(httpAddr, watch string, follow, predict uint32, horizon time.
 			q := u.Quality
 			fmt.Printf("#%-8d vessel %-9d reliability %.3f (lower %.3f), %d/%d flagged\n",
 				u.Seq, q.MMSI, q.Reliability, q.LowerBound, q.Flagged, q.Checked)
+		} else if u.Anomalies != nil {
+			if v := u.Anomalies.Vessel; v != nil {
+				fmt.Printf("#%-8d vessel %-9d score %.3f (spd %.3f hdg %.3f pos %.3f)  %d gaps  %s\n",
+					u.Seq, v.MMSI, v.Score, v.SpeedShift, v.HeadingShift, v.PositionShift,
+					v.Gaps, v.At.Format("15:04:05"))
+			} else {
+				fmt.Printf("#%-8d %d vessels by deviation score\n", u.Seq, len(u.Anomalies.Ranked))
+				top := u.Anomalies.Ranked
+				if len(top) > 5 {
+					top = top[:5]
+				}
+				for i, v := range top {
+					fmt.Printf("  %d. vessel %-9d score %.3f  %d gaps\n", i+1, v.MMSI, v.Score, v.Gaps)
+				}
+			}
 		} else if u.Kind == query.UpdateRewound {
 			fmt.Fprintf(os.Stderr, "(stream rewound: daemon restarted — cursor reset to seq %d in epoch %x; retained-but-undelivered updates from the old epoch are gone)\n",
 				u.Seq, u.Epoch)
@@ -509,6 +573,24 @@ func printResult(req query.Request, res *query.Result) {
 		for _, rule := range sortedKeys(q.Issues) {
 			fmt.Printf("  %-16s %d\n", rule, q.Issues[rule])
 		}
+	case query.KindAnomalies:
+		if res.Anomalies == nil {
+			log.Fatal("no anomaly report (is the daemon running, or the archive empty?)")
+		}
+		if req.MMSI != 0 {
+			v := res.Anomalies.Vessel
+			if v == nil {
+				log.Fatalf("vessel %d not found", req.MMSI)
+			}
+			printVesselAnomaly(v)
+			break
+		}
+		fmt.Printf("%d vessels by deviation score\n", len(res.Anomalies.Ranked))
+		for i, v := range res.Anomalies.Ranked {
+			fmt.Printf("%2d. vessel %-9d score %.3f (spd %.3f hdg %.3f pos %.3f)  %d gaps  %d samples\n",
+				i+1, v.MMSI, v.Score, v.SpeedShift, v.HeadingShift, v.PositionShift,
+				v.Gaps, v.Samples)
+		}
 	case query.KindStats:
 		st := res.Stats
 		fmt.Printf("%d points, %d vessels, %d live, %d alerts\n",
@@ -528,6 +610,30 @@ func printResult(req query.Request, res *query.Result) {
 	}
 	if res.Truncated {
 		fmt.Printf("(truncated to -limit %d of %d)\n", req.Limit, res.Count)
+	}
+}
+
+// printVesselAnomaly renders one vessel's full deviation report: the
+// headline score, the per-dimension shifts behind it, the reporting-gap
+// bookkeeping and the recent stop/move episode timeline.
+func printVesselAnomaly(v *query.VesselAnomaly) {
+	fmt.Printf("vessel %d deviation %.3f (speed %.3f, heading %.3f, position %.3f) over %d samples, at %s\n",
+		v.MMSI, v.Score, v.SpeedShift, v.HeadingShift, v.PositionShift,
+		v.Samples, v.At.Format(time.RFC3339))
+	if v.Gaps > 0 && v.LastGap != nil {
+		g := v.LastGap
+		fmt.Printf("  %d reporting gaps; last %s → %s (%s dark)\n",
+			v.Gaps, g.Start.Format("15:04:05"), g.End.Format("15:04:05"),
+			time.Duration(g.Duration).Round(time.Second))
+	}
+	for _, e := range v.Episodes {
+		fmt.Printf("  episode %-8s %s → %s  %8.4f,%9.4f  %4.1f kn\n",
+			e.Activity, e.Start.Format("15:04:05"), e.End.Format("15:04:05"),
+			e.Lat, e.Lon, e.AvgSpeedKn)
+	}
+	if e := v.Current; e != nil {
+		fmt.Printf("  current %-8s since %s  %8.4f,%9.4f  %4.1f kn\n",
+			e.Activity, e.Start.Format("15:04:05"), e.Lat, e.Lon, e.AvgSpeedKn)
 	}
 }
 

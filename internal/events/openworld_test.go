@@ -1,0 +1,87 @@
+package events
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+)
+
+// TestPossibleRendezvousGeometry pins the qualification's edges, as the
+// oracle the online CEP matcher (internal/anomaly) is compared against:
+// the overlap bound is strict (exactly MinOverlap rejects), feasibility
+// must fit reach + dwell + return inside each gap at MaxSpeedKn, and an
+// admitted alert carries the overlap window and meeting point.
+func TestPossibleRendezvousGeometry(t *testing.T) {
+	cfg := DefaultOpenWorldConfig() // 25 kn, 1000 m, 10 m overlap
+	base := geo.Point{Lat: 41, Lon: 8}
+	near := geo.Destination(base, 90, 2000)
+	gap := func(mmsi uint32, fromSec, toSec int, p geo.Point) Gap {
+		return Gap{MMSI: mmsi, Before: st(mmsi, fromSec, p, 10, 90), After: st(mmsi, toSec, p, 10, 90)}
+	}
+
+	t.Run("zero overlap rejects", func(t *testing.T) {
+		a := gap(1, 0, 3600, base)
+		b := gap(2, 3600, 7200, near) // touches a's end: no shared silence
+		if _, ok := PossibleRendezvous(a, b, cfg); ok {
+			t.Fatal("disjoint silent windows admitted")
+		}
+	})
+
+	t.Run("exactly MinOverlap rejects", func(t *testing.T) {
+		// Overlap is [3000, 3600]: exactly 10 minutes. The bound is
+		// strict — meeting for the minimum leaves no travel slack.
+		a := gap(1, 0, 3600, base)
+		b := gap(2, 3000, 7200, near)
+		if _, ok := PossibleRendezvous(a, b, cfg); ok {
+			t.Fatal("exactly-MinOverlap windows admitted; the bound is strict")
+		}
+		// One second more of shared silence (with room to travel and
+		// dwell) admits.
+		c := gap(2, 2000, 7200, near)
+		if _, ok := PossibleRendezvous(a, c, cfg); !ok {
+			t.Fatal("window past MinOverlap with trivial travel rejected")
+		}
+	})
+
+	t.Run("unreachable meeting point at MaxSpeedKn rejects", func(t *testing.T) {
+		// Anchors 30 km apart, 15 km each way to the midpoint; at 25 kn
+		// (~12.9 m/s) that is ~2333 s of travel + 600 s dwell per vessel,
+		// but each gap is only 2400 s long.
+		farPoint := geo.Destination(base, 90, 30000)
+		a := gap(1, 0, 2400, base)
+		b := gap(2, 0, 2400, farPoint)
+		if _, ok := PossibleRendezvous(a, b, cfg); ok {
+			t.Fatal("meeting point beyond MaxSpeedKn reach admitted")
+		}
+		// The same geometry with three-hour gaps is feasible.
+		al := gap(1, 0, 10800, base)
+		bl := gap(2, 0, 10800, farPoint)
+		if _, ok := PossibleRendezvous(al, bl, cfg); !ok {
+			t.Fatal("reachable meeting rejected")
+		}
+	})
+
+	t.Run("alert carries the overlap window and meeting point", func(t *testing.T) {
+		a := gap(1, 0, 7200, base)
+		b := gap(2, 600, 6000, near)
+		alert, ok := PossibleRendezvous(a, b, cfg)
+		if !ok {
+			t.Fatal("feasible pair rejected")
+		}
+		if alert.Kind != KindPossibleRendezvous || alert.MMSI != 1 || alert.Other != 2 {
+			t.Fatalf("alert identity off: %+v", alert)
+		}
+		wantStart := t0().Add(600 * time.Second)
+		wantEnd := t0().Add(6000 * time.Second)
+		if !alert.Start.Equal(wantStart) || !alert.At.Equal(wantEnd) {
+			t.Fatalf("overlap window off: [%v, %v], want [%v, %v]",
+				alert.Start, alert.At, wantStart, wantEnd)
+		}
+		wantMeet := geo.Midpoint(geo.Midpoint(a.Before.Pos, a.After.Pos),
+			geo.Midpoint(b.Before.Pos, b.After.Pos))
+		if d := geo.Distance(alert.Where, wantMeet); d > 1 {
+			t.Fatalf("meeting point %v, want %v (off by %.1f m)", alert.Where, wantMeet, d)
+		}
+	})
+}

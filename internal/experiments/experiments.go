@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction harness: one function
-// per experiment in DESIGN.md's index (E1–E20), each returning the
+// per experiment in DESIGN.md's index (E1–E21), each returning the
 // paper-style table rows that EXPERIMENTS.md records. Everything is
 // seeded and deterministic (E5/E14/E15/E16/E17/E18 wall-clock columns
 // vary with the hardware; counts do not).
@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/anomaly"
 	"repro/internal/core"
 	"repro/internal/events"
 	"repro/internal/forecast"
@@ -1855,4 +1856,243 @@ func E20(seed int64) Table {
 		"predict rows: fleet simulated 2h, history cut at 80min, stage forecasts compared to interpolated ground truth at cut+horizon",
 		"hybrid = the stage's shard-shared route prior with dead-reckoning fallback; negative delta = hybrid beats pure dead reckoning")
 	return t
+}
+
+// E21 characterises the streaming anomaly lane along the two axes the
+// design cares about: what the always-on stage costs the ingest hot
+// path (Config.Anomaly set vs nil, same feed), and what its continuous
+// detectors are worth against injected ground truth — reporting-gap
+// recognition against scheduled dark windows, the possible-rendezvous
+// CEP against dark meetings, and behavior-profile score separation for
+// vessels steered far off their own history.
+func E21(seed int64) Table {
+	ctx := context.Background()
+
+	// --- (a) ingest overhead: anomaly stage on vs off -----------------------
+	cfg := sim.Config{Seed: seed, NumVessels: 1500, Duration: 20 * time.Minute, TickSec: 2}
+	cfg.DefaultAnomalyRates()
+	run, err := sim.Simulate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	const reps = 5
+	var offRate, onRate float64
+	var profiled int
+	oneRun := func(withAnomaly bool) float64 {
+		icfg := ingest.Config{
+			Pipeline: core.Config{Zones: run.Config.World.Zones, SynopsisToleranceM: 60},
+		}
+		if withAnomaly {
+			icfg.Anomaly = &anomaly.Config{}
+		}
+		// Level the heap between runs so one config doesn't inherit the
+		// other's (or an earlier experiment's) GC debt.
+		runtime.GC()
+		e := ingest.New(icfg)
+		e.Start(ctx)
+		drained := make(chan struct{})
+		go func() {
+			defer close(drained)
+			for range e.Alerts() {
+			}
+		}()
+		t0 := time.Now()
+		for i := range run.Positions {
+			o := &run.Positions[i]
+			e.Ingest(ctx, o.At, &o.Report)
+		}
+		e.Close()
+		<-drained
+		wall := time.Since(t0)
+		if as := e.Anomalies(); as != nil {
+			profiled = as.VesselCount()
+		}
+		e.Wait()
+		return float64(len(run.Positions)) / wall.Seconds()
+	}
+	// Interleave the configs rep by rep (best-of-reps each) so slow
+	// machine-level drift hits both sides symmetrically instead of
+	// biasing whichever config runs second.
+	for rep := 0; rep < reps; rep++ {
+		if r := oneRun(false); r > offRate {
+			offRate = r
+		}
+		if r := oneRun(true); r > onRate {
+			onRate = r
+		}
+	}
+
+	// --- (b) detection quality vs injected truth ----------------------------
+	// Identity spoofing silences the true MMSI without a dark label, which
+	// would miscount honest gap detections as false positives — off here.
+	// Dark rendezvous are scheduled explicitly (DefaultAnomalyRates leaves
+	// them to the operator) so the CEP matcher has labelled meetings.
+	dcfg := sim.Config{Seed: seed + 1, NumVessels: 300, Duration: 3 * time.Hour, TickSec: 5}
+	dcfg.DefaultAnomalyRates()
+	dcfg.SpoofShipFrac = 0
+	dcfg.DarkRendezvousFrac = 0.08
+	drun, err := sim.Simulate(dcfg)
+	if err != nil {
+		panic(err)
+	}
+	stages := anomaly.NewStages(4, anomaly.Config{RecentGaps: 1 << 14})
+	for i := range drun.Positions {
+		o := &drun.Positions[i]
+		st := model.FromReport(o.At, &o.Report)
+		if err := stages.ShardFor(st.MMSI).Append(st); err != nil {
+			panic(err)
+		}
+	}
+	firstAt, lastAt := map[uint32]time.Time{}, map[uint32]time.Time{}
+	for i := range drun.Positions {
+		o := &drun.Positions[i]
+		if _, ok := firstAt[o.Report.MMSI]; !ok {
+			firstAt[o.Report.MMSI] = o.At
+		}
+		lastAt[o.Report.MMSI] = o.At
+	}
+	overlaps := func(aFrom, aTo, bFrom, bTo time.Time) bool {
+		return aFrom.Before(bTo) && bFrom.Before(aTo)
+	}
+
+	// Gap recognition vs scheduled dark windows. The truth denominator
+	// counts only windows the stream can reveal: long enough to cross the
+	// gap threshold, started after the vessel's first received report and
+	// ended before its last (the silence has a closing edge).
+	darks := map[uint32][]sim.TruthEvent{}
+	for _, ev := range drun.Events {
+		if ev.Kind == sim.EventDark {
+			darks[ev.MMSI] = append(darks[ev.MMSI], ev)
+		}
+	}
+	gaps := stages.RecentGaps()
+	gapTP := 0
+	for _, g := range gaps {
+		for _, ev := range darks[g.MMSI] {
+			if overlaps(g.Before.At, g.After.At, ev.Start, ev.End) {
+				gapTP++
+				break
+			}
+		}
+	}
+	revealable := func(ev sim.TruthEvent) bool {
+		return ev.End.Sub(ev.Start) >= query.AnomalyGapThreshold &&
+			ev.Start.After(firstAt[ev.MMSI]) && ev.End.Before(lastAt[ev.MMSI])
+	}
+	var darkWindows, darkHit int
+	for _, evs := range darks {
+		for _, ev := range evs {
+			if !revealable(ev) {
+				continue
+			}
+			darkWindows++
+			for _, g := range gaps {
+				if g.MMSI == ev.MMSI && overlaps(g.Before.At, g.After.At, ev.Start, ev.End) {
+					darkHit++
+					break
+				}
+			}
+		}
+	}
+
+	// Possible-rendezvous CEP vs dark meetings: the truth set is the
+	// rendezvous whose both participants hold a dark window over the
+	// meeting (revealable as above); an alert matches on the unordered
+	// pair plus window overlap.
+	type pair struct{ a, b uint32 }
+	norm := func(a, b uint32) pair {
+		if a > b {
+			a, b = b, a
+		}
+		return pair{a, b}
+	}
+	coverDark := func(mmsi uint32, ev sim.TruthEvent) bool {
+		for _, d := range darks[mmsi] {
+			if overlaps(d.Start, d.End, ev.Start, ev.End) && revealable(d) {
+				return true
+			}
+		}
+		return false
+	}
+	meetings := map[pair]sim.TruthEvent{}
+	for _, ev := range drun.Events {
+		if ev.Kind == sim.EventRendezvous && coverDark(ev.MMSI, ev) && coverDark(ev.Other, ev) {
+			meetings[norm(ev.MMSI, ev.Other)] = ev
+		}
+	}
+	alerts := stages.Alerts()
+	alertTP, meetingsHit := 0, map[pair]bool{}
+	for _, a := range alerts {
+		ev, ok := meetings[norm(a.MMSI, a.Other)]
+		if ok && overlaps(a.Start, a.At, ev.Start, ev.End) {
+			alertTP++
+			meetingsHit[norm(a.MMSI, a.Other)] = true
+		}
+	}
+
+	// Behavior-profile separation: vessels steered off course while
+	// transmitting honestly vs vessels with no injected behaviour at all.
+	devSet, anomalous := map[uint32]bool{}, map[uint32]bool{}
+	for _, ev := range drun.Events {
+		if ev.Kind == sim.EventCourseDeviation {
+			devSet[ev.MMSI] = true
+		}
+		anomalous[ev.MMSI] = true
+		if ev.Other != 0 {
+			anomalous[ev.Other] = true
+		}
+	}
+	ranked, _ := stages.RankedAnomalies(0)
+	var devSum, cleanSum float64
+	var devN, cleanN int
+	for _, v := range ranked {
+		switch {
+		case devSet[v.MMSI]:
+			devSum += v.Score
+			devN++
+		case !anomalous[v.MMSI]:
+			cleanSum += v.Score
+			cleanN++
+		}
+	}
+
+	t := Table{
+		ID: "E21", Title: "streaming anomaly lane: ingest overhead and detection quality",
+		Cols: []string{"measurement", "n", "result", "baseline", "delta"},
+	}
+	t.Rows = append(t.Rows,
+		[]string{"ingest msg/s, anomaly stage off", f("%d msgs", len(run.Positions)),
+			f("%.0f msg/s", offRate), "—", "—"},
+		[]string{"ingest msg/s, anomaly stage on", f("%d vessels profiled", profiled),
+			f("%.0f msg/s", onRate), f("%.0f msg/s", offRate),
+			f("%+.1f%% overhead", 100*(offRate-onRate)/offRate)},
+		[]string{"gap recognition vs dark windows", f("%d gaps / %d windows", len(gaps), darkWindows),
+			f("%.2f recall", ratio(darkHit, darkWindows)),
+			f("%.2f dark base rate", ratio(gapTP, len(gaps))), "—"},
+		[]string{"possible-rendezvous CEP vs dark meetings", f("%d alerts / %d meetings", len(alerts), len(meetings)),
+			f("%.2f precision", ratio(alertTP, len(alerts))),
+			f("%.2f recall", ratio(len(meetingsHit), len(meetings))),
+			f("%.0f× over base rate", ratio(alertTP, len(alerts))/ratio(gapTP, len(gaps)))},
+	)
+	if devN > 0 && cleanN > 0 && cleanSum > 0 {
+		devMean, cleanMean := devSum/float64(devN), cleanSum/float64(cleanN)
+		t.Rows = append(t.Rows, []string{
+			"profile shift score, course-deviation vs clean", f("%d dev / %d clean vessels", devN, cleanN),
+			f("%.3f mean score", devMean), f("%.3f mean score", cleanMean),
+			f("%.1f× separation", devMean/cleanMean)})
+	}
+	t.Notes = append(t.Notes,
+		f("overhead is best-of-%d full-feed ingest runs per config, configs interleaved rep by rep, stage on vs off in the post-synopsis tee (positive = stage slower); target ≤5%%", reps),
+		"gap recall counts revealable dark windows (≥ gap threshold, closed by a later report) the stage recognised; most detected gaps are honest satellite-coverage silences, so the labelled share is a base rate, not detector precision — a silence alone is weak evidence, which is why the CEP correlates pairs",
+		"rendezvous truth = scheduled meetings whose both participants hold a revealable dark window over the meeting; alerts match on the unordered pair plus window overlap",
+		"profile row: mean distribution-shift score of honestly-transmitting course-deviation vessels vs vessels with no injected behaviour (higher separation = better ranking)")
+	return t
+}
+
+// ratio is a safe divide for precision/recall rows (0/0 reads as 0).
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
 }

@@ -1,0 +1,111 @@
+package fusion
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/geo"
+)
+
+// FilterSnapshot is the persistable state of a KalmanCV: everything the
+// filter needs to resume exactly where it stopped. JSON round-trips
+// float64 exactly (shortest-representation encoding), so a restored
+// filter is bit-for-bit the one snapshotted.
+type FilterSnapshot struct {
+	Origin       geo.Point `json:"origin"`
+	ProcessNoise float64   `json:"process_noise"`
+	X            Vec4      `json:"x"`
+	P            Mat4      `json:"p"`
+	T            time.Time `json:"t"`
+	Initialised  bool      `json:"initialised"`
+}
+
+// Snapshot captures the filter's state.
+func (k *KalmanCV) Snapshot() FilterSnapshot {
+	return FilterSnapshot{
+		Origin: k.Plane.Origin, ProcessNoise: k.ProcessNoise,
+		X: k.X, P: k.P, T: k.T, Initialised: k.initialised,
+	}
+}
+
+// RestoreFilter rebuilds a filter from its snapshot.
+func RestoreFilter(s FilterSnapshot) *KalmanCV {
+	k := NewKalmanCV(s.Origin, s.ProcessNoise)
+	k.X, k.P, k.T = s.X, s.P, s.T
+	k.initialised = s.Initialised
+	return k
+}
+
+// TrackSnapshot is the persistable state of one track hypothesis.
+type TrackSnapshot struct {
+	ID        int            `json:"id"`
+	Identity  uint32         `json:"identity,omitempty"`
+	Hits      int            `json:"hits"`
+	Misses    int            `json:"misses"`
+	Confirmed bool           `json:"confirmed"`
+	LastSeen  time.Time      `json:"last_seen"`
+	Sources   map[string]int `json:"sources,omitempty"`
+	Filter    FilterSnapshot `json:"filter"`
+}
+
+// TrackerSnapshot is the persistable state of a whole Tracker (its
+// lifecycle config is NOT part of the snapshot — the restoring side
+// constructs the tracker with whatever config it runs, and the snapshot
+// resumes the picture under it).
+type TrackerSnapshot struct {
+	NextID    int             `json:"next_id"`
+	Origin    geo.Point       `json:"origin"`
+	HasOrigin bool            `json:"has_origin"`
+	Tracks    []TrackSnapshot `json:"tracks,omitempty"`
+}
+
+// Snapshot captures the tracker's full track picture. The caller must
+// hold whatever lock serialises Process calls.
+func (t *Tracker) Snapshot() TrackerSnapshot {
+	s := TrackerSnapshot{NextID: t.nextID, Origin: t.origin, HasOrigin: t.hasOrg}
+	for _, tr := range t.Tracks {
+		ts := TrackSnapshot{
+			ID: tr.ID, Identity: tr.Identity,
+			Hits: tr.Hits, Misses: tr.Misses, Confirmed: tr.Confirmed,
+			LastSeen: tr.LastSeen, Filter: tr.Filter.Snapshot(),
+		}
+		if len(tr.Sources) > 0 {
+			ts.Sources = make(map[string]int, len(tr.Sources))
+			for k, v := range tr.Sources {
+				ts.Sources[k] = v
+			}
+		}
+		s.Tracks = append(s.Tracks, ts)
+	}
+	return s
+}
+
+// Restore replaces the tracker's track picture with a snapshot's. The
+// tracker must be freshly constructed (no tracks yet); restoring over a
+// live picture would splice two inconsistent ID sequences.
+func (t *Tracker) Restore(s TrackerSnapshot) error {
+	if len(t.Tracks) > 0 {
+		return fmt.Errorf("fusion: restore into a tracker holding %d tracks", len(t.Tracks))
+	}
+	t.origin, t.hasOrg = s.Origin, s.HasOrigin
+	t.nextID = s.NextID
+	if t.nextID < 1 {
+		t.nextID = 1
+	}
+	for _, ts := range s.Tracks {
+		tr := &Track{
+			ID: ts.ID, Identity: ts.Identity,
+			Hits: ts.Hits, Misses: ts.Misses, Confirmed: ts.Confirmed,
+			LastSeen: ts.LastSeen, Filter: RestoreFilter(ts.Filter),
+			Sources: map[string]int{},
+		}
+		for k, v := range ts.Sources {
+			tr.Sources[k] = v
+		}
+		if tr.ID >= t.nextID {
+			t.nextID = tr.ID + 1
+		}
+		t.Tracks = append(t.Tracks, tr)
+	}
+	return nil
+}

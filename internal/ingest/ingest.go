@@ -62,6 +62,7 @@ import (
 	"time"
 
 	"repro/internal/ais"
+	"repro/internal/anomaly"
 	"repro/internal/core"
 	"repro/internal/events"
 	"repro/internal/obs"
@@ -138,6 +139,17 @@ type Config struct {
 	// and zero cost — the query engine then derives those kinds from the
 	// archive on demand.
 	Track *track.Config
+	// Anomaly, when non-nil, runs the streaming anomaly lane: a
+	// per-shard stage attached to the post-synopsis tee maintaining a
+	// behavior profile per vessel (sliding-window distribution shift
+	// against the vessel's own history), extracting stop/move episodes
+	// incrementally into Anomaly.Semantic, and matching reporting gaps
+	// continuously for feasible covert meetings — possible-rendezvous
+	// alerts surface on the engine's Alerts stream and every /v1/stream
+	// alert subscription. Answers the anomalies query kind live. Nil
+	// means no stage in the tee and zero cost — the query engine then
+	// derives the kind from the archive on demand.
+	Anomaly *anomaly.Config
 	// Obs, when non-nil, instruments every stage of the dataflow through
 	// the registry: message and decode counters, sampled decode and
 	// shard-queue-wait latency, per-batch pipeline latency, flush-stage
@@ -189,7 +201,8 @@ type Engine struct {
 	flusher   *store.Flusher
 	flushDone chan struct{}
 	tier      *tier.Manager
-	tracks    track.Stages // nil unless Config.Track is set
+	tracks    track.Stages    // nil unless Config.Track is set
+	anoms     *anomaly.Stages // nil unless Config.Anomaly is set
 
 	// Instrumentation handles, set in Start (before any worker goroutine
 	// launches) when Config.Obs is non-nil; nil means "don't measure".
@@ -236,6 +249,12 @@ func (e *Engine) Start(ctx context.Context) {
 	if e.cfg.Track != nil {
 		e.tracks = track.NewStages(len(e.sharded.Shards), *e.cfg.Track)
 	}
+	if e.cfg.Anomaly != nil {
+		e.anoms = anomaly.NewStages(len(e.sharded.Shards), *e.cfg.Anomaly)
+		// CEP alerts join the pipelines' own detections on every standing
+		// alert subscription (a no-op publish until someone subscribes).
+		e.anoms.OnAlert(e.hub.PublishAlert)
+	}
 	// Every shard store tees its post-synopsis appends into the hub
 	// (standing queries see exactly the records a one-shot replay would
 	// return), the flush stage when persistence is on, and the track
@@ -250,6 +269,9 @@ func (e *Engine) Start(ctx context.Context) {
 			// Same shard routing as the pipelines (stream.ShardOf), so each
 			// stage sees exactly its shard's vessels.
 			sinks = append(sinks, e.tracks[i])
+		}
+		if e.anoms != nil {
+			sinks = append(sinks, e.anoms.Stage(i))
 		}
 		if len(sinks) == 1 {
 			p.Store.Attach(sinks[0])
@@ -354,6 +376,9 @@ func (e *Engine) instrument(reg *obs.Registry) {
 	}
 	if e.tracks != nil {
 		e.tracks.Instrument(reg)
+	}
+	if e.anoms != nil {
+		e.anoms.Instrument(reg)
 	}
 	e.hub.Instrument(reg)
 }
@@ -573,6 +598,12 @@ func (e *Engine) IngestDetections(ds []track.Detection) int {
 // and the stage counters.
 func (e *Engine) Tracks() track.Stages { return e.tracks }
 
+// Anomalies exposes the streaming anomaly lane (nil when Config.Anomaly
+// is nil): per-vessel behavior profiles, the AnomalySource the query
+// engine reads, episode/gap/rendezvous tallies and the retained CEP
+// alerts.
+func (e *Engine) Anomalies() *anomaly.Stages { return e.anoms }
+
 // Sharded exposes the underlying pipelines for synchronous queries —
 // situation pictures, forecasts, archive access. Quiesce (Close, or just
 // stop submitting) before deep reads if exact cut-off points matter.
@@ -595,7 +626,11 @@ func (e *Engine) QueryEngine() *query.Engine {
 		if e.tracks != nil {
 			ti = e.tracks
 		}
-		sources := append([]query.Source{query.NewLiveSourceTracked(e.sharded, ti)}, e.cfg.Peers...)
+		var ai query.AnomalySource
+		if e.anoms != nil {
+			ai = e.anoms
+		}
+		sources := append([]query.Source{query.NewLiveSourceIntel(e.sharded, ti, ai)}, e.cfg.Peers...)
 		e.query = query.NewEngine(sources...)
 		if e.cfg.Obs != nil {
 			e.query.Instrument(e.cfg.Obs)

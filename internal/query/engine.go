@@ -240,6 +240,22 @@ func (e *Engine) QueryContext(ctx context.Context, req Request) (*Result, error)
 		if res.Quality != nil {
 			res.Count = 1
 		}
+	case KindAnomalies:
+		if req.MMSI != 0 {
+			va := bestAnswer(q, srcs,
+				func(s Source) *VesselAnomaly { return vesselAnomalyFrom(s, req.MMSI) },
+				betterVesselAnomaly)
+			if va != nil {
+				res.Anomalies = &AnomalyReport{Vessel: va}
+				res.Count = 1
+			}
+		} else {
+			lists := gather(q, srcs, func(s Source) []VesselAnomaly {
+				return rankedAnomaliesFrom(s, req.Limit)
+			})
+			res.Anomalies = &AnomalyReport{Ranked: mergeRankedAnomalies(q, lists, req.Limit, res)}
+			res.Count = len(res.Anomalies.Ranked)
+		}
 	}
 	if e.reg != nil {
 		e.reg.Counter("query_requests_total", "kind", string(req.Kind)).Inc()
@@ -495,6 +511,65 @@ func qualityFrom(s Source, mmsi uint32) *QualityScore {
 	return DeriveQuality(mmsi, fullHistory(s, mmsi))
 }
 
+// --- anomaly fan-out (anomaly.go holds the types) --------------------------------
+
+// vesselAnomalyFrom answers one source: the live behavior profile when
+// the source maintains one (AnomalySource — authoritative, nil
+// included), a deterministic replay of its stored trajectory otherwise.
+func vesselAnomalyFrom(s Source, mmsi uint32) *VesselAnomaly {
+	if as, ok := s.(AnomalySource); ok {
+		va, _ := as.VesselAnomaly(mmsi)
+		return va
+	}
+	return DeriveAnomalies(mmsi, fullHistory(s, mmsi))
+}
+
+// betterVesselAnomaly prefers the fresher (then deeper) answer when
+// sources overlap.
+func betterVesselAnomaly(a, b *VesselAnomaly) bool {
+	if !a.At.Equal(b.At) {
+		return a.At.After(b.At)
+	}
+	return a.Samples > b.Samples
+}
+
+// rankedAnomaliesFrom answers one source's fleet ranking: the live
+// stage's when it maintains one, a replay over the source's distinct
+// vessels otherwise. A degraded AnomalySource (ok=false) contributes
+// nothing, like every other degraded peer read.
+func rankedAnomaliesFrom(s Source, limit int) []VesselAnomaly {
+	if as, ok := s.(AnomalySource); ok {
+		ranked, _ := as.RankedAnomalies(limit)
+		return ranked
+	}
+	return DeriveRankedAnomalies(s, limit)
+}
+
+// mergeRankedAnomalies merges per-source rankings: one entry per vessel
+// (the fresher answer wins, earlier source on ties), re-sorted by score
+// and truncated to limit.
+func mergeRankedAnomalies(q qobs, lists [][]VesselAnomaly, limit int, res *Result) []VesselAnomaly {
+	defer q.span("merge")()
+	best := make(map[uint32]VesselAnomaly)
+	for _, l := range lists {
+		for _, va := range l {
+			if prev, ok := best[va.MMSI]; !ok || betterVesselAnomaly(&va, &prev) {
+				best[va.MMSI] = va
+			}
+		}
+	}
+	out := make([]VesselAnomaly, 0, len(best))
+	for _, va := range best {
+		out = append(out, va)
+	}
+	SortRankedAnomalies(out)
+	if limit > 0 && len(out) > limit {
+		res.Truncated = true
+		out = out[:limit]
+	}
+	return out
+}
+
 // stats aggregates per-source statistics. Vessels and Live are distinct
 // counts and therefore computed from merged per-source identifier sets,
 // not summed — DistinctMMSI moves one sorted uint32 list per source, so
@@ -552,9 +627,10 @@ func stats(q qobs, srcs []Source, withSets bool) *Stats {
 // reads route to the owning shard, set reads fan out across every
 // shard's consistent view and merge.
 type liveSource struct {
-	sharded *core.Sharded
-	snaps   []*snapshotCache
-	tracks  TrackIntelSource // nil without an online track stage
+	sharded   *core.Sharded
+	snaps     []*snapshotCache
+	tracks    TrackIntelSource // nil without an online track stage
+	anomalies AnomalySource    // nil without an online anomaly stage
 }
 
 // NewLiveSource builds a Source over the sharded pipelines (the
@@ -562,7 +638,7 @@ type liveSource struct {
 // queries build per-shard spatial snapshots, cached until the shard's
 // archive grows.
 func NewLiveSource(s *core.Sharded) Source {
-	return NewLiveSourceTracked(s, nil)
+	return NewLiveSourceIntel(s, nil, nil)
 }
 
 // NewLiveSourceTracked builds the live Source with an online track
@@ -571,7 +647,16 @@ func NewLiveSource(s *core.Sharded) Source {
 // deterministic store replay where it does not (stage disabled, or
 // history preloaded before the stage started observing the feed).
 func NewLiveSourceTracked(s *core.Sharded, tracks TrackIntelSource) Source {
-	src := &liveSource{sharded: s, tracks: tracks}
+	return NewLiveSourceIntel(s, tracks, nil)
+}
+
+// NewLiveSourceIntel builds the live Source with both online inference
+// stages behind it — track intelligence and behavior anomalies — each
+// individually optional under the same contract: answer from the stage
+// where it knows the vessel, fall back to a deterministic store replay
+// where it does not.
+func NewLiveSourceIntel(s *core.Sharded, tracks TrackIntelSource, anomalies AnomalySource) Source {
+	src := &liveSource{sharded: s, tracks: tracks, anomalies: anomalies}
 	for _, p := range s.Shards {
 		src.snaps = append(src.snaps, &snapshotCache{store: p.Store})
 	}
@@ -677,6 +762,29 @@ func (l *liveSource) Quality(mmsi uint32) (*QualityScore, bool) {
 	}
 	qs := DeriveQuality(mmsi, fullHistory(l, mmsi))
 	return qs, qs != nil
+}
+
+// VesselAnomaly implements AnomalySource: the online stage's profile,
+// else a replay of the owning shard's store (which pages back evicted
+// history, so tiering keeps the read exact).
+func (l *liveSource) VesselAnomaly(mmsi uint32) (*VesselAnomaly, bool) {
+	if l.anomalies != nil {
+		if va, ok := l.anomalies.VesselAnomaly(mmsi); ok {
+			return va, true
+		}
+	}
+	va := DeriveAnomalies(mmsi, fullHistory(l, mmsi))
+	return va, va != nil
+}
+
+// RankedAnomalies implements AnomalySource. With a stage attached the
+// ranking covers the vessels the stage has observed; without one it is
+// derived from the live picture's distinct vessels.
+func (l *liveSource) RankedAnomalies(limit int) ([]VesselAnomaly, bool) {
+	if l.anomalies != nil {
+		return l.anomalies.RankedAnomalies(limit)
+	}
+	return DeriveRankedAnomalies(l, limit), true
 }
 
 func (l *liveSource) DistinctMMSI() []uint32 {

@@ -189,6 +189,26 @@ func (c *Client) Quality(mmsi uint32) (*QualityScore, bool) {
 	return res.Quality, true
 }
 
+// VesselAnomaly implements AnomalySource: the peer folds (or reads) the
+// behavior profile server-side, one exchange per federated answer.
+func (c *Client) VesselAnomaly(mmsi uint32) (*VesselAnomaly, bool) {
+	res, err := c.peerQuery(Request{Kind: KindAnomalies, MMSI: mmsi})
+	if err != nil || res.Anomalies == nil || res.Anomalies.Vessel == nil {
+		return nil, false
+	}
+	return res.Anomalies.Vessel, true
+}
+
+// RankedAnomalies implements AnomalySource. A degraded peer answers
+// ok=false and contributes nothing, like every other federated read.
+func (c *Client) RankedAnomalies(limit int) ([]VesselAnomaly, bool) {
+	res, err := c.peerQuery(Request{Kind: KindAnomalies, Limit: limit})
+	if err != nil || res.Anomalies == nil {
+		return nil, false
+	}
+	return res.Anomalies.Ranked, true
+}
+
 // DistinctMMSI implements Source: one stats read with the identifier
 // sets requested — the peer answers with a sorted uint32 list, so a
 // federated stats poll moves O(vessels) integers instead of the peer's

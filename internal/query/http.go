@@ -41,6 +41,7 @@ type ContextExecutor interface {
 //	GET  /v1/track        ?mmsi=
 //	GET  /v1/predict      ?mmsi=&horizon=
 //	GET  /v1/quality      ?mmsi=
+//	GET  /v1/anomalies    ?mmsi=&limit=     (mmsi optional: omitted = ranked)
 //
 // ServeMetrics adds GET /metrics and GET /debug/vars; ServePprof adds
 // /debug/pprof/ (both opt-in mounts on the same mux). Every GET query
@@ -78,6 +79,7 @@ func NewServer(exec Executor) *Server {
 	s.mux.HandleFunc("/v1/track", s.handleGet(parseTrack))
 	s.mux.HandleFunc("/v1/predict", s.handleGet(parsePredict))
 	s.mux.HandleFunc("/v1/quality", s.handleGet(parseQuality))
+	s.mux.HandleFunc("/v1/anomalies", s.handleGet(parseAnomalies))
 	return s
 }
 
@@ -374,5 +376,15 @@ func parseQuality(u urlValues) (Request, error) {
 	req := Request{Kind: KindQuality}
 	var err error
 	req.MMSI, err = u.uint32At("mmsi")
+	return req, err
+}
+
+func parseAnomalies(u urlValues) (Request, error) {
+	req := Request{Kind: KindAnomalies}
+	var err error
+	if req.MMSI, err = u.uint32At("mmsi"); err != nil {
+		return req, err
+	}
+	req.Limit, err = u.intAt("limit")
 	return req, err
 }

@@ -90,13 +90,18 @@ const (
 	// reliability with a conservative lower bound, plus per-rule issue
 	// counts from the kinematic checks.
 	KindQuality Kind = "quality"
+	// KindAnomalies reports behavioral deviation (anomaly.go): with MMSI
+	// set, one vessel's deviation score, reporting gaps and recent
+	// stop/move episodes; without, the fleet ranked by deviation score
+	// (Limit-capped, default DefaultAnomalyLimit).
+	KindAnomalies Kind = "anomalies"
 )
 
 // Kinds lists every request kind (stable order, used by CLIs and docs).
 func Kinds() []Kind {
 	return []Kind{KindTrajectory, KindSpaceTime, KindNearest,
 		KindLivePicture, KindSituation, KindAlertHistory, KindStats,
-		KindTrack, KindPredict, KindQuality}
+		KindTrack, KindPredict, KindQuality, KindAnomalies}
 }
 
 // Duration is a time.Duration with a human-readable JSON encoding: it
@@ -294,6 +299,9 @@ func (r Request) normalize() Request {
 			r.Cols = 48
 		}
 	}
+	if r.Kind == KindAnomalies && r.MMSI == 0 && r.Limit <= 0 {
+		r.Limit = DefaultAnomalyLimit
+	}
 	return r
 }
 
@@ -325,6 +333,9 @@ func (r Request) Validate() error {
 		}
 	case KindAlertHistory, KindStats:
 		// No required fields.
+	case KindAnomalies:
+		// MMSI is optional: set, the per-vessel report; unset, the
+		// fleet-ranked form.
 	case KindTrack, KindQuality:
 		if r.MMSI == 0 {
 			return fmt.Errorf("query: %s requires mmsi", r.Kind)
@@ -518,6 +529,9 @@ type Result struct {
 	Track      *TrackState   `json:"track,omitempty"`
 	Prediction *Prediction   `json:"prediction,omitempty"`
 	Quality    *QualityScore `json:"quality,omitempty"`
+
+	// Anomalies is the behavioral-deviation payload (anomaly.go).
+	Anomalies *AnomalyReport `json:"anomalies,omitempty"`
 
 	// Trace is the per-stage breakdown, present when the request set
 	// Trace: true. Spans appear in completion order; "total" is last.

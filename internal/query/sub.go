@@ -47,6 +47,11 @@ const (
 	// UpdateQuality carries a periodically re-read integrity score
 	// (KindQuality subscriptions only).
 	UpdateQuality UpdateKind = "quality"
+	// UpdateAnomalies carries a periodically recomputed deviation report
+	// (KindAnomalies subscriptions only) — per-vessel with MMSI set, the
+	// fleet ranking otherwise, so a client watches "vessels deviating
+	// from their own history" as a standing query.
+	UpdateAnomalies UpdateKind = "anomalies"
 	// UpdateHeartbeat is a keep-alive: no payload, but Seq acknowledges
 	// the subscriber's position and Dropped surfaces queue overflow. The
 	// HTTP stream emits them; in-process subscriptions do not need them.
@@ -88,6 +93,9 @@ type Update struct {
 	Track      *TrackState   `json:"track,omitempty"`
 	Prediction *Prediction   `json:"prediction,omitempty"`
 	Quality    *QualityScore `json:"quality,omitempty"`
+
+	// Anomalies is the ticker payload of KindAnomalies subscriptions.
+	Anomalies *AnomalyReport `json:"anomalies,omitempty"`
 
 	// Dropped (heartbeats only) is the number of updates this
 	// subscription has lost to queue overflow so far.
@@ -531,7 +539,7 @@ func filterFor(req Request) (func(*Update) bool, error) {
 // tickerKinds are the standing queries a pure hub cannot serve: their
 // answers are recomputed through an executor on a cadence, not filtered
 // from the publication stream. The Streamer turns each into a ticker.
-var tickerKinds = []Kind{KindSituation, KindTrack, KindPredict, KindQuality}
+var tickerKinds = []Kind{KindSituation, KindTrack, KindPredict, KindQuality, KindAnomalies}
 
 func isTickerKind(k Kind) bool {
 	for _, t := range tickerKinds {
@@ -544,9 +552,9 @@ func isTickerKind(k Kind) bool {
 
 // Streamer is the full Subscriber over a hub plus an executor: pub/sub
 // kinds go to the hub, the ticker kinds (situation, track, predict,
-// quality) periodically recompute their answer through the executor and
-// push it — a predict subscription shows dead-reckoned motion between
-// AIS reports this way. It is also an Executor (delegating one-shot
+// quality, anomalies) periodically recompute their answer through the
+// executor and push it — a predict subscription shows dead-reckoned
+// motion between AIS reports this way. It is also an Executor (delegating one-shot
 // requests), so a Streamer is a complete two-mode surface NewServer can
 // serve on its own.
 type Streamer struct {
@@ -628,6 +636,11 @@ func (st *Streamer) Subscribe(req Request, opt SubOptions) (*Subscription, error
 					continue
 				}
 				u.Kind, u.Quality = UpdateQuality, res.Quality
+			case KindAnomalies:
+				if res.Anomalies == nil { // vessel unknown yet: no tick
+					continue
+				}
+				u.Kind, u.Anomalies = UpdateAnomalies, res.Anomalies
 			}
 			n++
 			u.Seq = n

@@ -55,6 +55,17 @@ func DefaultEpisodeConfig() EpisodeConfig {
 // annotates each with the zones containing its centroid. This is the
 // "semantic trajectory" computation the paper frames as a link-discovery/
 // annotation task (§2.2, §3.1).
+//
+// Boundary semantics (pinned by TestSegmentEpisodesBoundaries): a
+// sample at an activity threshold belongs to the slower class (<=
+// StopSpeedKn stops, <= SlowSpeedKn slow-moves); the sample that
+// changes activity ends the previous episode at its timestamp and opens
+// — and counts toward — the new one; episodes strictly shorter than
+// MinDuration are dropped without merging their neighbours; and the
+// trailing in-progress episode IS flushed at the last sample, kept
+// under the same MinDuration filter (the online anomaly fold, which
+// cannot see stream end, reports it separately as the provisional
+// "current" episode instead).
 func SegmentEpisodes(tr *model.Trajectory, zs *zones.ZoneSet, cfg EpisodeConfig) []Episode {
 	if tr.Len() == 0 {
 		return nil
@@ -80,7 +91,7 @@ func SegmentEpisodes(tr *model.Trajectory, zs *zones.ZoneSet, cfg EpisodeConfig)
 			cur.AvgSpeed = spdSum / float64(n)
 		}
 		if cur.End.Sub(cur.Start) >= cfg.MinDuration {
-			annotate(&cur, zs)
+			Annotate(&cur, zs)
 			out = append(out, cur)
 		}
 		latSum, lonSum, spdSum, n = 0, 0, 0, 0
@@ -102,8 +113,11 @@ func SegmentEpisodes(tr *model.Trajectory, zs *zones.ZoneSet, cfg EpisodeConfig)
 	return out
 }
 
-// annotate refines the activity using zones and records zone membership.
-func annotate(e *Episode, zs *zones.ZoneSet) {
+// Annotate refines an episode's activity using zones (anchored inside a
+// port becomes moored) and records zone membership. SegmentEpisodes calls
+// it for every kept episode; the online anomaly stage calls it on each
+// incrementally closed episode so streamed and batch annotations agree.
+func Annotate(e *Episode, zs *zones.ZoneSet) {
 	if zs == nil {
 		return
 	}
@@ -126,19 +140,28 @@ func EpisodeIRI(mmsi uint32, idx int) string {
 func MaterialiseEpisodes(st *Store, episodes []Episode) int {
 	before := st.Len()
 	for i, e := range episodes {
-		epi := EpisodeIRI(e.MMSI, i)
-		ves := VesselIRI(e.MMSI)
-		st.Add(Triple{S: IRI(ves), P: IRI(PredHasEpisode), O: IRI(epi)})
-		st.Add(Triple{S: IRI(epi), P: IRI(PredType), O: IRI(ClassEpisode)})
-		st.Add(Triple{S: IRI(epi), P: IRI(PredEpisodeOf), O: IRI(ves)})
-		st.Add(Triple{S: IRI(epi), P: IRI(PredActivity), O: Str(string(e.Activity))})
-		st.Add(Triple{S: IRI(epi), P: IRI(PredStartTime), O: Tim(e.Start)})
-		st.Add(Triple{S: IRI(epi), P: IRI(PredEndTime), O: Tim(e.End)})
-		st.Add(Triple{S: IRI(epi), P: IRI(PredAtPoint), O: Pt(e.Centroid)})
-		st.Add(Triple{S: IRI(epi), P: IRI(PredAvgSpeedKn), O: Num(e.AvgSpeed)})
-		for _, zid := range e.ZoneIDs {
-			st.Add(Triple{S: IRI(epi), P: IRI(PredInZone), O: IRI("mar:zone/" + zid)})
-		}
+		MaterialiseEpisode(st, e, i)
 	}
 	return st.Len() - before
+}
+
+// MaterialiseEpisode writes one episode into the store under the IRI
+// EpisodeIRI(e.MMSI, idx). The caller owns the per-vessel index: batch
+// materialisation numbers a vessel's episodes from zero, while the online
+// anomaly stage carries a monotone counter per vessel so incrementally
+// closed episodes never collide.
+func MaterialiseEpisode(st *Store, e Episode, idx int) {
+	epi := EpisodeIRI(e.MMSI, idx)
+	ves := VesselIRI(e.MMSI)
+	st.Add(Triple{S: IRI(ves), P: IRI(PredHasEpisode), O: IRI(epi)})
+	st.Add(Triple{S: IRI(epi), P: IRI(PredType), O: IRI(ClassEpisode)})
+	st.Add(Triple{S: IRI(epi), P: IRI(PredEpisodeOf), O: IRI(ves)})
+	st.Add(Triple{S: IRI(epi), P: IRI(PredActivity), O: Str(string(e.Activity))})
+	st.Add(Triple{S: IRI(epi), P: IRI(PredStartTime), O: Tim(e.Start)})
+	st.Add(Triple{S: IRI(epi), P: IRI(PredEndTime), O: Tim(e.End)})
+	st.Add(Triple{S: IRI(epi), P: IRI(PredAtPoint), O: Pt(e.Centroid)})
+	st.Add(Triple{S: IRI(epi), P: IRI(PredAvgSpeedKn), O: Num(e.AvgSpeed)})
+	for _, zid := range e.ZoneIDs {
+		st.Add(Triple{S: IRI(epi), P: IRI(PredInZone), O: IRI("mar:zone/" + zid)})
+	}
 }

@@ -1,0 +1,133 @@
+package semstore
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/model"
+)
+
+// seg is a test trajectory leg: n samples a minute at a constant speed.
+type seg struct {
+	n  int
+	kn float64
+}
+
+func segTrajectory(segs []seg) *model.Trajectory {
+	tr := &model.Trajectory{MMSI: 1}
+	at := t0()
+	for _, sg := range segs {
+		for i := 0; i < sg.n; i++ {
+			tr.Points = append(tr.Points, model.VesselState{
+				MMSI: 1, At: at,
+				Pos:     geo.Point{Lat: 42, Lon: 5},
+				SpeedKn: sg.kn,
+			})
+			at = at.Add(time.Minute)
+		}
+	}
+	return tr
+}
+
+// TestSegmentEpisodesBoundaries pins the segmenter's edge behavior:
+// threshold classification, transition-sample ownership, MinDuration
+// filtering and the fate of the trailing in-progress episode.
+func TestSegmentEpisodesBoundaries(t *testing.T) {
+	cfg := DefaultEpisodeConfig() // stop 0.8 kn, slow 6 kn, min 10m
+	cases := []struct {
+		name string
+		segs []seg
+		want []Activity
+	}{
+		{
+			"empty trajectory",
+			nil,
+			nil,
+		},
+		{
+			"single sample never spans MinDuration",
+			[]seg{{1, 12}},
+			nil,
+		},
+		{
+			"uniform leg exactly MinDuration is kept",
+			// 11 samples span exactly 10 minutes: >= MinDuration.
+			[]seg{{11, 12}},
+			[]Activity{ActivityUnderway},
+		},
+		{
+			"uniform leg just under MinDuration is dropped",
+			[]seg{{10, 12}},
+			nil,
+		},
+		{
+			"threshold speeds classify to the slower activity",
+			// Exactly StopSpeedKn stops; exactly SlowSpeedKn slow-moves.
+			[]seg{{15, cfg.StopSpeedKn}, {15, cfg.SlowSpeedKn}, {15, cfg.SlowSpeedKn + 0.1}},
+			[]Activity{ActivityAnchored, ActivitySlowMove, ActivityUnderway},
+		},
+		{
+			"stop/move transitions split episodes",
+			[]seg{{15, 12}, {15, 0.2}, {15, 12}},
+			[]Activity{ActivityUnderway, ActivityAnchored, ActivityUnderway},
+		},
+		{
+			"short middle episode dropped, neighbours not merged",
+			// 5-minute stop vanishes; the two underway legs stay separate
+			// episodes rather than fusing into one.
+			[]seg{{15, 12}, {5, 0.2}, {15, 12}},
+			[]Activity{ActivityUnderway, ActivityUnderway},
+		},
+		{
+			"trailing in-progress episode flushed and kept when long enough",
+			[]seg{{15, 0.2}, {15, 12}},
+			[]Activity{ActivityAnchored, ActivityUnderway},
+		},
+		{
+			"trailing in-progress episode dropped when too short",
+			[]seg{{15, 0.2}, {5, 12}},
+			[]Activity{ActivityAnchored},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := SegmentEpisodes(segTrajectory(c.segs), nil, cfg)
+			if len(got) != len(c.want) {
+				t.Fatalf("got %d episodes %+v, want %d", len(got), got, len(c.want))
+			}
+			for i, e := range got {
+				if e.Activity != c.want[i] {
+					t.Fatalf("episode %d is %s, want %s", i, e.Activity, c.want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSegmentEpisodesTransitionOwnership pins which episode the
+// activity-changing sample belongs to: it ends the previous episode at
+// its timestamp but its position and speed count toward the new one.
+func TestSegmentEpisodesTransitionOwnership(t *testing.T) {
+	cfg := DefaultEpisodeConfig()
+	tr := segTrajectory([]seg{{15, 12}, {15, 0.2}})
+	eps := SegmentEpisodes(tr, nil, cfg)
+	if len(eps) != 2 {
+		t.Fatalf("got %d episodes, want 2", len(eps))
+	}
+	transition := tr.Points[15].At
+	if !eps[0].End.Equal(transition) || !eps[1].Start.Equal(transition) {
+		t.Fatalf("boundary not at the transition sample: end %v, next start %v, want %v",
+			eps[0].End, eps[1].Start, transition)
+	}
+	// The first episode averages only the 15 underway samples, the second
+	// only the 15 stopped ones — the transition sample is not in both.
+	if math.Abs(eps[0].AvgSpeed-12) > 1e-9 || math.Abs(eps[1].AvgSpeed-0.2) > 1e-9 {
+		t.Fatalf("transition sample leaked across the boundary: avg speeds %v, %v",
+			eps[0].AvgSpeed, eps[1].AvgSpeed)
+	}
+	if !eps[1].End.Equal(tr.Points[29].At) {
+		t.Fatalf("trailing episode end %v, want the last sample %v", eps[1].End, tr.Points[29].At)
+	}
+}

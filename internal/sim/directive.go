@@ -23,6 +23,11 @@ const (
 	EventLoiter        EventKind = "loiter"         // drifting in a small area off-lane
 	EventDrift         EventKind = "drift"          // not under command, drifting
 	EventZoneViolation EventKind = "zone-violation" // fishing inside a protected area
+	// EventCourseDeviation steers a vessel far off its normal heading
+	// while it keeps transmitting honestly — the pure behaviour-change
+	// anomaly the online profile lane (distribution shift against the
+	// vessel's own history) is scored on.
+	EventCourseDeviation EventKind = "course-deviation"
 )
 
 // TruthEvent records one injected anomaly with its exact extent, the
@@ -44,7 +49,7 @@ type directive struct {
 
 	// Parameters by kind.
 	offsetM   float64   // spoof-offset displacement
-	offsetBrg float64   // spoof-offset direction
+	offsetBrg float64   // spoof-offset direction; course-deviation delta (degrees), resolved to an absolute course once active
 	fakeMMSI  uint32    // spoof-identity replacement
 	meet      geo.Point // rendezvous meeting point / loiter centre / violation target
 	arrived   bool
@@ -126,6 +131,17 @@ func applyDirective(d *directive, v *Vessel, s *Simulator, dt float64) (overrode
 		v.Status = ais.StatusNotUnderCmd
 		v.SpeedKn = 1.0 + s.rng.Float64()*0.5
 		v.CourseDeg = geo.NormalizeBearing(v.CourseDeg + (s.rng.Float64()*2-1)*2*dt)
+		v.drift(dt)
+		return true
+	case EventCourseDeviation:
+		if !d.arrived {
+			// Resolve the planned delta against whatever course the vessel
+			// happens to hold when the window opens.
+			d.offsetBrg = geo.NormalizeBearing(v.CourseDeg + d.offsetBrg)
+			d.arrived = true
+		}
+		v.CourseDeg = geo.NormalizeBearing(d.offsetBrg + (s.rng.Float64()*2-1)*3)
+		v.SpeedKn = v.CruiseKn * (0.95 + s.rng.Float64()*0.1)
 		v.drift(dt)
 		return true
 	case EventZoneViolation:
@@ -369,6 +385,14 @@ func scheduleAnomalies(rng *rand.Rand, cfg *Config, fleet []*Vessel) []TruthEven
 			continue
 		}
 		switch {
+		case rng.Float64() < cfg.CourseDeviationFrac:
+			s0, e0 := windowIn(10*time.Minute, time.Duration(25+rng.Intn(35))*time.Minute)
+			dev := 60 + rng.Float64()*90
+			if rng.Float64() < 0.5 {
+				dev = -dev
+			}
+			v.overrides = append(v.overrides, &directive{kind: EventCourseDeviation, start: s0, end: e0, offsetBrg: dev})
+			events = append(events, TruthEvent{Kind: EventCourseDeviation, MMSI: v.MMSI, Start: s0, End: e0})
 		case rng.Float64() < cfg.LoiterFrac:
 			// The loiter spot must be reachable early in the window, so
 			// keep it within a few kilometres and start soon after the

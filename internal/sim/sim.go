@@ -36,6 +36,11 @@ type Config struct {
 	LoiterFrac         float64
 	DriftFrac          float64
 	ZoneViolationFrac  float64
+	// CourseDeviationFrac steers a fraction of the fleet far off its
+	// normal heading for a window while transmitting honestly — no
+	// transponder games, just behaviour unlike the vessel's own history,
+	// the signature the behaviour-profile anomaly lane scores on.
+	CourseDeviationFrac float64
 
 	// Receiver model.
 	TerrestrialRangeM float64 // range of shore stations
@@ -118,6 +123,7 @@ func (c *Config) DefaultAnomalyRates() {
 	c.RendezvousFrac = 0.04
 	c.LoiterFrac = 0.03
 	c.DriftFrac = 0.02
+	c.CourseDeviationFrac = 0.03
 	c.ZoneViolationFrac = 0.15 // of fishing vessels without other overrides
 }
 

@@ -60,6 +60,8 @@ func TestQueryEquivalenceUnderEviction(t *testing.T) {
 			{Kind: query.KindTrack, MMSI: 201000003},
 			{Kind: query.KindPredict, MMSI: 201000005, Horizon: query.Duration(15 * time.Minute)},
 			{Kind: query.KindQuality, MMSI: 201000007},
+			{Kind: query.KindAnomalies, MMSI: 201000009},
+			{Kind: query.KindAnomalies, Limit: 5},
 		}
 		for i := 0; ; i++ {
 			select {
@@ -140,6 +142,11 @@ func TestQueryEquivalenceUnderEviction(t *testing.T) {
 		"track":   {Kind: query.KindTrack, MMSI: 201000003},
 		"predict": {Kind: query.KindPredict, MMSI: 201000005, Horizon: query.Duration(15 * time.Minute)},
 		"quality": {Kind: query.KindQuality, MMSI: 201000007},
+		// Anomalies replay the full history through the behavior fold, so
+		// an evicted vessel's deviation report — and the fleet ranking,
+		// which replays every vessel — rebuild from paged-back points.
+		"anomalies-vessel": {Kind: query.KindAnomalies, MMSI: 201000009},
+		"anomalies-ranked": {Kind: query.KindAnomalies, Limit: 5},
 	}
 	for name, req := range reqs {
 		wantRes, err := ctrlEng.Query(req)

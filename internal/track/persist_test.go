@@ -1,0 +1,101 @@
+package track
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+)
+
+// orphanScan returns the i-th radar scan of an anonymous contact
+// marching north-east with no AIS identity anywhere near it.
+func orphanScan(i int) Detection {
+	return Detection{
+		At:      t0.Add(time.Duration(i) * time.Minute),
+		Pos:     geo.Point{Lat: 40.0 + float64(i)*0.002, Lon: 3.0 + float64(i)*0.002},
+		Station: 0,
+	}
+}
+
+// TestOrphanKillAndResume pins the daemon-restart path for anonymous
+// radar tracks: identified tracks rebuild from the archive, but orphans
+// exist only in the tracker — so a snapshot taken at shutdown, encoded,
+// decoded and restored into a fresh stage set must resume the picture
+// bit-for-bit: same counts, same serialised state, and the next scan
+// associates to the restored track exactly as it would have to the
+// original.
+func TestOrphanKillAndResume(t *testing.T) {
+	ss := NewStages(2, Config{})
+	const scans = 6
+	for i := 0; i < scans; i++ {
+		ss.Process([]Detection{orphanScan(i)})
+	}
+	if got := ss.OrphanCount(); got != 1 {
+		t.Fatalf("fixture grew %d orphan tracks, want 1 (scans must associate)", got)
+	}
+
+	data, err := ss.EncodeOrphans()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Kill" the daemon: the restored process starts from fresh stages.
+	resumed := NewStages(2, Config{})
+	if err := resumed.DecodeOrphans(data); err != nil {
+		t.Fatal(err)
+	}
+	if got := resumed.OrphanCount(); got != 1 {
+		t.Fatalf("restored OrphanCount %d, want 1", got)
+	}
+	// JSON round-trips float64 exactly: re-encoding the restored picture
+	// reproduces the snapshot byte-for-byte.
+	again, err := resumed.EncodeOrphans()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatalf("restore is not bit-identical:\n%s\n%s", data, again)
+	}
+
+	// The next scan continues the track in the resumed process exactly as
+	// it would have in the never-killed one: it associates (no new track)
+	// and leaves both trackers in identical serialised state.
+	next := orphanScan(scans)
+	ss.Process([]Detection{next})
+	resumed.Process([]Detection{next})
+	if got := resumed.OrphanCount(); got != 1 {
+		t.Fatalf("follow-up scan opened a new track: OrphanCount %d", got)
+	}
+	a, _ := ss.EncodeOrphans()
+	b, _ := resumed.EncodeOrphans()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("resumed process diverged from the original after one scan:\n%s\n%s", a, b)
+	}
+	snap := resumed.SnapshotOrphans()
+	var hits int
+	for _, sh := range snap {
+		for _, tr := range sh.Tracks {
+			hits += tr.Hits
+		}
+	}
+	if hits != scans+1 {
+		t.Fatalf("restored track has %d hits, want %d", hits, scans+1)
+	}
+
+	// A resharded daemon must not mishome old orphans: shard-count
+	// mismatch refuses the snapshot (the daemon starts fresh instead).
+	if err := NewStages(3, Config{}).DecodeOrphans(data); err == nil {
+		t.Fatal("shard-count mismatch accepted")
+	}
+	// Restoring over a live picture is refused too.
+	dirty := NewStages(2, Config{})
+	dirty.Process([]Detection{orphanScan(0)})
+	if err := dirty.DecodeOrphans(data); err == nil {
+		t.Fatal("restore into a non-empty tracker accepted")
+	}
+	// Corrupt snapshot: a parse error, not a panic.
+	if err := NewStages(2, Config{}).DecodeOrphans([]byte("{")); err == nil {
+		t.Fatal("corrupt snapshot accepted")
+	}
+}

@@ -224,12 +224,42 @@
 // fix every tick, showing expected motion between AIS reports. msaquery
 // -track / -predict / -quality are the CLI forms (-watch predict for
 // the ticker).
+//
+// # Anomaly detection (behavior profiles, episodes, open-world CEP)
+//
+// The anomalies query kind scores each vessel against its own history: a
+// sliding-window distribution shift over speed, heading and position
+// (0 = behaving like itself), reporting-gap bookkeeping and the vessel's
+// recent stop/move episodes. With IngestConfig.Anomaly set, a streaming
+// stage maintains the profiles online, materialises each episode into a
+// semantic store the moment it closes, and continuously matches
+// reporting gaps across vessels for physically feasible covert meetings
+// (possible-rendezvous alerts join the engine's alert stream); without
+// it, the engine replays the archived trajectory through the same fold,
+// so answers are byte-identical either way:
+//
+//	sem := maritime.NewSemanticStore()
+//	e := maritime.NewIngestEngine(maritime.IngestConfig{
+//	    Pipeline: maritime.PipelineConfig{Zones: world.Zones},
+//	    Anomaly:  &maritime.AnomalyConfig{Semantic: sem, Zones: world.Zones},
+//	})
+//	// ... ingest ...
+//	res, _ := e.Query(maritime.QueryRequest{Kind: maritime.QueryAnomalies, Limit: 10})
+//	for _, v := range res.Anomalies.Ranked {
+//	    fmt.Println(v.MMSI, v.Score, v.Gaps)
+//	}
+//
+// Subscribed (QueryAnomalies with no MMSI, or per-vessel with one), the
+// kind becomes a ticker: a ranked deviation board or one vessel's score
+// pushed every tick. msaquery -anomalies / -watch anomalies are the CLI
+// forms; maritimed -anomaly turns the stage on in the daemon.
 package maritime
 
 import (
 	"context"
 
 	"repro/internal/ais"
+	"repro/internal/anomaly"
 	"repro/internal/core"
 	"repro/internal/events"
 	"repro/internal/forecast"
@@ -238,6 +268,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/query"
+	"repro/internal/semstore"
 	"repro/internal/sim"
 	"repro/internal/store"
 	"repro/internal/synopsis"
@@ -509,6 +540,7 @@ const (
 	QueryUpdateTrack     = query.UpdateTrack
 	QueryUpdatePredict   = query.UpdatePredict
 	QueryUpdateQuality   = query.UpdateQuality
+	QueryUpdateAnomalies = query.UpdateAnomalies
 )
 
 // The query kinds.
@@ -523,6 +555,7 @@ const (
 	QueryTrack        = query.KindTrack
 	QueryPredict      = query.KindPredict
 	QueryQuality      = query.KindQuality
+	QueryAnomalies    = query.KindAnomalies
 )
 
 // NewQueryEngine builds a query engine over the given sources.
@@ -578,6 +611,35 @@ type (
 	// TrackStages is the sharded online tracker, readable directly.
 	TrackStages = track.Stages
 )
+
+// Streaming anomaly lane: online behavior profiles, incremental
+// stop/move episode extraction and continuous open-world CEP behind the
+// anomalies query kind (packages internal/anomaly, internal/query and
+// internal/semstore).
+type (
+	// AnomalyConfig parameterises the streaming anomaly lane; assign a
+	// (possibly zero) value to IngestConfig.Anomaly to enable it.
+	AnomalyConfig = anomaly.Config
+	// AnomalyStages is the sharded online anomaly stage, readable
+	// directly (IngestEngine.Anomalies).
+	AnomalyStages = anomaly.Stages
+	// VesselAnomaly is one vessel's deviation report — distribution
+	// shift against its own history, reporting gaps, recent episodes.
+	VesselAnomaly = query.VesselAnomaly
+	// AnomalyReport is the anomalies kind's answer (per-vessel or
+	// fleet-ranked).
+	AnomalyReport = query.AnomalyReport
+	// AnomalyEpisode is the wire form of one stop/move episode.
+	AnomalyEpisode = query.EpisodeInfo
+	// AnomalyGap is the wire form of one reporting gap.
+	AnomalyGap = query.GapInfo
+	// SemanticStore is the triple store incrementally closed episodes
+	// materialise into (AnomalyConfig.Semantic).
+	SemanticStore = semstore.Store
+)
+
+// NewSemanticStore returns an empty semantic triple store.
+func NewSemanticStore() *SemanticStore { return semstore.NewStore() }
 
 // Observability: the unified metrics registry and per-request trace
 // (package internal/obs). Hand an ObsRegistry to IngestConfig.Obs and
