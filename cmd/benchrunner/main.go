@@ -1,5 +1,5 @@
 // Command benchrunner regenerates every experiment in DESIGN.md's index
-// (E1–E21) and prints the paper-style tables EXPERIMENTS.md records. It
+// (E1–E22) and prints the paper-style tables EXPERIMENTS.md records. It
 // also emits a machine-readable BENCH_<n>.json next to the working
 // directory's previous ones (auto-numbered), so the repository accumulates
 // a perf trajectory across PRs; disable with -json off or redirect with
@@ -95,6 +95,7 @@ func main() {
 	run("E19", func() experiments.Table { return experiments.E19(*seed) })
 	run("E20", func() experiments.Table { return experiments.E20(*seed) })
 	run("E21", func() experiments.Table { return experiments.E21(*seed) })
+	run("E22", func() experiments.Table { return experiments.E22(*seed) })
 
 	if *jsonOut == "off" || *jsonOut == "" {
 		return

@@ -43,6 +43,17 @@
 // -stats-every the daemon prints a periodic one-line health summary read
 // from the same registry the scrape endpoints serve.
 //
+// Incident-grade observability rides on top of the metrics: an always-on
+// flight recorder (a fixed-size ring of structured events — segment
+// seals and uploads, upload-queue stalls, flush backpressure, tier
+// evictions and page-back failures, subscriber drops, peer degradation)
+// is served on GET /debug/flight, dumped to stderr on SIGQUIT and at
+// daemon exit, and fed by the -slow-query hook with any query exceeding
+// the threshold (full stage trace attached). GET /healthz answers
+// liveness; GET /readyz aggregates per-layer readiness checks (flush
+// backlog, upload-queue age, storage errors, peer reachability, hub
+// drops) into a machine-readable verdict.
+//
 // With -track the daemon runs the online track-intelligence stage:
 // fused per-vessel Kalman state, incrementally learned route forecasts
 // and integrity scores, answering the track/predict/quality query kinds
@@ -77,7 +88,7 @@
 //
 // Usage:
 //
-//	aisgen -vessels 200 -minutes 60 | maritimed [-shards N] [-decoders N] [-data-dir DIR] [-fsync MODE] [-remote-dir DIR] [-mem-budget SIZE] [-http ADDR] [-pprof] [-stats-every D] [-track] [-detections] [-anomaly] [-peer URL]...
+//	aisgen -vessels 200 -minutes 60 | maritimed [-shards N] [-decoders N] [-data-dir DIR] [-fsync MODE] [-remote-dir DIR] [-mem-budget SIZE] [-http ADDR] [-pprof] [-stats-every D] [-slow-query D] [-track] [-detections] [-anomaly] [-peer URL]...
 package main
 
 import (
@@ -88,15 +99,18 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	maritime "repro"
 	"repro/internal/ais"
+	"repro/internal/obs"
 	"repro/internal/quality"
 	"repro/internal/sim"
 )
@@ -157,6 +171,7 @@ func main() {
 	httpAddr := flag.String("http", "", "serve the query API on this address (e.g. :8080) while ingesting")
 	pprofOn := flag.Bool("pprof", false, "with -http, mount net/http/pprof under /debug/pprof/")
 	statsEvery := flag.Duration("stats-every", 0, "print a periodic health line read from the metrics registry (0 = off)")
+	slowQuery := flag.Duration("slow-query", time.Second, "record any query exceeding this duration in the flight ring with its full stage trace (0 = off)")
 	trackOn := flag.Bool("track", false, "run the online track-intelligence stage (fused Kalman state, route forecasts, integrity scores behind the track/predict/quality query kinds)")
 	detections := flag.Bool("detections", false, "parse $PRADAR radar-contact lines from the feed into the track stage (implies -track); aisgen -radar-range emits them")
 	anomalyOn := flag.Bool("anomaly", false, "run the streaming anomaly lane (behavior profiles behind the anomalies query kind, continuous episode extraction, possible-rendezvous CEP alerts)")
@@ -170,6 +185,13 @@ func main() {
 	// daemon reports: the /metrics and /debug/vars scrapes, the periodic
 	// -stats-every line and the final summary all read from it.
 	reg := maritime.NewObsRegistry()
+	revision, goVersion := maritime.RegisterObsBuildInfo(reg, time.Now())
+	// The flight recorder is always on: recording is an atomic add plus a
+	// short per-slot mutex hold, cheap enough that the black box exists
+	// before anyone knows they need it. Served on /debug/flight with
+	// -http, dumped to stderr on SIGQUIT and at exit.
+	flight := maritime.NewObsFlight(4096)
+	fmt.Printf("[build] %s (%s)\n", revision, goVersion)
 	cfg := maritime.IngestConfig{
 		Pipeline: maritime.PipelineConfig{
 			Zones:              world.Zones,
@@ -178,11 +200,23 @@ func main() {
 		Shards:        *shards,
 		DecodeWorkers: *decoders,
 		Obs:           reg,
+		Flight:        flight,
 	}
 	for _, u := range peers {
-		cfg.Peers = append(cfg.Peers, maritime.NewQueryClient(u))
+		c := maritime.NewQueryClient(u)
+		c.Flight = flight // peer degraded/recovered + epoch rewinds, on the record
+		cfg.Peers = append(cfg.Peers, c)
 		fmt.Printf("[federation] peer %s merged into query answers\n", u)
 	}
+	// SIGQUIT dumps the black box without killing the daemon — the
+	// incident-investigation tap (kill -QUIT <pid>).
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGQUIT)
+	go func() {
+		for range sigc {
+			flight.Dump(os.Stderr)
+		}
+	}()
 	if *trackOn || *detections {
 		cfg.Track = &maritime.TrackConfig{}
 		if *detections {
@@ -279,6 +313,10 @@ func main() {
 			fmt.Printf("; truncated %d torn bytes", arch.Stats.TornBytes)
 		}
 		fmt.Printf("); resumed %d points across %d shards\n", resumed, *shards)
+		flight.Record(obs.FlightInfo, "store", "archive recovered",
+			obs.FI("records", int64(arch.Stats.Total())),
+			obs.FI("segments", int64(arch.Stats.WALSegments)),
+			obs.FI("torn_bytes", arch.Stats.TornBytes))
 	}
 	ctx := context.Background()
 	engine.Start(ctx)
@@ -313,6 +351,11 @@ func main() {
 		}
 		srv := maritime.NewQueryServer(engine)
 		srv.ServeMetrics(reg)
+		srv.ServeFlight(flight)
+		srv.ServeHealth(engine.Health(maritime.IngestHealthOptions{}))
+		if *slowQuery > 0 {
+			srv.RecordSlowQueries(*slowQuery, flight)
+		}
 		if *pprofOn {
 			srv.ServePprof()
 		}
@@ -322,7 +365,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, "maritimed: query API:", err)
 			}
 		}()
-		fmt.Printf("[query] serving /v1 (one-shot + /v1/stream standing queries) and /metrics on %s\n", ln.Addr())
+		fmt.Printf("[query] serving /v1 (one-shot + /v1/stream standing queries), /metrics, /healthz, /readyz and /debug/flight on %s\n", ln.Addr())
 		if *pprofOn {
 			fmt.Printf("[query] profiling on http://%s/debug/pprof/\n", ln.Addr())
 		}
@@ -515,4 +558,8 @@ func main() {
 			httpSrv.Close()
 		}
 	}
+
+	// Last act: empty the black box onto stderr, so the run's event
+	// record survives the process whether or not anyone scraped it.
+	flight.Dump(os.Stderr)
 }

@@ -55,6 +55,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/geo"
@@ -153,8 +154,10 @@ func main() {
 }
 
 // printTrace renders the per-stage breakdown a Trace: true request
-// returns — one line per span with its offset, duration and share of
-// the end-to-end time.
+// returns as a tree: spans nest under their Parent, so a federated
+// query reads as one hierarchy spanning daemons — local stages at the
+// root, each peer's stages indented under its peer/<addr> span (a dead
+// peer shows a single degraded leaf).
 func printTrace(res *query.Result) {
 	if len(res.Trace) == 0 {
 		fmt.Println("trace: (empty — the executor does not record stage spans)")
@@ -166,16 +169,37 @@ func printTrace(res *query.Result) {
 			total = sp.DurNS
 		}
 	}
-	fmt.Println("trace:")
+	// Children in wire order (already sorted by start, name): the render
+	// walks roots depth-first. A span whose parent never arrived (peer
+	// truncated its trace) renders as a root rather than vanishing.
+	named := make(map[string]bool, len(res.Trace))
 	for _, sp := range res.Trace {
-		line := fmt.Sprintf("  %-24s @%-10v %10v", sp.Name,
-			time.Duration(sp.StartNS).Round(time.Microsecond),
-			time.Duration(sp.DurNS).Round(time.Microsecond))
-		if total > 0 && sp.Name != "total" {
-			line += fmt.Sprintf("  %5.1f%%", 100*float64(sp.DurNS)/float64(total))
-		}
-		fmt.Println(line)
+		named[sp.Name] = true
 	}
+	children := make(map[string][]query.TraceSpan, len(res.Trace))
+	for _, sp := range res.Trace {
+		parent := sp.Parent
+		if parent != "" && !named[parent] {
+			parent = ""
+		}
+		children[parent] = append(children[parent], sp)
+	}
+	fmt.Println("trace:")
+	var walk func(parent string, depth int)
+	walk = func(parent string, depth int) {
+		for _, sp := range children[parent] {
+			name := strings.Repeat("  ", depth) + sp.Name
+			line := fmt.Sprintf("  %-32s @%-10v %10v", name,
+				time.Duration(sp.StartNS).Round(time.Microsecond),
+				time.Duration(sp.DurNS).Round(time.Microsecond))
+			if total > 0 && sp.Name != "total" {
+				line += fmt.Sprintf("  %5.1f%%", 100*float64(sp.DurNS)/float64(total))
+			}
+			fmt.Println(line)
+			walk(sp.Name, depth+1)
+		}
+	}
+	walk("", 0)
 }
 
 // reqFlags collects the raw query flags for translation into a Request.

@@ -1,0 +1,206 @@
+package ingest
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+// gatedObjects parks every Put on a gate until the test releases it — a
+// stand-in for a blocked object store (same shape as the store package's
+// own gated fixture, which is unexported).
+type gatedObjects struct {
+	store.ObjectStore
+	gate    chan struct{} // closed to release parked Puts
+	entered chan struct{} // one token per Put that reached the gate
+}
+
+func (g *gatedObjects) Put(key string, data []byte) error {
+	select {
+	case g.entered <- struct{}{}:
+	default:
+	}
+	<-g.gate
+	return g.ObjectStore.Put(key, data)
+}
+
+// TestReadyzFlipsOnUploadStall is the induced-failure acceptance test:
+// a blocked object-store Put ages the WAL upload queue past the
+// readiness bound, GET /readyz flips to 503 naming the upload-queue
+// check, and releasing the store drains the queue and flips it back —
+// readiness recovers, unlike the latched error surfaces.
+func TestReadyzFlipsOnUploadStall(t *testing.T) {
+	run := simTraffic(t, 17, 20, 20*time.Minute)
+	objects, err := store.NewFSObjects(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gated := &gatedObjects{ObjectStore: objects, gate: make(chan struct{}), entered: make(chan struct{}, 64)}
+	arch, err := store.Open(store.Config{
+		Dir: t.TempDir(), SegmentBytes: 4 << 10, Sync: store.SyncNever,
+		CompactEvery: -1, Remote: gated,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e := New(Config{
+		Pipeline: pipelineCfg(run, 60),
+		Shards:   2,
+		Backend:  arch.Backend,
+		Flush:    store.FlushConfig{Queue: 512, Batch: 64},
+	})
+	ctx := context.Background()
+	e.Start(ctx)
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for range e.Alerts() {
+		}
+	}()
+
+	srv := query.NewServer(e)
+	srv.ServeHealth(e.Health(HealthOptions{UploadQueueMaxAge: 50 * time.Millisecond}))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	readyz := func() (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var v struct {
+			Ready  bool `json:"ready"`
+			Checks []struct {
+				Name string `json:"name"`
+				OK   bool   `json:"ok"`
+			} `json:"checks"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range v.Checks {
+			if !c.OK {
+				return resp.StatusCode, c.Name
+			}
+		}
+		return resp.StatusCode, ""
+	}
+
+	if code, _ := readyz(); code != http.StatusOK {
+		t.Fatalf("fresh daemon /readyz = %d, want 200", code)
+	}
+
+	// Ingest enough to seal segments; the uploader parks in the gated Put
+	// and the queue head starts aging.
+	for i := range run.Positions {
+		o := &run.Positions[i]
+		if !e.Ingest(ctx, o.At, &o.Report) {
+			t.Fatal("ingest refused mid-stream")
+		}
+	}
+	e.Close()
+	<-drained
+	e.Wait()
+	select {
+	case <-gated.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("uploader never reached the object store")
+	}
+
+	// The queue head ages past the 50ms bound: readiness must flip, and
+	// the verdict must name the failing check.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		code, failing := readyz()
+		if code == http.StatusServiceUnavailable {
+			if failing != "upload-queue" {
+				t.Fatalf("/readyz 503 blames %q, want upload-queue", failing)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("/readyz never flipped not-ready under a blocked object store")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Release the store: the queue drains and readiness recovers.
+	close(gated.gate)
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		if code, _ := readyz(); code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			depth, oldest := arch.Backend.UploadQueue()
+			t.Fatalf("/readyz never recovered after release (queue depth=%d oldest=%v)", depth, oldest)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := arch.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHealthChecksRegistered pins the readiness surface's composition: a
+// disk-backed, flushing, federated engine registers the per-layer checks
+// the ISSUE names, and the zero-value options get usable defaults.
+func TestHealthChecksRegistered(t *testing.T) {
+	run := simTraffic(t, 19, 10, 10*time.Minute)
+	arch, err := store.Open(store.Config{Dir: t.TempDir(), SegmentBytes: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer arch.Close()
+	peer := query.NewClient("http://127.0.0.1:0")
+	peer.PeerName = "peerX"
+	e := New(Config{
+		Pipeline: pipelineCfg(run, 60),
+		Shards:   1,
+		Backend:  arch.Backend,
+		Flush:    store.FlushConfig{Queue: 16, Batch: 8},
+		Peers:    []query.Source{peer},
+	})
+	e.Start(context.Background())
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for range e.Alerts() {
+		}
+	}()
+	defer func() { e.Close(); <-drained; e.Wait() }()
+
+	v := e.Health(HealthOptions{}).Evaluate()
+	got := map[string]bool{}
+	for _, c := range v.Checks {
+		got[c.Name] = c.Critical
+	}
+	for name, critical := range map[string]bool{
+		"flush-backlog":  true,
+		"upload-queue":   true,
+		"storage-errors": false,
+		"peer:peerX":     false,
+		"hub-drops":      false,
+	} {
+		crit, ok := got[name]
+		if !ok {
+			t.Errorf("missing check %q (have %v)", name, v.Checks)
+			continue
+		}
+		if crit != critical {
+			t.Errorf("check %q critical=%v, want %v", name, crit, critical)
+		}
+	}
+	if !v.Ready {
+		t.Fatalf("healthy engine evaluates not-ready: %+v", v)
+	}
+}

@@ -157,6 +157,13 @@ type Config struct {
 	// query latency. Nil keeps every hot path on its uninstrumented
 	// no-op branch.
 	Obs *obs.Registry
+	// Flight, when non-nil, is the black-box flight recorder every layer
+	// of the dataflow writes its load-bearing transitions into: segment
+	// seals and upload outcomes, upload-queue stalls, flush
+	// backpressure, tier evictions and page-back failures, subscriber
+	// drops, and track/anomaly stage failures. Nil keeps every site on
+	// its nil-check branch.
+	Flight *obs.Flight
 }
 
 func (c *Config) normalize() {
@@ -243,8 +250,17 @@ func (e *Engine) Start(ctx context.Context) {
 		panic("ingest: Start called twice")
 	}
 	e.started = true
+	if e.cfg.Flight != nil {
+		e.hub.SetFlight(e.cfg.Flight)
+		if d, ok := e.cfg.Backend.(*store.Disk); ok {
+			d.SetFlight(e.cfg.Flight)
+		}
+	}
 	if e.cfg.Backend != nil {
 		e.flusher = store.NewFlusher(e.cfg.Backend, e.cfg.Flush)
+		if e.cfg.Flight != nil {
+			e.flusher.SetFlight(e.cfg.Flight)
+		}
 	}
 	if e.cfg.Track != nil {
 		e.tracks = track.NewStages(len(e.sharded.Shards), *e.cfg.Track)
@@ -268,10 +284,10 @@ func (e *Engine) Start(ctx context.Context) {
 		if e.tracks != nil {
 			// Same shard routing as the pipelines (stream.ShardOf), so each
 			// stage sees exactly its shard's vessels.
-			sinks = append(sinks, e.tracks[i])
+			sinks = append(sinks, e.flightWrap(e.tracks[i], "track"))
 		}
 		if e.anoms != nil {
-			sinks = append(sinks, e.anoms.Stage(i))
+			sinks = append(sinks, e.flightWrap(e.anoms.Stage(i), "anomaly"))
 		}
 		if len(sinks) == 1 {
 			p.Store.Attach(sinks[0])
@@ -297,6 +313,9 @@ func (e *Engine) Start(ctx context.Context) {
 			// error on par with Start-before-Ingest, not a runtime
 			// condition to limp through with an unbounded archive.
 			panic("ingest: " + err.Error())
+		}
+		if e.cfg.Flight != nil {
+			m.SetFlight(e.cfg.Flight)
 		}
 		e.tier = m
 	}

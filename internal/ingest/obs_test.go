@@ -19,8 +19,9 @@ import (
 
 // TestMetricsScrapeSmoke is the CI scrape smoke: a fully wired engine —
 // persistence backend, tiered archive, hub, query surface — ingesting
-// while /metrics is scraped concurrently, then a final scrape asserted
-// to carry metric families from all five instrumented layers. The
+// while /metrics, /healthz, /readyz and /debug/flight are scraped
+// concurrently, then a final scrape asserted to carry metric families
+// from all five instrumented layers plus the build-info series. The
 // concurrent scrapes double as the scrape-under-ingest race test (run
 // under -race in CI).
 func TestMetricsScrapeSmoke(t *testing.T) {
@@ -30,6 +31,8 @@ func TestMetricsScrapeSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	reg := obs.NewRegistry()
+	obs.RegisterBuildInfo(reg, time.Now())
+	flight := obs.NewFlight(1024)
 	e := New(Config{
 		Pipeline:       pipelineCfg(run, 60),
 		Shards:         2,
@@ -38,6 +41,7 @@ func TestMetricsScrapeSmoke(t *testing.T) {
 		TierObjects:    objects,
 		TierCheckEvery: time.Millisecond,
 		Obs:            reg,
+		Flight:         flight,
 	})
 	ctx := context.Background()
 	e.Start(ctx)
@@ -50,11 +54,14 @@ func TestMetricsScrapeSmoke(t *testing.T) {
 
 	srv := query.NewServer(e)
 	srv.ServeMetrics(reg)
+	srv.ServeHealth(e.Health(HealthOptions{}))
+	srv.ServeFlight(flight)
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
-	// Scrape continuously while ingest runs: the registry must stay
-	// consistent (no torn reads, no panics) under full write load.
+	// Scrape continuously while ingest runs: the registry, the health
+	// surface and the flight ring must stay consistent (no torn reads,
+	// no panics) under full write load.
 	stop := make(chan struct{})
 	var scrapes sync.WaitGroup
 	scrapes.Add(1)
@@ -66,18 +73,23 @@ func TestMetricsScrapeSmoke(t *testing.T) {
 				return
 			default:
 			}
-			resp, err := http.Get(ts.URL + "/metrics")
-			if err != nil {
-				t.Error(err)
-				return
-			}
-			if _, err := io.Copy(io.Discard, resp.Body); err != nil {
-				t.Error(err)
-			}
-			resp.Body.Close()
-			if resp.StatusCode != http.StatusOK {
-				t.Errorf("/metrics status %d", resp.StatusCode)
-				return
+			for _, path := range []string{"/metrics", "/healthz", "/readyz", "/debug/flight"} {
+				resp, err := http.Get(ts.URL + path)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+					t.Error(err)
+				}
+				resp.Body.Close()
+				// /readyz may honestly report 503 while ingest outruns the
+				// flush stage; every other surface must stay 200.
+				if resp.StatusCode != http.StatusOK &&
+					!(path == "/readyz" && resp.StatusCode == http.StatusServiceUnavailable) {
+					t.Errorf("%s status %d", path, resp.StatusCode)
+					return
+				}
 			}
 		}
 	}()
@@ -132,10 +144,37 @@ func TestMetricsScrapeSmoke(t *testing.T) {
 		"query_requests_total", "query_latency_ns", "query_source_ns",
 		// hub
 		"hub_published_total", "hub_subscribers",
+		// build identity
+		"maritime_build_info", "maritime_uptime_seconds",
 	} {
 		if !strings.Contains(text, family) {
 			t.Errorf("/metrics missing family %s", family)
 		}
+	}
+
+	// Quiesced, the engine is ready, and the flight ring replays the
+	// run's transitions (tier evictions at minimum, given the 200-point
+	// budget) as well-formed JSON.
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("quiesced /readyz = %d, want 200", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/debug/flight?layer=tier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flightDoc []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&flightDoc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(flightDoc) == 0 {
+		t.Error("flight ring recorded no tier transitions under a 200-point budget")
 	}
 
 	// The JSON twin serves the same registry.

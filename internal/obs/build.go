@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// BuildInfo returns the binary's VCS revision (short hash, "+dirty"
+// when the tree was modified, "unknown" outside a VCS build) and the Go
+// toolchain version — the two facts an incident report needs to tie
+// evidence to a build.
+func BuildInfo() (revision, goVersion string) {
+	revision, goVersion = "unknown", runtime.Version()
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return revision, goVersion
+	}
+	var modified bool
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			revision = s.Value
+		case "vcs.modified":
+			modified = s.Value == "true"
+		}
+	}
+	if len(revision) > 12 {
+		revision = revision[:12]
+	}
+	if modified {
+		revision += "+dirty"
+	}
+	return revision, goVersion
+}
+
+// RegisterBuildInfo exports the build identity and process uptime on
+// reg: maritime_build_info{revision,go} is the constant-1 info-series
+// idiom (the labels are the payload), maritime_uptime_seconds counts
+// from start. Returns the identity so callers can log it.
+func RegisterBuildInfo(reg *Registry, start time.Time) (revision, goVersion string) {
+	revision, goVersion = BuildInfo()
+	reg.GaugeFunc("maritime_build_info", func() float64 { return 1 },
+		"revision", revision, "go", goVersion)
+	reg.GaugeFunc("maritime_uptime_seconds", func() float64 {
+		return time.Since(start).Seconds()
+	})
+	return revision, goVersion
+}

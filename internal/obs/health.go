@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// The health surface turns per-layer conditions into the two verdicts a
+// load balancer (or the ROADMAP's future cluster map) can act on:
+// alive, and ready to serve. Liveness is the process answering at all;
+// readiness aggregates registered checks — critical ones gate the
+// verdict, informational ones ride along as detail.
+
+// HealthCheck is one registered readiness probe. Check must be safe for
+// concurrent use and fast (it runs on every /readyz scrape); Critical
+// checks gate the ready verdict, non-critical ones only annotate it.
+type HealthCheck struct {
+	Name     string
+	Critical bool
+	Check    func() (ok bool, detail string)
+}
+
+// Health aggregates readiness checks into a machine-readable verdict.
+// The zero value is unusable; NewHealth returns an empty, ready
+// surface. Nil-safe: a nil *Health evaluates to ready with no checks.
+type Health struct {
+	mu     sync.Mutex
+	checks []HealthCheck
+}
+
+// NewHealth returns an empty health surface (ready until a critical
+// check fails).
+func NewHealth() *Health { return &Health{} }
+
+// Register adds a check. Safe on a live surface.
+func (h *Health) Register(c HealthCheck) {
+	h.mu.Lock()
+	h.checks = append(h.checks, c)
+	h.mu.Unlock()
+}
+
+// CheckResult is one check's outcome within a verdict.
+type CheckResult struct {
+	Name     string `json:"name"`
+	OK       bool   `json:"ok"`
+	Critical bool   `json:"critical"`
+	Detail   string `json:"detail,omitempty"`
+}
+
+// HealthVerdict is the /readyz payload: the aggregate verdict plus
+// per-check detail, in registration order.
+type HealthVerdict struct {
+	Ready  bool          `json:"ready"`
+	At     time.Time     `json:"at"`
+	Checks []CheckResult `json:"checks"`
+}
+
+// Evaluate runs every check (outside the registration lock — checks may
+// take their own locks) and aggregates: ready iff every critical check
+// passes.
+func (h *Health) Evaluate() HealthVerdict {
+	v := HealthVerdict{Ready: true, At: time.Now().UTC()}
+	if h == nil {
+		return v
+	}
+	h.mu.Lock()
+	checks := make([]HealthCheck, len(h.checks))
+	copy(checks, h.checks)
+	h.mu.Unlock()
+	for _, c := range checks {
+		ok, detail := c.Check()
+		v.Checks = append(v.Checks, CheckResult{Name: c.Name, OK: ok, Critical: c.Critical, Detail: detail})
+		if !ok && c.Critical {
+			v.Ready = false
+		}
+	}
+	return v
+}

@@ -2,16 +2,21 @@ package obs
 
 import (
 	"context"
+	"sort"
 	"sync"
 	"time"
 )
 
 // Span is one named stage of a traced request: its offset from the
-// start of the trace and how long it ran.
+// start of the trace and how long it ran. Parent names the span this
+// one nests under ("" = a root stage) — the federation hop uses it to
+// stitch a peer's spans under its peer/<addr> span, so one trace renders
+// as a tree spanning daemons.
 type Span struct {
-	Name  string
-	Start time.Duration
-	Dur   time.Duration
+	Name   string
+	Parent string
+	Start  time.Duration
+	Dur    time.Duration
 }
 
 // Trace collects named stage spans for a single request. It rides in a
@@ -45,8 +50,30 @@ func (t *Trace) StartSpan(name string) func() {
 	}
 }
 
-// Spans returns a copy of the spans recorded so far, in completion
-// order. Nil-safe.
+// Add grafts an externally built span — e.g. one a federation peer
+// returned over the wire — into the trace as recorded. Nil-safe.
+func (t *Trace) Add(sp Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, sp)
+	t.mu.Unlock()
+}
+
+// Offset returns the elapsed time since the trace was anchored — the
+// Start a span beginning "now" should carry. Nil-safe.
+func (t *Trace) Offset() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.start)
+}
+
+// Spans returns a copy of the spans recorded so far, sorted by
+// (Start, Name) so concurrently completed spans render and compare
+// deterministically (completion order flaps under the per-source
+// fan-out). Nil-safe.
 func (t *Trace) Spans() []Span {
 	if t == nil {
 		return nil
@@ -55,6 +82,12 @@ func (t *Trace) Spans() []Span {
 	out := make([]Span, len(t.spans))
 	copy(out, t.spans)
 	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Name < out[j].Name
+	})
 	return out
 }
 

@@ -12,6 +12,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Client answers Requests by POSTing them to a Server's /v1/query route
@@ -45,9 +47,13 @@ type Client struct {
 	// skipped and the error surfaced in Stats — instead of stalling the
 	// local query.
 	PeerTimeout time.Duration
+	// Flight, when set, records peer degraded/recovered transitions and
+	// stream epoch rewinds into the flight ring. Set before first use.
+	Flight *obs.Flight
 
-	peerMu  sync.Mutex
-	peerErr error // last federated-read failure (nil once recovered)
+	peerMu   sync.Mutex
+	peerErr  error // last federated-read failure (nil once recovered)
+	peerDown bool  // tracks the degraded<->healthy edge for flight events
 }
 
 // RetryPolicy is an exponential backoff over transient transport errors.
@@ -460,6 +466,8 @@ func (c *Client) streamLoop(ctx context.Context, sub *Subscription, conn *stream
 			//lint:ignore atomiccounter single-writer: only this pump goroutine stores epoch; readers are concurrent, writers are not
 			sub.epoch.Store(f.Epoch)
 			sub.rewinds.Add(1)
+			c.Flight.Record(obs.FlightWarn, "hub", "stream epoch rewind",
+				obs.FS("peer", c.Base), obs.FI("seq", int64(f.Seq)))
 			if !deliver(Update{Kind: UpdateRewound, Seq: f.Seq, Epoch: f.Epoch}) {
 				return
 			}

@@ -185,6 +185,9 @@ func (e *Engine) QueryContext(ctx context.Context, req Request) (*Result, error)
 	q := qobs{reg: e.reg, tr: tr}
 	t0 := time.Now()
 	srcs := e.sourcesFor(req)
+	if tr != nil {
+		srcs = tracedSources(srcs, tr)
+	}
 	names := make([]string, len(srcs))
 	for i, s := range srcs {
 		names[i] = s.Name()
@@ -264,12 +267,34 @@ func (e *Engine) QueryContext(ctx context.Context, req Request) (*Result, error)
 	if req.Trace && tr != nil {
 		for _, sp := range tr.Spans() {
 			res.Trace = append(res.Trace, TraceSpan{
-				Name: sp.Name, StartNS: int64(sp.Start), DurNS: int64(sp.Dur),
+				Name: sp.Name, Parent: sp.Parent, StartNS: int64(sp.Start), DurNS: int64(sp.Dur),
 			})
 		}
 		res.Trace = append(res.Trace, TraceSpan{Name: "total", DurNS: int64(time.Since(t0))})
 	}
 	return res, nil
+}
+
+// tracedSources substitutes trace-bound views for sources that forward
+// trace context across a remote hop (federation clients), so a traced
+// request comes back with one span tree covering every daemon it
+// touched. The engine's own slice is never mutated.
+func tracedSources(srcs []Source, tr *obs.Trace) []Source {
+	out := srcs
+	copied := false
+	for i, s := range srcs {
+		ts, ok := s.(traceSource)
+		if !ok {
+			continue
+		}
+		if !copied {
+			out = make([]Source, len(srcs))
+			copy(out, srcs)
+			copied = true
+		}
+		out[i] = ts.withTrace(tr)
+	}
+	return out
 }
 
 // finishStates dedupes, orders, truncates and encodes a merged sample set.

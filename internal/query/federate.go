@@ -7,6 +7,7 @@ import (
 	"repro/internal/events"
 	"repro/internal/geo"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // This file makes *Client a Source — the federation member of the read
@@ -33,6 +34,14 @@ import (
 //     errors contributes nothing to that answer instead of failing it;
 //     the failure is retained and surfaced through Stats().Err, so an
 //     operator sees the degradation in any stats read.
+//
+// The actual read bodies live on peerView, a Source view of the client
+// bound to (at most) one traced request: when the engine runs a traced
+// query it substitutes c.withTrace(tr), and every federated exchange
+// forwards Request.Trace, grafts the peer's returned spans under a
+// peer/<addr> span (rebased onto the local trace's clock), and records
+// a degraded child when the peer failed — one stitched tree spanning
+// daemons instead of a trace that dies at the HTTP hop.
 
 // PeerSource is a Source that answers from another daemon. Engines skip
 // peer sources when a request is marked Local — the loop guard that keeps
@@ -41,6 +50,12 @@ type PeerSource interface {
 	Source
 	// Peer identifies the federation member (its base URL).
 	Peer() string
+}
+
+// traceSource is a Source that can bind a per-request trace; the engine
+// substitutes the returned view for the duration of one traced request.
+type traceSource interface {
+	withTrace(tr *obs.Trace) Source
 }
 
 // Name implements Source: the label peers carry in Result.Sources.
@@ -53,6 +68,9 @@ func (c *Client) Name() string {
 
 // Peer implements PeerSource.
 func (c *Client) Peer() string { return c.Base }
+
+// withTrace implements traceSource.
+func (c *Client) withTrace(tr *obs.Trace) Source { return peerView{c: c, tr: tr} }
 
 // PeerErr returns the most recent federated-read failure (nil while the
 // peer is healthy or after it recovers).
@@ -69,28 +87,96 @@ func (c *Client) peerTimeout() time.Duration {
 	return 5 * time.Second
 }
 
+// notePeer records the read's outcome and emits a flight event on the
+// healthy<->degraded edge (not per failing read — a dead peer under a
+// query storm is one incident, not a thousand).
+func (c *Client) notePeer(err error) {
+	c.peerMu.Lock()
+	wasDown := c.peerDown
+	c.peerErr = err
+	c.peerDown = err != nil
+	c.peerMu.Unlock()
+	if c.Flight == nil || wasDown == (err != nil) {
+		return
+	}
+	if err != nil {
+		c.Flight.Record(obs.FlightWarn, "query", "federation peer degraded",
+			obs.FS("peer", c.Base), obs.FS("err", err.Error()))
+	} else {
+		c.Flight.Record(obs.FlightInfo, "query", "federation peer recovered",
+			obs.FS("peer", c.Base))
+	}
+}
+
+// peerView is the client's Source implementation, carrying the trace of
+// the request it is answering (nil on the untraced path — the Client's
+// own Source methods delegate through a zero-trace view).
+type peerView struct {
+	c  *Client
+	tr *obs.Trace
+}
+
+// Name implements Source.
+func (v peerView) Name() string { return v.c.Name() }
+
+// Peer implements PeerSource.
+func (v peerView) Peer() string { return v.c.Base }
+
 // peerQuery issues one federated read: local-only on the peer, bounded
 // by the peer timeout, failures recorded instead of propagated. Callers
 // use the returned error (not PeerErr, which a concurrent recovered read
 // may have cleared in the meantime). The read deliberately skips the
 // client's retry policy: a dead peer must degrade after one connection
 // attempt, not charge backoff to every local query that fans to it —
-// retrying is the next query's job.
-func (c *Client) peerQuery(req Request) (*Result, error) {
+// retrying is the next query's job. Under a trace, the peer computes its
+// own stage spans (Request.Trace forwarded) and stitch grafts them in.
+func (v peerView) peerQuery(req Request) (*Result, error) {
+	c := v.c
 	req.Local = true
+	req.Trace = v.tr != nil
+	start := v.tr.Offset()
+	t0 := time.Now()
 	//lint:ignore ctxflow the Source interface is ctx-free (ROADMAP: ctx threading lands with the cluster refactor); the peer timeout bounds this detached call
 	ctx, cancel := context.WithTimeout(context.Background(), c.peerTimeout())
 	defer cancel()
 	res, err := c.queryContext(ctx, req, RetryPolicy{})
-	c.peerMu.Lock()
-	c.peerErr = err
-	c.peerMu.Unlock()
+	c.notePeer(err)
+	if v.tr != nil {
+		v.stitch(start, time.Since(t0), res, err)
+	}
 	return res, err
 }
 
+// stitch grafts one federated exchange into the local trace: a
+// peer/<addr> span nested under this source's fan-out span, the peer's
+// own stages as its children (names path-prefixed so two daemons' merge
+// spans stay distinct, offsets rebased onto the local clock — the hop's
+// network time is the gap between the parent and its children), and a
+// degraded child instead of silence when the peer failed.
+func (v peerView) stitch(start, dur time.Duration, res *Result, err error) {
+	parent := "peer/" + v.c.Base
+	v.tr.Add(obs.Span{Name: parent, Parent: "source:" + v.c.Name(), Start: start, Dur: dur})
+	if err != nil {
+		v.tr.Add(obs.Span{Name: parent + "/degraded", Parent: parent, Start: start, Dur: dur})
+		return
+	}
+	for _, ts := range res.Trace {
+		p := parent
+		if ts.Parent != "" {
+			p = parent + "/" + ts.Parent
+		}
+		v.tr.Add(obs.Span{
+			Name:   parent + "/" + ts.Name,
+			Parent: p,
+			Start:  start + time.Duration(ts.StartNS),
+			Dur:    time.Duration(ts.DurNS),
+		})
+	}
+}
+
 // Trajectory implements Source.
-func (c *Client) Trajectory(mmsi uint32, from, to time.Time) []model.VesselState {
-	res, err := c.peerQuery(Request{Kind: KindTrajectory, MMSI: mmsi, From: from, To: to})
+func (v peerView) Trajectory(mmsi uint32, from, to time.Time) []model.VesselState {
+	res, err := v.peerQuery(Request{Kind: KindTrajectory, MMSI: mmsi, From: from, To: to})
 	if err != nil {
 		return nil
 	}
@@ -98,9 +184,9 @@ func (c *Client) Trajectory(mmsi uint32, from, to time.Time) []model.VesselState
 }
 
 // SpaceTime implements Source.
-func (c *Client) SpaceTime(r geo.Rect, from, to time.Time) []model.VesselState {
+func (v peerView) SpaceTime(r geo.Rect, from, to time.Time) []model.VesselState {
 	b := BoxOf(r)
-	res, err := c.peerQuery(Request{Kind: KindSpaceTime, Box: &b, From: from, To: to})
+	res, err := v.peerQuery(Request{Kind: KindSpaceTime, Box: &b, From: from, To: to})
 	if err != nil {
 		return nil
 	}
@@ -108,8 +194,8 @@ func (c *Client) SpaceTime(r geo.Rect, from, to time.Time) []model.VesselState {
 }
 
 // Nearest implements Source.
-func (c *Client) Nearest(p geo.Point, at time.Time, tol time.Duration, k int) []model.VesselState {
-	res, err := c.peerQuery(Request{
+func (v peerView) Nearest(p geo.Point, at time.Time, tol time.Duration, k int) []model.VesselState {
+	res, err := v.peerQuery(Request{
 		Kind: KindNearest, Lat: p.Lat, Lon: p.Lon, At: at, Tol: Duration(tol), K: k,
 	})
 	if err != nil {
@@ -119,9 +205,9 @@ func (c *Client) Nearest(p geo.Point, at time.Time, tol time.Duration, k int) []
 }
 
 // Live implements Source.
-func (c *Client) Live(r geo.Rect) []model.VesselState {
+func (v peerView) Live(r geo.Rect) []model.VesselState {
 	b := BoxOf(r)
-	res, err := c.peerQuery(Request{Kind: KindLivePicture, Box: &b})
+	res, err := v.peerQuery(Request{Kind: KindLivePicture, Box: &b})
 	if err != nil {
 		return nil
 	}
@@ -129,8 +215,8 @@ func (c *Client) Live(r geo.Rect) []model.VesselState {
 }
 
 // Alerts implements Source.
-func (c *Client) Alerts() []events.Alert {
-	res, err := c.peerQuery(Request{Kind: KindAlertHistory})
+func (v peerView) Alerts() []events.Alert {
+	res, err := v.peerQuery(Request{Kind: KindAlertHistory})
 	if err != nil {
 		return nil
 	}
@@ -143,19 +229,19 @@ func (c *Client) Alerts() []events.Alert {
 
 // Stats implements Source: the peer's aggregate holdings under this
 // peer's name, with the degradation (if any) in Err.
-func (c *Client) Stats() SourceStats {
-	res, err := c.peerQuery(Request{Kind: KindStats})
+func (v peerView) Stats() SourceStats {
+	res, err := v.peerQuery(Request{Kind: KindStats})
 	if err != nil {
-		return SourceStats{Name: c.Name(), Err: err.Error()}
+		return SourceStats{Name: v.Name(), Err: err.Error()}
 	}
 	if res.Stats == nil {
 		// A nonconforming peer (version skew, interposed proxy) must
 		// degrade like any other failure, not panic the daemon.
-		return SourceStats{Name: c.Name(), Err: "peer answered without stats"}
+		return SourceStats{Name: v.Name(), Err: "peer answered without stats"}
 	}
 	st := res.Stats
 	return SourceStats{
-		Name: c.Name(), Points: st.Points, Vessels: st.Vessels,
+		Name: v.Name(), Points: st.Points, Vessels: st.Vessels,
 		Live: st.Live, Alerts: st.Alerts,
 	}
 }
@@ -163,8 +249,8 @@ func (c *Client) Stats() SourceStats {
 // Track implements TrackIntelSource: the peer computes (or reads) the
 // fused state server-side, so a federated track answer costs one
 // exchange, not a trajectory fetch plus a local replay.
-func (c *Client) Track(mmsi uint32) (*TrackState, bool) {
-	res, err := c.peerQuery(Request{Kind: KindTrack, MMSI: mmsi})
+func (v peerView) Track(mmsi uint32) (*TrackState, bool) {
+	res, err := v.peerQuery(Request{Kind: KindTrack, MMSI: mmsi})
 	if err != nil || res.Track == nil {
 		return nil, false
 	}
@@ -172,8 +258,8 @@ func (c *Client) Track(mmsi uint32) (*TrackState, bool) {
 }
 
 // Predict implements TrackIntelSource.
-func (c *Client) Predict(mmsi uint32, horizon time.Duration) (*Prediction, bool) {
-	res, err := c.peerQuery(Request{Kind: KindPredict, MMSI: mmsi, Horizon: Duration(horizon)})
+func (v peerView) Predict(mmsi uint32, horizon time.Duration) (*Prediction, bool) {
+	res, err := v.peerQuery(Request{Kind: KindPredict, MMSI: mmsi, Horizon: Duration(horizon)})
 	if err != nil || res.Prediction == nil {
 		return nil, false
 	}
@@ -181,8 +267,8 @@ func (c *Client) Predict(mmsi uint32, horizon time.Duration) (*Prediction, bool)
 }
 
 // Quality implements TrackIntelSource.
-func (c *Client) Quality(mmsi uint32) (*QualityScore, bool) {
-	res, err := c.peerQuery(Request{Kind: KindQuality, MMSI: mmsi})
+func (v peerView) Quality(mmsi uint32) (*QualityScore, bool) {
+	res, err := v.peerQuery(Request{Kind: KindQuality, MMSI: mmsi})
 	if err != nil || res.Quality == nil {
 		return nil, false
 	}
@@ -191,8 +277,8 @@ func (c *Client) Quality(mmsi uint32) (*QualityScore, bool) {
 
 // VesselAnomaly implements AnomalySource: the peer folds (or reads) the
 // behavior profile server-side, one exchange per federated answer.
-func (c *Client) VesselAnomaly(mmsi uint32) (*VesselAnomaly, bool) {
-	res, err := c.peerQuery(Request{Kind: KindAnomalies, MMSI: mmsi})
+func (v peerView) VesselAnomaly(mmsi uint32) (*VesselAnomaly, bool) {
+	res, err := v.peerQuery(Request{Kind: KindAnomalies, MMSI: mmsi})
 	if err != nil || res.Anomalies == nil || res.Anomalies.Vessel == nil {
 		return nil, false
 	}
@@ -201,8 +287,8 @@ func (c *Client) VesselAnomaly(mmsi uint32) (*VesselAnomaly, bool) {
 
 // RankedAnomalies implements AnomalySource. A degraded peer answers
 // ok=false and contributes nothing, like every other federated read.
-func (c *Client) RankedAnomalies(limit int) ([]VesselAnomaly, bool) {
-	res, err := c.peerQuery(Request{Kind: KindAnomalies, Limit: limit})
+func (v peerView) RankedAnomalies(limit int) ([]VesselAnomaly, bool) {
+	res, err := v.peerQuery(Request{Kind: KindAnomalies, Limit: limit})
 	if err != nil || res.Anomalies == nil {
 		return nil, false
 	}
@@ -214,25 +300,78 @@ func (c *Client) RankedAnomalies(limit int) ([]VesselAnomaly, bool) {
 // federated stats poll moves O(vessels) integers instead of the peer's
 // entire worldwide live picture. A degraded peer contributes nil, like
 // every other federated read.
-func (c *Client) DistinctMMSI() []uint32 {
-	_, set := c.StatsWithMMSI()
+func (v peerView) DistinctMMSI() []uint32 {
+	_, set := v.StatsWithMMSI()
 	return set
 }
 
 // StatsWithMMSI implements StatsSetSource: the engine's stats
 // aggregation costs this peer exactly one HTTP exchange, carrying both
 // the aggregate numbers and the distinct identifier set.
-func (c *Client) StatsWithMMSI() (SourceStats, []uint32) {
-	res, err := c.peerQuery(Request{Kind: KindStats, MMSIs: true})
+func (v peerView) StatsWithMMSI() (SourceStats, []uint32) {
+	res, err := v.peerQuery(Request{Kind: KindStats, MMSIs: true})
 	if err != nil {
-		return SourceStats{Name: c.Name(), Err: err.Error()}, nil
+		return SourceStats{Name: v.Name(), Err: err.Error()}, nil
 	}
 	if res.Stats == nil {
-		return SourceStats{Name: c.Name(), Err: "peer answered without stats"}, nil
+		return SourceStats{Name: v.Name(), Err: "peer answered without stats"}, nil
 	}
 	st := res.Stats
 	return SourceStats{
-		Name: c.Name(), Points: st.Points, Vessels: st.Vessels,
+		Name: v.Name(), Points: st.Points, Vessels: st.Vessels,
 		Live: st.Live, Alerts: st.Alerts,
 	}, st.MMSIs
 }
+
+// --- the Client's own Source surface: untraced delegations -----------------------
+
+// Trajectory implements Source.
+func (c *Client) Trajectory(mmsi uint32, from, to time.Time) []model.VesselState {
+	return peerView{c: c}.Trajectory(mmsi, from, to)
+}
+
+// SpaceTime implements Source.
+func (c *Client) SpaceTime(r geo.Rect, from, to time.Time) []model.VesselState {
+	return peerView{c: c}.SpaceTime(r, from, to)
+}
+
+// Nearest implements Source.
+func (c *Client) Nearest(p geo.Point, at time.Time, tol time.Duration, k int) []model.VesselState {
+	return peerView{c: c}.Nearest(p, at, tol, k)
+}
+
+// Live implements Source.
+func (c *Client) Live(r geo.Rect) []model.VesselState { return peerView{c: c}.Live(r) }
+
+// Alerts implements Source.
+func (c *Client) Alerts() []events.Alert { return peerView{c: c}.Alerts() }
+
+// Stats implements Source.
+func (c *Client) Stats() SourceStats { return peerView{c: c}.Stats() }
+
+// Track implements TrackIntelSource.
+func (c *Client) Track(mmsi uint32) (*TrackState, bool) { return peerView{c: c}.Track(mmsi) }
+
+// Predict implements TrackIntelSource.
+func (c *Client) Predict(mmsi uint32, horizon time.Duration) (*Prediction, bool) {
+	return peerView{c: c}.Predict(mmsi, horizon)
+}
+
+// Quality implements TrackIntelSource.
+func (c *Client) Quality(mmsi uint32) (*QualityScore, bool) { return peerView{c: c}.Quality(mmsi) }
+
+// VesselAnomaly implements AnomalySource.
+func (c *Client) VesselAnomaly(mmsi uint32) (*VesselAnomaly, bool) {
+	return peerView{c: c}.VesselAnomaly(mmsi)
+}
+
+// RankedAnomalies implements AnomalySource.
+func (c *Client) RankedAnomalies(limit int) ([]VesselAnomaly, bool) {
+	return peerView{c: c}.RankedAnomalies(limit)
+}
+
+// DistinctMMSI implements Source.
+func (c *Client) DistinctMMSI() []uint32 { return peerView{c: c}.DistinctMMSI() }
+
+// StatsWithMMSI implements StatsSetSource.
+func (c *Client) StatsWithMMSI() (SourceStats, []uint32) { return peerView{c: c}.StatsWithMMSI() }

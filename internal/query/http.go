@@ -59,6 +59,11 @@ type Server struct {
 	exec Executor
 	sub  Subscriber // non-nil when exec can serve standing queries
 	mux  *http.ServeMux
+
+	// Slow-query hook (RecordSlowQueries): any query whose execution
+	// exceeds slowAfter lands in slowFlight with its full stage trace.
+	slowAfter  time.Duration
+	slowFlight *obs.Flight
 }
 
 // NewServer builds the HTTP surface over an executor. When the executor
@@ -113,6 +118,79 @@ func (s *Server) ServeMetrics(reg *obs.Registry) {
 	})
 }
 
+// ServeHealth mounts the health surface on the server's mux:
+//
+//	GET /healthz   liveness  — 200 whenever the process answers
+//	GET /readyz    readiness — 200/503 from h.Evaluate(), JSON verdict
+//
+// Liveness is intentionally unconditional: a process that can run the
+// handler is alive. Readiness aggregates the registered per-layer
+// checks; the body carries the per-check detail either way, so a 503
+// names the failing check instead of leaving the operator to guess.
+func (s *Server) ServeHealth(h *obs.Health) {
+	start := time.Now()
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"alive":          true,
+			"uptime_seconds": time.Since(start).Seconds(),
+		})
+	})
+	s.mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+			return
+		}
+		v := h.Evaluate()
+		w.Header().Set("Content-Type", "application/json")
+		if !v.Ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		json.NewEncoder(w).Encode(v)
+	})
+}
+
+// ServeFlight mounts GET /debug/flight: the flight recorder's retained
+// events as JSON, oldest first. Query params filter the dump:
+// ?layer= (exact match), ?level=info|warn|error (minimum), ?since=
+// (RFC 3339 wall-clock floor).
+func (s *Server) ServeFlight(f *obs.Flight) {
+	s.mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+			return
+		}
+		u := urlValues{r.URL.Query()}
+		flt := obs.FlightFilter{
+			Layer:    u.str("layer"),
+			MinLevel: obs.ParseFlightLevel(u.str("level")),
+		}
+		var err error
+		if flt.Since, err = u.timeAt("since"); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := f.WriteJSON(w, flt); err != nil {
+			return // headers are gone; nothing more to do
+		}
+	})
+}
+
+// RecordSlowQueries arms the slow-query hook: any query that takes
+// longer than threshold is recorded into f as a warn-level flight event
+// carrying its kind, duration and full stage trace. While armed, every
+// request is traced internally (the trace is stripped from the response
+// unless the caller asked for it), so the evidence exists by the time
+// the query turns out to have been slow. threshold <= 0 disarms.
+func (s *Server) RecordSlowQueries(threshold time.Duration, f *obs.Flight) {
+	s.slowAfter, s.slowFlight = threshold, f
+}
+
 // ServePprof mounts net/http/pprof under /debug/pprof/ — opt-in
 // (maritimed -pprof) because profiles expose internals and cost CPU.
 func (s *Server) ServePprof() {
@@ -164,6 +242,14 @@ func (s *Server) run(w http.ResponseWriter, r *http.Request, req Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// While the slow-query hook is armed, trace every request so the
+	// stage breakdown exists by the time the query proves slow; forced
+	// traces are stripped from the response (the caller didn't ask).
+	forced := false
+	if s.slowAfter > 0 && !req.Trace {
+		req.Trace, forced = true, true
+	}
+	t0 := time.Now()
 	var res *Result
 	var err error
 	if cx, ok := s.exec.(ContextExecutor); ok {
@@ -171,9 +257,15 @@ func (s *Server) run(w http.ResponseWriter, r *http.Request, req Request) {
 	} else {
 		res, err = s.exec.Query(req)
 	}
+	if elapsed := time.Since(t0); s.slowAfter > 0 && elapsed >= s.slowAfter {
+		s.recordSlow(req, res, err, elapsed)
+	}
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
+	}
+	if forced {
+		res.Trace = nil
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
@@ -181,6 +273,31 @@ func (s *Server) run(w http.ResponseWriter, r *http.Request, req Request) {
 		// Headers are gone; nothing more to do than note it server-side.
 		return
 	}
+}
+
+// recordSlow lands one over-threshold query in the flight ring with its
+// stage trace rendered compactly (name@start+dur, semicolon-joined).
+func (s *Server) recordSlow(req Request, res *Result, err error, elapsed time.Duration) {
+	fields := []obs.KV{
+		obs.FS("kind", string(req.Kind)),
+		obs.FI("ms", elapsed.Milliseconds()),
+	}
+	switch {
+	case err != nil:
+		fields = append(fields, obs.FS("error", err.Error()))
+	case res != nil && len(res.Trace) > 0:
+		var b []byte
+		for i, sp := range res.Trace {
+			if i > 0 {
+				b = append(b, ';')
+			}
+			b = fmt.Appendf(b, "%s@%v+%v", sp.Name,
+				time.Duration(sp.StartNS).Round(time.Microsecond),
+				time.Duration(sp.DurNS).Round(time.Microsecond))
+		}
+		fields = append(fields, obs.FS("trace", string(b)))
+	}
+	s.slowFlight.Record(obs.FlightWarn, "query", "slow query", fields...)
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {

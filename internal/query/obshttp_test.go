@@ -1,0 +1,239 @@
+package query
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/tstore"
+)
+
+// traceShape reduces a returned trace to its sorted (parent>name) edge
+// set — the structure of the tree, with the timing stripped. Two runs of
+// the same query must produce the same shape even though durations flap.
+func traceShape(spans []TraceSpan) []string {
+	out := make([]string, len(spans))
+	for i, sp := range spans {
+		out[i] = sp.Parent + ">" + sp.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestFederatedTraceStitch pins the cross-daemon trace: a traced query
+// through an engine with a federation peer comes back as ONE span tree —
+// the local stage spans plus a peer/<addr> span whose children are the
+// peer's own stages, rebased and path-prefixed — and the tree's
+// structure is stable across runs.
+func TestFederatedTraceStitch(t *testing.T) {
+	all := testStates(4, 25)
+	perVessel := 25
+	remote := fill(tstore.New(), all[:2*perVessel]) // vessels 1, 2
+	local := fill(tstore.New(), all[2*perVessel:])  // vessels 3, 4
+	peerEng := NewEngine(NewStoreSource("peer-archive", remote))
+	tsA := httptest.NewServer(NewServer(peerEng))
+	defer tsA.Close()
+	peer := NewClient(tsA.URL)
+	peer.PeerName = "peerA"
+	eng := NewEngine(NewStoreSource("local", local), peer)
+
+	const peerOnly = 201000001
+	run := func() *Result {
+		t.Helper()
+		res, err := eng.Query(Request{Kind: KindTrack, MMSI: peerOnly, Trace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Track == nil {
+			t.Fatal("federated track came back empty")
+		}
+		return res
+	}
+	res := run()
+
+	byName := map[string]TraceSpan{}
+	for _, sp := range res.Trace {
+		byName[sp.Name] = sp
+	}
+	hop := "peer/" + tsA.URL
+	for name, parent := range map[string]string{
+		"source:local":               "",
+		"source:peerA":               "",
+		hop:                          "source:peerA",
+		hop + "/source:peer-archive": hop,
+		hop + "/total":               hop,
+		"total":                      "",
+	} {
+		sp, ok := byName[name]
+		if !ok {
+			t.Fatalf("trace missing span %q:\n%+v", name, res.Trace)
+		}
+		if sp.Parent != parent {
+			t.Fatalf("span %q has parent %q, want %q", name, sp.Parent, parent)
+		}
+	}
+	// The peer's spans are rebased onto the local clock: a child cannot
+	// start before the hop span that carried it.
+	if child := byName[hop+"/source:peer-archive"]; child.StartNS < byName[hop].StartNS {
+		t.Fatalf("peer span starts (%d) before its hop (%d)", child.StartNS, byName[hop].StartNS)
+	}
+
+	// Structure-stable across runs: same edge set, every time.
+	first := traceShape(res.Trace)
+	for i := 0; i < 3; i++ {
+		if again := traceShape(run().Trace); fmt.Sprint(again) != fmt.Sprint(first) {
+			t.Fatalf("trace structure flapped between runs:\n%v\n%v", first, again)
+		}
+	}
+
+	// A dead peer is visible as a degraded span, not silence — and the
+	// degradation lands in the client's flight recorder, once per edge.
+	tsA.Close()
+	peer.PeerTimeout = 200 * time.Millisecond
+	peer.Flight = obs.NewFlight(32)
+	res, err := eng.Query(Request{Kind: KindTrack, MMSI: 201000003, Trace: true})
+	if err != nil || res.Track == nil {
+		t.Fatalf("local track under dead peer: res %+v err %v", res, err)
+	}
+	found := false
+	for _, sp := range res.Trace {
+		if sp.Name == hop+"/degraded" {
+			if sp.Parent != hop {
+				t.Fatalf("degraded span parented under %q, want %q", sp.Parent, hop)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("dead peer left no degraded span:\n%+v", res.Trace)
+	}
+	evs := peer.Flight.Events(obs.FlightFilter{Layer: "query", MinLevel: obs.FlightWarn})
+	if len(evs) != 1 || evs[0].Msg != "federation peer degraded" {
+		t.Fatalf("flight events = %+v, want one peer-degraded warn", evs)
+	}
+}
+
+// TestSlowQueryHook: an armed server records over-threshold queries into
+// the flight ring with their stage trace, and strips the forced trace
+// from responses whose caller never asked for one.
+func TestSlowQueryHook(t *testing.T) {
+	st := fill(tstore.New(), testStates(1, 10))
+	srv := NewServer(NewEngine(NewStoreSource("archive", st)))
+	fl := obs.NewFlight(32)
+	srv.RecordSlowQueries(time.Nanosecond, fl) // everything is slow
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	get := func(url string) *Result {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d", url, resp.StatusCode)
+		}
+		var res Result
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			t.Fatal(err)
+		}
+		return &res
+	}
+
+	if res := get(ts.URL + "/v1/track?mmsi=201000001"); res.Trace != nil {
+		t.Fatalf("forced trace leaked into the response: %+v", res.Trace)
+	}
+	evs := fl.Events(obs.FlightFilter{Layer: "query", MinLevel: obs.FlightWarn})
+	if len(evs) != 1 || evs[0].Msg != "slow query" {
+		t.Fatalf("flight = %+v, want one slow-query warn", evs)
+	}
+	var kind, trace string
+	for _, kv := range evs[0].Fields() {
+		switch kv.K {
+		case "kind":
+			kind = kv.S
+		case "trace":
+			trace = kv.S
+		}
+	}
+	if kind != string(KindTrack) {
+		t.Fatalf("slow event kind = %q, want %q", kind, KindTrack)
+	}
+	if !strings.Contains(trace, "source:archive@") || !strings.Contains(trace, "total@") {
+		t.Fatalf("slow event trace %q missing stage spans", trace)
+	}
+
+	// A caller that asked for the trace still gets it.
+	if res := get(ts.URL + "/v1/track?mmsi=201000001&trace=1"); len(res.Trace) == 0 {
+		t.Fatal("requested trace was stripped")
+	}
+}
+
+// TestHealthAndFlightEndpoints pins the HTTP surface: /healthz is
+// unconditionally alive, /readyz follows the critical checks (503 when
+// one fails, 200 on recovery), and /debug/flight serves the filtered
+// ring.
+func TestHealthAndFlightEndpoints(t *testing.T) {
+	st := fill(tstore.New(), testStates(1, 5))
+	srv := NewServer(NewEngine(NewStoreSource("archive", st)))
+	h := obs.NewHealth()
+	ok := true
+	h.Register(obs.HealthCheck{Name: "gate", Critical: true,
+		Check: func() (bool, string) { return ok, "" }})
+	srv.ServeHealth(h)
+	fl := obs.NewFlight(32)
+	fl.Record(obs.FlightInfo, "store", "segment sealed", obs.FI("seq", 1))
+	fl.Record(obs.FlightWarn, "hub", "subscriber dropping updates")
+	srv.ServeFlight(fl)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	status := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var doc any
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatalf("GET %s: bad JSON: %v", path, err)
+		}
+		j, _ := json.Marshal(doc)
+		return resp.StatusCode, string(j)
+	}
+
+	if code, body := status("/healthz"); code != http.StatusOK || !strings.Contains(body, `"alive":true`) {
+		t.Fatalf("/healthz = %d %s", code, body)
+	}
+	if code, body := status("/readyz"); code != http.StatusOK || !strings.Contains(body, `"ready":true`) {
+		t.Fatalf("ready /readyz = %d %s", code, body)
+	}
+	ok = false
+	if code, body := status("/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, `"gate"`) {
+		t.Fatalf("failed /readyz = %d %s, want 503 naming the check", code, body)
+	}
+	ok = true
+	if code, _ := status("/readyz"); code != http.StatusOK {
+		t.Fatalf("recovered /readyz = %d, want 200", code)
+	}
+
+	if code, body := status("/debug/flight"); code != http.StatusOK ||
+		!strings.Contains(body, "segment sealed") || !strings.Contains(body, "subscriber dropping") {
+		t.Fatalf("/debug/flight = %d %s", code, body)
+	}
+	if code, body := status("/debug/flight?layer=hub&level=warn"); code != http.StatusOK ||
+		strings.Contains(body, "segment sealed") || !strings.Contains(body, "subscriber dropping") {
+		t.Fatalf("filtered /debug/flight = %d %s", code, body)
+	}
+	if code, _ := status("/debug/flight?since=not-a-time"); code != http.StatusBadRequest {
+		t.Fatalf("bad since = %d, want 400", code)
+	}
+}

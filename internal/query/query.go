@@ -534,14 +534,17 @@ type Result struct {
 	Anomalies *AnomalyReport `json:"anomalies,omitempty"`
 
 	// Trace is the per-stage breakdown, present when the request set
-	// Trace: true. Spans appear in completion order; "total" is last.
+	// Trace: true. Spans are sorted by (start, name); "total" is last.
 	Trace []TraceSpan `json:"trace,omitempty"`
 }
 
 // TraceSpan is one named stage of a traced request as it appears on the
-// wire: offset from request start and duration, both in nanoseconds.
+/// wire: offset from request start and duration, both in nanoseconds.
+// Parent names the span this one nests under ("" = root) — federated
+// traces use it to hang a peer's stages below its peer/<addr> span.
 type TraceSpan struct {
 	Name    string `json:"name"`
+	Parent  string `json:"parent,omitempty"`
 	StartNS int64  `json:"start_ns"`
 	DurNS   int64  `json:"dur_ns"`
 }

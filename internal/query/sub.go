@@ -180,6 +180,7 @@ type Subscription struct {
 	rewinds   atomic.Uint64
 
 	filter func(*Update) bool // hub-side match; nil for remote/ticker subs
+	flight *obs.Flight        // hub's flight recorder; nil when unset
 
 	cancelOnce sync.Once
 	stop       func()
@@ -252,9 +253,16 @@ func (s *Subscription) offer(u Update, hub *stream.Metrics) {
 			hub.Out.Add(1)
 		}
 	default:
-		s.dropped.Add(1)
+		n := s.dropped.Add(1)
 		if hub != nil {
 			hub.Dropped.Add(1)
+		}
+		// First drop is the incident signal; after that, one event per
+		// 1024 keeps a sustained overflow visible without flooding the
+		// ring with its own symptom.
+		if n == 1 || n%1024 == 0 {
+			s.flight.Record(obs.FlightWarn, "hub", "subscriber dropping updates",
+				obs.FS("kind", string(s.req.Kind)), obs.FI("dropped", int64(n)))
 		}
 	}
 }
@@ -302,6 +310,10 @@ type Hub struct {
 	// archived record after the first subscriber ever appears.
 	armed atomic.Bool
 
+	// flight, when attached (SetFlight), receives subscriber-drop
+	// transitions — the ordered record of *when* a consumer fell behind.
+	flight atomic.Pointer[obs.Flight]
+
 	mu   sync.Mutex
 	seq  uint64
 	ring []Update // replay ring, len == cfg.Replay once armed
@@ -331,6 +343,10 @@ func newEpoch() uint64 {
 	}
 	return 1
 }
+
+// SetFlight attaches a flight recorder: subscriptions created after the
+// call record their drop transitions into it. Safe on a live hub.
+func (h *Hub) SetFlight(f *obs.Flight) { h.flight.Store(f) }
 
 // Seq returns the current publication sequence.
 func (h *Hub) Seq() uint64 {
@@ -482,7 +498,7 @@ func (h *Hub) Subscribe(req Request, opt SubOptions) (*Subscription, error) {
 	// a resume must not lose to its own (still undrained) fresh queue.
 	sub := &Subscription{
 		req: req, ch: make(chan Update, buf+len(replay)),
-		filter: filter, startSeq: startSeq,
+		filter: filter, startSeq: startSeq, flight: h.flight.Load(),
 	}
 	sub.epoch.Store(h.epoch)
 	sub.stop = func() { h.remove(sub) }
@@ -595,7 +611,7 @@ func (st *Streamer) Subscribe(req Request, opt SubOptions) (*Subscription, error
 		buf = st.hub.cfg.Buffer
 	}
 	done := make(chan struct{})
-	sub := &Subscription{req: req, ch: make(chan Update, buf), startSeq: opt.FromSeq}
+	sub := &Subscription{req: req, ch: make(chan Update, buf), startSeq: opt.FromSeq, flight: st.hub.flight.Load()}
 	sub.epoch.Store(st.hub.epoch)
 	sub.stop = func() { close(done) }
 	go func() {

@@ -63,8 +63,23 @@ type Flusher struct {
 	// the handoff is an atomic pointer.
 	batchNS atomic.Pointer[obs.Histogram]
 
+	// flight, when attached (SetFlight), records backpressure episodes:
+	// a warn when an appender first blocks on the full queue, an info
+	// when the drain clears it. stalled (under mu) edge-detects the
+	// episode so a sustained stall is two events, not thousands.
+	flight  atomic.Pointer[obs.Flight]
+	stalled bool
+
 	done chan struct{}
 }
+
+// SetFlight attaches a flight recorder for backpressure transitions.
+// Safe on a live stage.
+func (f *Flusher) SetFlight(fl *obs.Flight) { f.flight.Store(fl) }
+
+// QueueBound returns the configured queue capacity — the denominator a
+// readiness check compares Depth against.
+func (f *Flusher) QueueBound() int { return f.cfg.Queue }
 
 // Instrument registers the flush stage's series with reg: record
 // counters (windows onto Metrics — In on enqueue, Out accepted by the
@@ -96,6 +111,11 @@ func NewFlusher(b Backend, cfg FlushConfig) *Flusher {
 // full. It never blocks on the disk itself. Safe for concurrent use.
 func (f *Flusher) Append(recs ...model.VesselState) error {
 	f.mu.Lock()
+	if len(f.pending) >= f.cfg.Queue && !f.closing && !f.stalled {
+		f.stalled = true
+		f.flight.Load().Record(obs.FlightWarn, "ingest", "flush backpressure: queue full",
+			obs.FI("depth", int64(len(f.pending))), obs.FI("bound", int64(f.cfg.Queue)))
+	}
 	for len(f.pending) >= f.cfg.Queue && !f.closing {
 		f.notFull.Wait()
 	}
@@ -149,6 +169,11 @@ func (f *Flusher) run() {
 			return
 		}
 		buf, f.pending = f.pending, buf[:0]
+		if f.stalled {
+			f.stalled = false
+			f.flight.Load().Record(obs.FlightInfo, "ingest", "flush backpressure cleared",
+				obs.FI("batch", int64(len(buf))))
+		}
 		f.notFull.Broadcast()
 		f.mu.Unlock()
 

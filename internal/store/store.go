@@ -186,10 +186,14 @@ type Disk struct {
 	// Upload-on-seal runs on a background goroutine so a slow remote Put
 	// never stalls the append path (it used to run under mu). The queue
 	// and in-flight marker live under mu; upCond (on mu) is signalled on
-	// enqueue, on upload completion and on close.
-	upQ        []uint64        // sealed segments awaiting upload, FIFO
-	upInflight map[uint64]bool // segment currently being uploaded
-	upClosed   bool            // tells the uploader to drain and exit
+	// enqueue, on upload completion and on close. upQAt parallels upQ
+	// with enqueue instants so the queue's age is observable (a stalled
+	// remote shows up as an old head, not just a deep queue).
+	upQ        []uint64             // sealed segments awaiting upload, FIFO
+	upQAt      []time.Time          // enqueue instant of each upQ entry
+	upInflight map[uint64]time.Time // segment being uploaded -> its enqueue instant
+	upClosed   bool                 // tells the uploader to drain and exit
+	upStalled  bool                 // an upload-stall flight event is outstanding
 	upCond     *sync.Cond
 	upWG       sync.WaitGroup
 	compacting bool // re-entrancy guard: compactLocked waits on upCond, releasing mu
@@ -202,6 +206,41 @@ type Disk struct {
 	sealedCtr    atomic.Pointer[obs.Counter]
 	uploadCtr    atomic.Pointer[obs.Counter]
 	uploadErrCtr atomic.Pointer[obs.Counter]
+
+	// flight, when attached (SetFlight), records the WAL's load-bearing
+	// transitions: segment seals, upload outcomes, and upload-queue
+	// stall/drain episodes.
+	flight atomic.Pointer[obs.Flight]
+}
+
+// SetFlight attaches a flight recorder. Safe on a live backend — the
+// append path and the uploader pick it up atomically.
+func (d *Disk) SetFlight(f *obs.Flight) { d.flight.Store(f) }
+
+// uploadStallAge is how old the upload queue's head may grow before the
+// backend records a stall episode: long enough that a merely slow
+// remote doesn't cry wolf, short enough that a blocked one is on record
+// while the incident is still live.
+const uploadStallAge = 5 * time.Second
+
+// UploadQueue reports the migration backlog: how many sealed objects
+// await (or are in) upload, and the age of the oldest — the two numbers
+// a readiness check needs (a healthy queue drains young; a blocked
+// remote shows as a head that only gets older).
+func (d *Disk) UploadQueue() (depth int, oldest time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	depth = len(d.upQ) + len(d.upInflight)
+	now := time.Now()
+	if len(d.upQAt) > 0 {
+		oldest = now.Sub(d.upQAt[0])
+	}
+	for _, at := range d.upInflight {
+		if age := now.Sub(at); age > oldest {
+			oldest = age
+		}
+	}
+	return depth, oldest
 }
 
 // Instrument registers the backend's series with reg: WAL append
@@ -310,6 +349,9 @@ func (d *Disk) rotateLocked() error {
 	if c := d.sealedCtr.Load(); c != nil {
 		c.Inc()
 	}
+	// Record is atomic-add + short slot mutex, no IO — fine under mu.
+	d.flight.Load().Record(obs.FlightInfo, "store", "segment sealed",
+		obs.FI("seq", int64(d.seq)), obs.FI("bytes", d.segBytes))
 	d.enqueueUploadLocked(d.seq)
 	if err := d.openSegmentLocked(d.seq + 1); err != nil {
 		return err
@@ -329,6 +371,17 @@ func (d *Disk) enqueueUploadLocked(seq uint64) {
 		return
 	}
 	d.upQ = append(d.upQ, seq)
+	d.upQAt = append(d.upQAt, time.Now())
+	// Stall detection happens here, on the hot evidence: if the queue's
+	// head has aged past the bound while new seals keep arriving, the
+	// uploader is stuck behind the remote. One event per episode; the
+	// uploader records the matching drain.
+	if !d.upStalled && time.Since(d.upQAt[0]) > uploadStallAge {
+		d.upStalled = true
+		d.flight.Load().Record(obs.FlightWarn, "store", "upload queue stalled",
+			obs.FI("depth", int64(len(d.upQ)+len(d.upInflight))),
+			obs.FI("oldest_ms", time.Since(d.upQAt[0]).Milliseconds()))
+	}
 	d.upCond.Signal()
 }
 
@@ -336,7 +389,7 @@ func (d *Disk) enqueueUploadLocked(seq uint64) {
 // launches the upload-on-seal goroutine. Called once from open, before
 // the Disk is shared.
 func (d *Disk) startUploader() {
-	d.upInflight = make(map[uint64]bool)
+	d.upInflight = make(map[uint64]time.Time)
 	d.upCond = sync.NewCond(&d.mu)
 	if d.remote() == nil {
 		return
@@ -361,15 +414,14 @@ func (d *Disk) uploader() {
 			return
 		}
 		seq := d.upQ[0]
+		queuedAt := d.upQAt[0]
 		d.upQ = d.upQ[1:]
-		d.upInflight[seq] = true
+		d.upQAt = d.upQAt[1:]
+		d.upInflight[seq] = queuedAt
 		d.mu.Unlock()
 
 		h := d.uploadNS.Load()
-		var t0 time.Time
-		if h != nil {
-			t0 = time.Now()
-		}
+		t0 := time.Now()
 		err := d.uploadSegment(seq)
 		if h != nil {
 			h.ObserveSince(t0)
@@ -381,12 +433,22 @@ func (d *Disk) uploader() {
 			if c := d.uploadErrCtr.Load(); c != nil {
 				c.Inc()
 			}
+			d.flight.Load().Record(obs.FlightError, "store", "segment upload failed",
+				obs.FI("seq", int64(seq)), obs.FS("error", err.Error()))
+		} else {
+			d.flight.Load().Record(obs.FlightInfo, "store", "segment uploaded",
+				obs.FI("seq", int64(seq)), obs.FI("ms", time.Since(t0).Milliseconds()))
 		}
 
 		d.mu.Lock()
 		delete(d.upInflight, seq)
 		if err != nil {
 			d.setUploadErrLocked(err)
+		}
+		if d.upStalled && len(d.upQ) == 0 && len(d.upInflight) == 0 {
+			d.upStalled = false
+			d.flight.Load().Record(obs.FlightInfo, "store", "upload queue drained",
+				obs.FI("last_seq", int64(seq)))
 		}
 		d.upCond.Broadcast()
 	}
@@ -524,11 +586,14 @@ func (d *Disk) compactLocked() error {
 	// only after the queue is quiet.
 	d.compacting = true
 	defer func() { d.compacting = false }()
-	d.upQ = d.upQ[:0]
+	d.upQ, d.upQAt = d.upQ[:0], d.upQAt[:0]
 	for len(d.upInflight) > 0 {
 		d.upCond.Wait()
-		d.upQ = d.upQ[:0]
+		d.upQ, d.upQAt = d.upQ[:0], d.upQAt[:0]
 	}
+	// The fold consumes whatever the queue held, so any stall episode
+	// ends here — without a drain event, since nothing was uploaded.
+	d.upStalled = false
 	folded := tstore.New()
 	if d.snapSeq > 0 {
 		if err := d.loadSnapLocked(d.snapSeq, folded); err != nil {

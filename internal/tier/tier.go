@@ -83,6 +83,20 @@ type ChunkStore struct {
 	// when instrumentation attaches.
 	fetchColdNS   atomic.Pointer[obs.Histogram]
 	fetchCachedNS atomic.Pointer[obs.Histogram]
+
+	// flight, when attached (Manager.SetFlight), records page-back
+	// failures — the moment a query needed a spilled run and the object
+	// store (or the chunk itself) let it down.
+	flight atomic.Pointer[obs.Flight]
+}
+
+// failFetch records one page-back failure in the flight ring and
+// returns it — every Fetch error path funnels through here so the
+// black box sees the incident whichever check tripped.
+func (cs *ChunkStore) failFetch(key string, err error) ([]model.VesselState, error) {
+	cs.flight.Load().Record(obs.FlightError, "tier", "page-back failed",
+		obs.FS("key", key), obs.FS("error", err.Error()))
+	return nil, err
 }
 
 // NewChunkStore builds a spill store over objects with a read cache of
@@ -158,7 +172,7 @@ func (cs *ChunkStore) Fetch(key string, mmsi uint32, n int) ([]model.VesselState
 	missed := false
 	data, err := cs.cache.Get(key, func() ([]byte, error) { missed = true; return cs.objects.Get(key) })
 	if err != nil {
-		return nil, err
+		return cs.failFetch(key, err)
 	}
 	if coldH != nil || cachedH != nil {
 		defer func() {
@@ -172,21 +186,21 @@ func (cs *ChunkStore) Fetch(key string, mmsi uint32, n int) ([]model.VesselState
 		}()
 	}
 	if len(data) < chunkHeaderSize {
-		return nil, fmt.Errorf("tier: chunk %s shorter than its header", key)
+		return cs.failFetch(key, fmt.Errorf("tier: chunk %s shorter than its header", key))
 	}
 	if m := binary.LittleEndian.Uint32(data[0:]); m != chunkMagic {
-		return nil, fmt.Errorf("tier: chunk %s has bad magic %08x", key, m)
+		return cs.failFetch(key, fmt.Errorf("tier: chunk %s has bad magic %08x", key, m))
 	}
 	if v := binary.LittleEndian.Uint16(data[4:]); v != chunkVersion {
-		return nil, fmt.Errorf("tier: chunk %s has unsupported version %d", key, v)
+		return cs.failFetch(key, fmt.Errorf("tier: chunk %s has unsupported version %d", key, v))
 	}
 	if m := binary.LittleEndian.Uint32(data[6:]); m != mmsi {
-		return nil, fmt.Errorf("tier: chunk %s belongs to vessel %d, wanted %d", key, m, mmsi)
+		return cs.failFetch(key, fmt.Errorf("tier: chunk %s belongs to vessel %d, wanted %d", key, m, mmsi))
 	}
 	count := int(binary.LittleEndian.Uint32(data[10:]))
 	if count != n || len(data) != chunkHeaderSize+count*chunkRecSize {
-		return nil, fmt.Errorf("tier: chunk %s carries %d records in %d bytes, wanted %d",
-			key, count, len(data), n)
+		return cs.failFetch(key, fmt.Errorf("tier: chunk %s carries %d records in %d bytes, wanted %d",
+			key, count, len(data), n))
 	}
 	pts := make([]model.VesselState, count)
 	off := chunkHeaderSize
@@ -252,9 +266,22 @@ type Manager struct {
 	errMu sync.Mutex
 	err   error
 
+	// flight, when attached (SetFlight), records eviction passes and
+	// spill failures; page-back failures go through the chunk store's
+	// own pointer.
+	flight atomic.Pointer[obs.Flight]
+
 	closeOnce sync.Once
 	done      chan struct{}
 	stopped   chan struct{}
+}
+
+// SetFlight attaches a flight recorder to the manager and its chunk
+// store. Safe on a live manager — the budget loop and concurrent
+// fetches pick it up atomically.
+func (m *Manager) SetFlight(f *obs.Flight) {
+	m.flight.Store(f)
+	m.chunks.flight.Store(f)
 }
 
 // NewManager builds the manager, attaches its chunk store to every
@@ -385,7 +412,8 @@ func (m *Manager) Check() int {
 		return 0
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].h.LastTouch < cands[j].h.LastTouch })
-	evicted := 0
+	evicted, pts := 0, 0
+	over := resident - m.cfg.Budget
 	for _, c := range cands {
 		if resident <= m.cfg.Budget {
 			break
@@ -397,6 +425,8 @@ func (m *Manager) Check() int {
 			continue
 		case err != nil:
 			m.setErr(err)
+			m.flight.Load().Record(obs.FlightError, "tier", "eviction spill failed",
+				obs.FI("mmsi", int64(c.h.MMSI)), obs.FS("error", err.Error()))
 			return evicted
 		case n == 0:
 			continue
@@ -405,6 +435,12 @@ func (m *Manager) Check() int {
 		evicted++
 		m.evictions.Add(1)
 		m.evictedPts.Add(uint64(n))
+		pts += n
+	}
+	if evicted > 0 {
+		m.flight.Load().Record(obs.FlightInfo, "tier", "eviction pass",
+			obs.FI("vessels", int64(evicted)), obs.FI("points", int64(pts)),
+			obs.FI("over_bytes", over))
 	}
 	return evicted
 }

@@ -257,6 +257,7 @@ package maritime
 
 import (
 	"context"
+	"time"
 
 	"repro/internal/ais"
 	"repro/internal/anomaly"
@@ -666,7 +667,35 @@ type (
 	// QueryTraceSpan is the wire form of one stage span on QueryResult
 	// (populated when QueryRequest.Trace is set).
 	QueryTraceSpan = query.TraceSpan
+	// ObsFlight is the always-on black-box flight recorder: a fixed-size
+	// ring of structured events every layer writes its load-bearing
+	// transitions into. Assign one to IngestConfig.Flight and serve it
+	// with QueryServer.ServeFlight (GET /debug/flight).
+	ObsFlight = obs.Flight
+	// ObsFlightEvent is one recorded flight transition.
+	ObsFlightEvent = obs.FlightEvent
+	// ObsFlightFilter selects flight events for dumps and scrapes.
+	ObsFlightFilter = obs.FlightFilter
+	// ObsHealth aggregates per-layer readiness checks into the /readyz
+	// verdict (QueryServer.ServeHealth; IngestEngine.Health builds one
+	// over a running engine).
+	ObsHealth = obs.Health
+	// ObsHealthVerdict is one readiness evaluation with per-check detail.
+	ObsHealthVerdict = obs.HealthVerdict
+	// IngestHealthOptions tunes IngestEngine.Health's thresholds.
+	IngestHealthOptions = ingest.HealthOptions
 )
+
+// NewObsFlight builds a flight recorder ring of at least size events
+// (rounded up to a power of two; default 1024 when size <= 0).
+func NewObsFlight(size int) *ObsFlight { return obs.NewFlight(size) }
+
+// RegisterObsBuildInfo exports the binary's build identity
+// (maritime_build_info{revision,go}) and process uptime on reg,
+// returning the identity for startup logging.
+func RegisterObsBuildInfo(reg *ObsRegistry, start time.Time) (revision, goVersion string) {
+	return obs.RegisterBuildInfo(reg, start)
+}
 
 // NewObsRegistry returns an empty metrics registry.
 func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
